@@ -1,0 +1,64 @@
+// Ablation: the static memory latency constant of the ISS timing model.
+//
+// The paper's model is "conservative in assigning statically to all the
+// transactions the largest memory access latency without contentions
+// (9 cycles)". This sweep shows how the estimate-vs-RTL error moves as the
+// constant varies from 1 to 13, and with the NUMA-distance-aware
+// alternative, justifying the paper's choice.
+#include "bench_common.h"
+
+#include "iss/machine.h"
+#include "uarch/cluster_sim.h"
+
+namespace tsim::bench {
+namespace {
+
+void run(const BenchOptions& opt) {
+  const tera::TeraPoolConfig cluster = tera::TeraPoolConfig::full();
+  const u32 core_cap = opt.full ? 256 : 16;
+  const u32 n = 8;
+  const auto prec = kern::Precision::k16Half;  // most memory-bound variant
+  std::printf("Ablation | static memory latency of the ISS timing model "
+              "(16bHalf 8x8, cores capped at %u)\n\n", core_cap);
+
+  const auto lay = parallel_layout(cluster, n, prec, core_cap);
+  const auto program = kern::build_mmse_program(lay);
+
+  uarch::ClusterSim rtl(cluster, uarch::UarchConfig{}, lay.num_cores);
+  rtl.load_program(program);
+  stage_random_problems(rtl.memory(), lay, 12.0, 33);
+  const u64 rtl_cycles = rtl.run().cycles;
+
+  sim::Table table({"model", "ISS cycles", "RTL cycles", "error"});
+  const auto add = [&](const std::string& label, const iss::TimingConfig& t) {
+    iss::Machine machine(cluster, t, lay.num_cores);
+    machine.load_program(program);
+    stage_random_problems(machine.memory(), lay, 12.0, 33);
+    machine.run();
+    const u64 est = machine.estimated_cycles();
+    table.add_row({label, sim::strf("%llu", static_cast<unsigned long long>(est)),
+                   sim::strf("%llu", static_cast<unsigned long long>(rtl_cycles)),
+                   sim::strf("%+.1f%%", 100.0 * (static_cast<double>(est) -
+                                                 static_cast<double>(rtl_cycles)) /
+                                            static_cast<double>(rtl_cycles))});
+  };
+  for (const u32 lat : {1u, 3u, 5u, 7u, 9u, 11u, 13u}) {
+    iss::TimingConfig t;
+    t.static_mem_latency = lat;
+    add(sim::strf("static latency = %u%s", lat, lat == 9 ? " (paper)" : ""), t);
+  }
+  iss::TimingConfig numa;
+  numa.numa_latency = true;
+  add("NUMA-distance latency", numa);
+  table.print();
+  opt.maybe_csv(table, "ablation_memlatency");
+}
+
+}  // namespace
+}  // namespace tsim::bench
+
+int main(int argc, char** argv) {
+  const auto opt = tsim::bench::BenchOptions::parse(argc, argv);
+  tsim::bench::run(opt);
+  return 0;
+}

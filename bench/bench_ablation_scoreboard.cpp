@@ -1,0 +1,76 @@
+// Ablation: the RAW scoreboard of the ISS timing model (paper Sec. III-B,
+// Fig. 7 green annotations: the scoreboard improves the estimate by 12-16%
+// over a bare instruction count on small MIMO).
+//
+// Rows compare, against the cycle-accurate reference: (a) the full ISS
+// timing model, (b) scoreboard disabled (every instruction retires in its
+// issue cycles), and (c) the raw instruction count.
+#include "bench_common.h"
+
+#include "iss/machine.h"
+#include "uarch/cluster_sim.h"
+
+namespace tsim::bench {
+namespace {
+
+void run(const BenchOptions& opt) {
+  const tera::TeraPoolConfig cluster = tera::TeraPoolConfig::full();
+  const u32 core_cap = opt.full ? 256 : 16;
+  std::printf("Ablation | RAW scoreboard contribution to the cycle estimate "
+              "(cores capped at %u)\n\n", core_cap);
+
+  sim::Table table({"MIMO", "precision", "RTL cycles", "ISS (scoreboard)",
+                    "err", "ISS (no scoreboard)", "err", "instr count", "err"});
+  for (const u32 n : mimo_sizes()) {
+    for (const kern::Precision prec :
+         {kern::Precision::k16Half, kern::Precision::k16CDotp}) {
+      const auto lay = parallel_layout(cluster, n, prec, core_cap);
+      const auto program = kern::build_mmse_program(lay);
+
+      uarch::ClusterSim rtl(cluster, uarch::UarchConfig{}, lay.num_cores);
+      rtl.load_program(program);
+      stage_random_problems(rtl.memory(), lay, 12.0, 21 + n);
+      const u64 rtl_cycles = rtl.run().cycles;
+
+      const auto run_iss = [&](bool scoreboard) {
+        iss::TimingConfig t;
+        t.scoreboard = scoreboard;
+        iss::Machine machine(cluster, t, lay.num_cores);
+        machine.load_program(program);
+        stage_random_problems(machine.memory(), lay, 12.0, 21 + n);
+        machine.run();
+        u64 max_instr = 0;
+        for (u32 c = 0; c < machine.num_harts(); ++c)
+          max_instr = std::max(max_instr, machine.hart(c).instructions());
+        return std::pair<u64, u64>(machine.estimated_cycles(), max_instr);
+      };
+      const auto [with_sb, max_instr] = run_iss(true);
+      const auto [without_sb, unused] = run_iss(false);
+      (void)unused;
+      const auto err = [&](u64 v) {
+        return sim::strf("%+.0f%%", 100.0 * (static_cast<double>(v) -
+                                             static_cast<double>(rtl_cycles)) /
+                                        static_cast<double>(rtl_cycles));
+      };
+      table.add_row({sim::strf("%ux%u", n, n), std::string(name_of(prec)),
+                     sim::strf("%llu", static_cast<unsigned long long>(rtl_cycles)),
+                     sim::strf("%llu", static_cast<unsigned long long>(with_sb)),
+                     err(with_sb),
+                     sim::strf("%llu", static_cast<unsigned long long>(without_sb)),
+                     err(without_sb),
+                     sim::strf("%llu", static_cast<unsigned long long>(max_instr)),
+                     err(max_instr)});
+    }
+  }
+  table.print();
+  opt.maybe_csv(table, "ablation_scoreboard");
+}
+
+}  // namespace
+}  // namespace tsim::bench
+
+int main(int argc, char** argv) {
+  const auto opt = tsim::bench::BenchOptions::parse(argc, argv);
+  tsim::bench::run(opt);
+  return 0;
+}

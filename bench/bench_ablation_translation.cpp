@@ -1,0 +1,86 @@
+// Ablation: the translation cache (this repo's SBT analog).
+//
+// Banshee's defining trick is translating the binary once instead of
+// decoding at every step. This google-benchmark binary measures the fast
+// ISS (predecoded dispatch) against a decode-every-step interpreter built
+// from the same semantics, quantifying what "static binary translation"
+// buys on this substrate.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "iss/machine.h"
+#include "rv/decode.h"
+#include "rv/exec.h"
+
+namespace tsim::bench {
+namespace {
+
+rvasm::Program batched_program(u32 n, u32 problems) {
+  const auto cluster = tera::TeraPoolConfig::full();
+  const auto lay = batched_layout(cluster, n, kern::Precision::k16CDotp, problems);
+  return kern::build_mmse_program(lay);
+}
+
+/// Fast ISS: predecoded translation cache.
+void BM_TranslatedExecution(benchmark::State& state) {
+  const auto cluster = tera::TeraPoolConfig::full();
+  const auto lay =
+      batched_layout(cluster, static_cast<u32>(state.range(0)), kern::Precision::k16CDotp, 16);
+  iss::Machine machine(cluster, iss::TimingConfig{}, 1);
+  machine.load_program(kern::build_mmse_program(lay));
+  stage_random_problems(machine.memory(), lay, 12.0, 1);
+  u64 instructions = 0;
+  for (auto _ : state) {
+    machine.reset_harts();
+    instructions += machine.run().instructions;
+  }
+  state.counters["MIPS"] = benchmark::Counter(
+      static_cast<double>(instructions) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TranslatedExecution)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+/// Reference interpreter: re-decodes every instruction word from memory.
+void BM_DecodeEveryStep(benchmark::State& state) {
+  const auto cluster = tera::TeraPoolConfig::full();
+  const auto lay =
+      batched_layout(cluster, static_cast<u32>(state.range(0)), kern::Precision::k16CDotp, 16);
+  const auto program = kern::build_mmse_program(lay);
+  tera::ClusterMemory mem(cluster);
+  mem.load_program(program.base, program.words);
+  bool exited = false;
+  mem.set_exit_handler([&](u32) { exited = true; });
+  stage_random_problems(mem, lay, 12.0, 1);
+
+  u64 instructions = 0;
+  for (auto _ : state) {
+    rv::HartState hart;
+    hart.pc = program.symbol("_start");
+    exited = false;
+    while (!exited && !hart.halted) {
+      const auto fetch = mem.fetch(hart.pc);
+      if (fetch.fault) break;
+      const rv::Decoded d = rv::decode(fetch.value);  // <- per-step decode
+      rv::execute(d, hart, mem);
+      ++instructions;
+    }
+  }
+  state.counters["MIPS"] = benchmark::Counter(
+      static_cast<double>(instructions) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeEveryStep)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+/// One-time translation cost amortization: how long does predecoding take
+/// relative to executing the program once?
+void BM_TranslationCost(benchmark::State& state) {
+  const auto program = batched_program(4, 16);
+  for (auto _ : state) {
+    iss::TranslationCache cache(program);
+    benchmark::DoNotOptimize(cache.size());
+  }
+}
+BENCHMARK(BM_TranslationCost)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tsim::bench
+
+BENCHMARK_MAIN();

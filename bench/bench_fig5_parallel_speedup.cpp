@@ -1,0 +1,69 @@
+// Figure 5: CPU-time of the parallel MMSE simulated with the fast ISS
+// (multi-threaded, Banshee-analog) and its speedup over the single-threaded
+// cycle-accurate model (RTL-analog), per precision and MIMO size.
+//
+// Paper shape to reproduce: the SBT-class simulator is one to two orders of
+// magnitude faster than the cycle-accurate baseline, with the gap growing
+// with MIMO size (paper: 3x/12x/30x/63x vs event-driven RTL; our baseline
+// is a compiled C++ cycle model, so absolute ratios are smaller - see
+// EXPERIMENTS.md).
+#include "bench_common.h"
+
+#include "iss/machine.h"
+#include "uarch/cluster_sim.h"
+
+namespace tsim::bench {
+namespace {
+
+void run(const BenchOptions& opt) {
+  const tera::TeraPoolConfig cluster = tera::TeraPoolConfig::full();
+  const u32 core_cap = opt.full ? 1024 : 64;
+  std::printf("Fig. 5 | parallel MMSE: multi-thread ISS vs single-thread "
+              "cycle-accurate model (cores capped at %u)\n\n", core_cap);
+
+  sim::Table table({"MIMO", "precision", "cores", "ISS wall [s]", "ISS CPU [s]",
+                    "RTL wall [s]", "speedup (CPU)", "speedup (wall)"});
+  const u32 threads = host_threads();
+  for (const u32 n : mimo_sizes()) {
+    for (const kern::Precision prec : kern::kTimedPrecisions) {
+      const auto lay = parallel_layout(cluster, n, prec, core_cap);
+      const auto program = kern::build_mmse_program(lay);
+
+      // --- fast ISS, multi-threaded ---
+      iss::Machine machine(cluster, iss::TimingConfig{}, lay.num_cores);
+      machine.load_program(program);
+      stage_random_problems(machine.memory(), lay, 12.0, 42 + n);
+      Stopwatch iss_clock;
+      const auto iss_res = machine.run_threads(threads);
+      const double iss_wall = iss_clock.seconds();
+      const double iss_cpu = iss_wall * threads;  // CPU-time upper bound
+      check(iss_res.exited, "fig5: ISS run failed");
+
+      // --- cycle-accurate reference, single-threaded ---
+      uarch::ClusterSim rtl(cluster, uarch::UarchConfig{}, lay.num_cores);
+      rtl.load_program(program);
+      stage_random_problems(rtl.memory(), lay, 12.0, 42 + n);
+      Stopwatch rtl_clock;
+      const auto rtl_res = rtl.run();
+      const double rtl_wall = rtl_clock.seconds();
+      check(rtl_res.exited, "fig5: RTL run failed");
+
+      table.add_row({sim::strf("%ux%u", n, n), std::string(name_of(prec)),
+                     sim::strf("%u", lay.num_cores), sim::strf("%.3f", iss_wall),
+                     sim::strf("%.3f", iss_cpu), sim::strf("%.3f", rtl_wall),
+                     sim::strf("%.1fx", rtl_wall / iss_cpu),
+                     sim::strf("%.1fx", rtl_wall / iss_wall)});
+    }
+  }
+  table.print();
+  opt.maybe_csv(table, "fig5_parallel_speedup");
+}
+
+}  // namespace
+}  // namespace tsim::bench
+
+int main(int argc, char** argv) {
+  const auto opt = tsim::bench::BenchOptions::parse(argc, argv);
+  tsim::bench::run(opt);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 6: runtime of one Monte-Carlo iteration - NSC batched MMSE
+// problems on a single Snitch core - simulated on one host thread, and the
+// speedup from parallelizing independent OFDM symbols over all host threads.
+//
+// Paper shape: <3 min per MC iteration (NSC = 1638) single-threaded, down
+// to 9.44 s for 4x4; near-linear (73-121x on 128 threads) scaling across
+// independent symbols. We report the same rows at laptop scale plus the
+// simulator MIPS (paper Sec. V-A: 3.57 MIPS single-thread Banshee).
+#include "bench_common.h"
+
+#include <memory>
+
+#include "iss/machine.h"
+
+namespace tsim::bench {
+namespace {
+
+void run(const BenchOptions& opt) {
+  const tera::TeraPoolConfig cluster = tera::TeraPoolConfig::full();
+  // NR 50 MHz carrier: 1638 subcarriers per OFDM symbol (paper Sec. V-A).
+  const u32 nsc = opt.full ? 1638 : 128;
+  const u32 threads = host_threads();
+  std::printf("Fig. 6 | batched MC iteration on one Snitch (NSC = %u), then %u "
+              "independent symbols on %u host threads\n\n", nsc, threads, threads);
+
+  sim::Table table({"MIMO", "precision", "instructions", "1-thr wall [s]", "MIPS",
+                    "symbols/threads", "N-thr wall [s]", "speedup"});
+  for (const u32 n : mimo_sizes()) {
+    for (const kern::Precision prec : kern::kTimedPrecisions) {
+      const auto lay = batched_layout(cluster, n, prec, nsc);
+      const auto program = kern::build_mmse_program(lay);
+
+      // --- one MC iteration, one hart, one host thread ---
+      iss::Machine machine(cluster, iss::TimingConfig{}, 1);
+      machine.load_program(program);
+      stage_random_problems(machine.memory(), lay, 12.0, 7 + n);
+      Stopwatch single_clock;
+      const auto res = machine.run();
+      const double single_wall = single_clock.seconds();
+      check(res.exited, "fig6: batched run failed");
+      const double mips =
+          static_cast<double>(res.instructions) / single_wall / 1e6;
+
+      // --- independent symbols parallelized across host threads ---
+      // One machine per symbol, each on its own thread (symbols share
+      // nothing, exactly as in the paper's 128-symbol experiment).
+      std::vector<std::unique_ptr<iss::Machine>> machines;
+      for (u32 t = 0; t < threads; ++t) {
+        machines.push_back(std::make_unique<iss::Machine>(cluster,
+                                                          iss::TimingConfig{}, 1));
+        machines.back()->load_program(program);
+        stage_random_problems(machines.back()->memory(), lay, 12.0, 100 + t);
+      }
+      Stopwatch multi_clock;
+      std::vector<std::thread> workers;
+      for (u32 t = 0; t < threads; ++t)
+        workers.emplace_back([&machines, t] { machines[t]->run(); });
+      for (auto& w : workers) w.join();
+      const double multi_wall = multi_clock.seconds();
+      // Speedup = total work done / time, vs single-thread throughput.
+      const double speedup = (single_wall * threads) / multi_wall;
+
+      table.add_row({sim::strf("%ux%u", n, n), std::string(name_of(prec)),
+                     sim::strf("%llu", static_cast<unsigned long long>(res.instructions)),
+                     sim::strf("%.3f", single_wall), sim::strf("%.2f", mips),
+                     sim::strf("%u/%u", threads, threads),
+                     sim::strf("%.3f", multi_wall), sim::strf("%.2fx", speedup)});
+    }
+  }
+  table.print();
+  opt.maybe_csv(table, "fig6_mc_runtime");
+}
+
+}  // namespace
+}  // namespace tsim::bench
+
+int main(int argc, char** argv) {
+  const auto opt = tsim::bench::BenchOptions::parse(argc, argv);
+  tsim::bench::run(opt);
+  return 0;
+}

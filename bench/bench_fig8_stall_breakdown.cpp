@@ -1,0 +1,55 @@
+// Figure 8: breakdown of instructions and architectural stalls over the
+// cycle count of the parallel MMSE, from the cycle-accurate model.
+//
+// Paper shape: few stall-ins (I$ refill) and stall-acc (busy FPU pipelines);
+// RAW stalls shrink with problem size (unrolled loops); stall-LSU
+// (interconnect contention) is highest for the low-arithmetic-intensity
+// 16bHalf variant; stall-WFI (barrier idling) dominates small problems.
+#include "bench_common.h"
+
+#include "uarch/cluster_sim.h"
+
+namespace tsim::bench {
+namespace {
+
+void run(const BenchOptions& opt) {
+  const tera::TeraPoolConfig cluster = tera::TeraPoolConfig::full();
+  const u32 core_cap = opt.full ? 1024 : 32;
+  std::printf("Fig. 8 | cycle breakdown of the parallel MMSE (cycle-accurate model, "
+              "cores capped at %u)\n\n", core_cap);
+
+  sim::Table table({"MIMO", "precision", "instr%", "stall-raw%", "stall-lsu%",
+                    "stall-acc%", "stall-ins%", "stall-wfi%", "branch%",
+                    "kCycles/core"});
+  for (const u32 n : mimo_sizes()) {
+    for (const kern::Precision prec : kern::kTimedPrecisions) {
+      const auto lay = parallel_layout(cluster, n, prec, core_cap);
+      uarch::ClusterSim rtl(cluster, uarch::UarchConfig{}, lay.num_cores);
+      rtl.load_program(kern::build_mmse_program(lay));
+      stage_random_problems(rtl.memory(), lay, 12.0, 3 + n);
+      const auto res = rtl.run();
+      check(res.exited, "fig8: run failed");
+      const uarch::CoreStats agg = rtl.aggregate_stats();
+      const double total = static_cast<double>(agg.total_cycles());
+      const auto pct = [&](u64 v) {
+        return sim::strf("%.1f", 100.0 * static_cast<double>(v) / total);
+      };
+      table.add_row({sim::strf("%ux%u", n, n), std::string(name_of(prec)),
+                     pct(agg.instr_cycles), pct(agg.stall_raw), pct(agg.stall_lsu),
+                     pct(agg.stall_acc), pct(agg.stall_ins), pct(agg.stall_wfi),
+                     pct(agg.stall_branch),
+                     sim::strf("%.2f", total / lay.num_cores / 1e3)});
+    }
+  }
+  table.print();
+  opt.maybe_csv(table, "fig8_stall_breakdown");
+}
+
+}  // namespace
+}  // namespace tsim::bench
+
+int main(int argc, char** argv) {
+  const auto opt = tsim::bench::BenchOptions::parse(argc, argv);
+  tsim::bench::run(opt);
+  return 0;
+}

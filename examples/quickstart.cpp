@@ -1,0 +1,65 @@
+// Quickstart: simulate one 4x4 MIMO-MMSE detection end-to-end.
+//
+//   transmit bits -> 16-QAM -> Rayleigh channel -> stage into TeraPool L1 ->
+//   run the fp16 MMSE software on the emulated 1024-core cluster ->
+//   read back the detected symbols and compare with the double-precision
+//   golden detector.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "iss/machine.h"
+#include "kernels/mmse_program.h"
+#include "phy/mmse.h"
+#include "sim/cosim.h"
+
+using namespace tsim;
+
+int main() {
+  // 1. Describe the workload: one 4x4 problem on one core of the full
+  //    TeraPool cluster, 16bCDotp precision (complex-dot-product ISA).
+  kern::MmseLayout layout;
+  layout.ntx = 4;
+  layout.nrx = 4;
+  layout.prec = kern::Precision::k16CDotp;
+  layout.num_cores = 1;
+  layout.cluster = tera::TeraPoolConfig::full();
+
+  // 2. Generate one subcarrier's transmission.
+  Rng rng(2024);
+  phy::Channel channel(phy::ChannelType::kRayleigh, layout.nrx, layout.ntx);
+  phy::QamModulator qam(16);
+  const sim::Batch batch = sim::generate_batch(channel, qam, layout.ntx,
+                                               /*num_problems=*/1, /*snr_db=*/15.0, rng);
+  const sim::MimoProblem& problem = batch.problems[0];
+
+  // 3. Build the DUT software (genuine RV32 machine code from the in-repo
+  //    assembler), load it, stage the operands bit-true into L1.
+  iss::Machine machine(layout.cluster, iss::TimingConfig{}, layout.num_cores);
+  machine.load_program(kern::build_mmse_program(layout));
+  sim::stage_problem(machine.memory(), layout, 0, 0, problem);
+
+  // 4. Run the emulated cluster.
+  const iss::RunResult result = machine.run();
+  std::printf("DUT run: exited=%d instructions=%llu estimated cycles=%llu\n",
+              result.exited, static_cast<unsigned long long>(result.instructions),
+              static_cast<unsigned long long>(machine.estimated_cycles()));
+
+  // 5. Compare the fp16 detection with the 64-bit golden detector.
+  const auto xhat = sim::read_xhat(machine.memory(), layout, 0, 0);
+  const auto golden = phy::mmse_detect(problem.h, problem.y, problem.sigma2);
+  std::printf("\n%-8s %-24s %-24s %-24s\n", "stream", "transmitted", "DUT (fp16)",
+              "golden (double)");
+  for (u32 i = 0; i < layout.ntx; ++i) {
+    std::printf("%-8u (%+.4f, %+.4f)      (%+.4f, %+.4f)      (%+.4f, %+.4f)\n", i,
+                batch.tx_symbols[i].real(), batch.tx_symbols[i].imag(),
+                xhat[i].real(), xhat[i].imag(), golden[i].real(), golden[i].imag());
+  }
+
+  // 6. Demap and count bit errors against the transmitted bits.
+  const auto rx_bits = qam.demap_sequence(xhat);
+  u32 errors = 0;
+  for (size_t b = 0; b < rx_bits.size(); ++b) errors += rx_bits[b] != batch.tx_bits[b];
+  std::printf("\nbit errors: %u / %zu\n", errors, rx_bits.size());
+  return 0;
+}

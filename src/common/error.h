@@ -1,0 +1,24 @@
+// Error reporting conventions.
+//
+// terasim uses exceptions for unrecoverable misuse (per C++ Core Guidelines
+// E.2): SimError carries a formatted message. Hot simulation paths never
+// throw; guest-program faults are reported through trap states instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tsim {
+
+/// Exception thrown on simulator misuse or unrecoverable internal errors.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws SimError with `message` if `condition` is false.
+inline void check(bool condition, const std::string& message) {
+  if (!condition) throw SimError(message);
+}
+
+}  // namespace tsim

@@ -1,0 +1,72 @@
+// Deterministic random number generation for reproducible Monte-Carlo runs.
+//
+// We use xoshiro256++ (public-domain algorithm by Blackman & Vigna) rather
+// than std::mt19937 so that streams are cheap to split per-thread and the
+// exact sequence is pinned by this repo, not by the standard library vendor.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/types.h"
+
+namespace tsim {
+
+/// xoshiro256++ deterministic PRNG with splittable sub-streams.
+class Rng {
+ public:
+  /// Seeds the generator with SplitMix64 expansion of `seed`.
+  explicit Rng(u64 seed = 0x5DEECE66Dull) {
+    u64 x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97F4A7C15ull;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  u64 next_u64() {
+    const u64 result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, n).
+  u64 below(u64 n) { return next_u64() % n; }
+
+  /// Single random bit.
+  bool bit() { return (next_u64() >> 63) != 0; }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  /// Derive an independent sub-stream (e.g. one per thread / per symbol).
+  Rng split(u64 stream_id) {
+    return Rng(next_u64() ^ (0x9E3779B97F4A7C15ull * (stream_id + 1)));
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace tsim

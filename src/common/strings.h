@@ -1,0 +1,48 @@
+// Small string helpers used by the assembler, disassembler and reports.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsim {
+
+/// Strips leading and trailing whitespace.
+inline std::string_view trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Splits `s` on any character in `seps`, dropping empty fields.
+inline std::vector<std::string_view> split_any(std::string_view s, std::string_view seps) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || seps.find(s[i]) != std::string_view::npos) {
+      if (i > start) out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+/// ASCII lowercase copy.
+inline std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Formats seconds as "m:ss.mmm" for human-readable bench output.
+inline std::string format_duration(double seconds) {
+  const int minutes = static_cast<int>(seconds) / 60;
+  const double rem = seconds - 60.0 * minutes;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%d:%06.3f", minutes, rem);
+  return buf;
+}
+
+}  // namespace tsim

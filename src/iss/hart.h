@@ -1,0 +1,43 @@
+// One emulated hart of the fast ISS: architectural state + the static
+// timing scoreboard and per-class instruction statistics.
+#pragma once
+
+#include <array>
+
+#include "rv/hart_state.h"
+#include "rv/inst.h"
+
+namespace tsim::iss {
+
+constexpr size_t kMixCount = 10;  // matches rv::Mix enumerators
+
+struct Hart {
+  rv::HartState state;
+
+  // RAW scoreboard: cycle at which each register's pending result lands.
+  std::array<u64, 32> ready{};
+
+  // Timing statistics.
+  u64 raw_stall_cycles = 0;  // cycles lost waiting on busy source registers
+  u64 wfi_stall_cycles = 0;  // cycles asleep at barriers
+  u64 wake_cycle = 0;        // set by the waking hart; consumed on resume
+
+  // Instruction mix histogram (Fig. 8 companion / Fig. 7 instruction count).
+  std::array<u64, kMixCount> mix{};
+
+  u64 instructions() const { return state.instret; }
+  u64 cycles() const { return state.cycle; }
+
+  void reset(u32 hartid, u32 pc) {
+    state = rv::HartState{};
+    state.hartid = hartid;
+    state.pc = pc;
+    ready.fill(0);
+    raw_stall_cycles = 0;
+    wfi_stall_cycles = 0;
+    wake_cycle = 0;
+    mix.fill(0);
+  }
+};
+
+}  // namespace tsim::iss

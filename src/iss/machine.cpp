@@ -1,0 +1,313 @@
+#include "iss/machine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "rv/exec.h"
+
+namespace tsim::iss {
+namespace {
+
+constexpr u32 kQuantum = 256;       // instructions per hart per scheduler turn
+constexpr u64 kSpinLimit = 200'000'000;  // idle passes before declaring deadlock
+
+bool writes_rd(rv::Fmt fmt) {
+  switch (fmt) {
+    case rv::Fmt::kS:
+    case rv::Fmt::kB:
+    case rv::Fmt::kNullary:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Cycle of the instruction currently executing on this host thread; read
+/// by the MMIO wake handler to timestamp barrier releases. Thread-local so
+/// concurrent shards never share a cache line.
+thread_local u64 t_current_cycle = 0;
+
+bool is_post_increment_load(rv::Op op) {
+  switch (op) {
+    case rv::Op::kPLb:
+    case rv::Op::kPLbu:
+    case rv::Op::kPLh:
+    case rv::Op::kPLhu:
+    case rv::Op::kPLw:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Machine::Machine(const tera::TeraPoolConfig& cluster, TimingConfig timing, u32 active_harts)
+    : cluster_(cluster),
+      timing_(timing),
+      mem_(std::make_unique<tera::ClusterMemory>(cluster)),
+      harts_(active_harts == 0 ? cluster.num_cores() : active_harts),
+      sleep_(harts_.size()) {
+  mem_->set_exit_handler([this](u32 code) { on_exit(code); });
+  mem_->set_wake_handler([this](u32 target) { on_wake(target, t_current_cycle); });
+  for (auto& s : sleep_) s.store(0, std::memory_order_relaxed);
+}
+
+void Machine::load_program(const rvasm::Program& prog) {
+  mem_->load_program(prog.base, prog.words);
+  tcache_ = TranslationCache(prog);
+  const auto it = prog.symbols.find("_start");
+  entry_pc_ = it != prog.symbols.end() ? it->second : prog.base;
+  reset_harts();
+}
+
+void Machine::reset_harts() {
+  for (u32 i = 0; i < harts_.size(); ++i) harts_[i].reset(i, entry_pc_);
+  for (auto& s : sleep_) s.store(static_cast<u8>(SleepState::kAwake), std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);
+  exited_.store(false, std::memory_order_relaxed);
+  exit_code_.store(0, std::memory_order_relaxed);
+}
+
+void Machine::on_exit(u32 code) {
+  exit_code_.store(code, std::memory_order_relaxed);
+  exited_.store(true, std::memory_order_relaxed);
+  stop_.store(true, std::memory_order_release);
+}
+
+void Machine::on_wake(u32 target, u64 waker_cycle) {
+  const auto wake_one = [&](u32 i) {
+    if (i >= harts_.size()) return;
+    harts_[i].wake_cycle = waker_cycle;
+    auto& s = sleep_[i];
+    u8 expected = static_cast<u8>(SleepState::kSleeping);
+    if (s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kAwake))) return;
+    expected = static_cast<u8>(SleepState::kAwake);
+    s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kWakePending));
+  };
+  if (target == ~0u) {
+    for (u32 i = 0; i < harts_.size(); ++i) wake_one(i);
+  } else {
+    wake_one(target);
+  }
+}
+
+bool Machine::step(u32 hart_index) {
+  Hart& h = harts_[hart_index];
+  auto& st = h.state;
+  const rv::Decoded* d = tcache_.lookup(st.pc);
+  if (d == nullptr || d->op == rv::Op::kInvalid) {
+    st.halted = true;
+    st.trapped = true;
+    return false;
+  }
+  const rv::InstrDef& def = isa_defs_[static_cast<size_t>(d->op)];
+
+  // --- RAW scoreboard: stall issue until all sources are ready ---
+  u64 issue = st.cycle;
+  if (timing_.scoreboard) {
+    u64 ready = std::max(h.ready[d->rs1], h.ready[d->rs2]);
+    if (def.fmt == rv::Fmt::kR4) ready = std::max(ready, h.ready[d->rs3]);
+    if (rv::reads_rd(d->op)) ready = std::max(ready, h.ready[d->rd]);
+    if (ready > issue) {
+      h.raw_stall_cycles += ready - issue;
+      issue = ready;
+    }
+  }
+  st.cycle = issue;
+
+  t_current_cycle = issue;
+  if (trace_) trace_(hart_index, st.pc, *d);
+  const rv::StepInfo info = rv::execute(*d, st, *mem_);
+  h.mix[static_cast<size_t>(def.mix)]++;
+
+  // --- advance the hart clock ---
+  st.cycle = issue + def.issue_cycles;
+  if (info.branch_taken) st.cycle += timing_.branch_taken_penalty;
+
+  // --- mark destination busy until its static result latency elapses ---
+  u64 result_at = issue + def.result_latency;
+  if (info.is_load || info.is_amo) {
+    u32 mem_lat;
+    if (info.mem_addr >= tera::kL2Base) {
+      mem_lat = timing_.l2_latency;
+    } else if (info.mem_addr >= tera::kMmioBase) {
+      mem_lat = 1;
+    } else if (timing_.numa_latency) {
+      const auto route = mem_->map().route(info.mem_addr);
+      const u32 tile = route ? route->tile : 0;
+      const u32 core = st.hartid;
+      mem_lat = cluster_.numa_latency(core, tile);
+    } else {
+      mem_lat = timing_.static_mem_latency;
+    }
+    result_at += mem_lat;
+  }
+  if (writes_rd(def.fmt) && d->rd != 0) h.ready[d->rd] = result_at;
+  if (is_post_increment_load(d->op) && d->rs1 != 0) h.ready[d->rs1] = issue + 1;
+
+  if (st.halted) return false;
+
+  if (info.entered_wfi) {
+    auto& s = sleep_[hart_index];
+    u8 expected = static_cast<u8>(SleepState::kWakePending);
+    if (s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kAwake))) {
+      // A wake arrived between barrier arrival and wfi: consume it and keep going.
+      st.in_wfi = false;
+      const u64 resume = h.wake_cycle + timing_.barrier_wake_cost;
+      if (resume > st.cycle) {
+        h.wfi_stall_cycles += resume - st.cycle;
+        st.cycle = resume;
+      }
+      return true;
+    }
+    expected = static_cast<u8>(SleepState::kAwake);
+    if (s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kSleeping))) {
+      return false;  // now asleep; scheduler resumes us after a wake
+    }
+    // A wake raced in during the transition: consume it.
+    s.store(static_cast<u8>(SleepState::kAwake), std::memory_order_relaxed);
+    st.in_wfi = false;
+    return true;
+  }
+  return true;
+}
+
+bool Machine::all_asleep() const {
+  for (u32 i = 0; i < harts_.size(); ++i) {
+    if (harts_[i].state.halted) continue;
+    if (sleep_[i].load(std::memory_order_relaxed) !=
+        static_cast<u8>(SleepState::kSleeping))
+      return false;
+  }
+  return true;
+}
+
+RunResult Machine::run(u64 max_instructions) {
+  RunResult res;
+  u64 executed = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool any_live = false;
+    bool progress = false;
+    for (u32 i = 0; i < harts_.size(); ++i) {
+      Hart& h = harts_[i];
+      if (h.state.halted) continue;
+      any_live = true;
+      if (h.state.in_wfi) {
+        if (sleep_[i].load(std::memory_order_acquire) !=
+            static_cast<u8>(SleepState::kAwake))
+          continue;  // still asleep
+        h.state.in_wfi = false;
+        const u64 resume = h.wake_cycle + timing_.barrier_wake_cost;
+        if (resume > h.state.cycle) {
+          h.wfi_stall_cycles += resume - h.state.cycle;
+          h.state.cycle = resume;
+        }
+      }
+      for (u32 q = 0; q < kQuantum; ++q) {
+        if (!step(i)) break;
+        ++executed;
+        progress = true;
+        if (max_instructions != 0 && executed >= max_instructions) {
+          res.instructions = executed;
+          return res;
+        }
+        if (stop_.load(std::memory_order_relaxed)) break;
+      }
+      if (!h.state.in_wfi && !h.state.halted) progress = true;
+    }
+    if (!any_live) break;  // everything halted
+    if (!progress && all_asleep()) {
+      res.deadlock = true;
+      break;
+    }
+  }
+  res.exited = exited_.load(std::memory_order_relaxed);
+  res.exit_code = exit_code_.load(std::memory_order_relaxed);
+  res.instructions = executed;
+  return res;
+}
+
+RunResult Machine::run_threads(u32 n_threads) {
+  n_threads = std::max(1u, std::min<u32>(n_threads, num_harts()));
+  std::vector<std::thread> workers;
+  std::atomic<u64> executed{0};
+  std::atomic<bool> deadlock{false};
+  const u32 per = (num_harts() + n_threads - 1) / n_threads;
+
+  for (u32 t = 0; t < n_threads; ++t) {
+    const u32 lo = t * per;
+    const u32 hi = std::min(num_harts(), lo + per);
+    if (lo >= hi) break;
+    workers.emplace_back([this, lo, hi, &executed, &deadlock] {
+      u64 local_exec = 0;
+      u64 idle_passes = 0;
+      while (!stop_.load(std::memory_order_acquire)) {
+        bool any_live = false;
+        bool progress = false;
+        for (u32 i = lo; i < hi; ++i) {
+          Hart& h = harts_[i];
+          if (h.state.halted) continue;
+          any_live = true;
+          if (h.state.in_wfi) {
+            if (sleep_[i].load(std::memory_order_acquire) !=
+                static_cast<u8>(SleepState::kAwake))
+              continue;
+            h.state.in_wfi = false;
+            const u64 resume = h.wake_cycle + timing_.barrier_wake_cost;
+            if (resume > h.state.cycle) {
+              h.wfi_stall_cycles += resume - h.state.cycle;
+              h.state.cycle = resume;
+            }
+          }
+          for (u32 q = 0; q < kQuantum; ++q) {
+            if (!step(i)) break;
+            ++local_exec;
+            progress = true;
+            if (stop_.load(std::memory_order_relaxed)) break;
+          }
+        }
+        if (!any_live) break;
+        if (!progress) {
+          if (++idle_passes > kSpinLimit) {
+            deadlock.store(true, std::memory_order_relaxed);
+            stop_.store(true, std::memory_order_release);
+            break;
+          }
+          std::this_thread::yield();
+        } else {
+          idle_passes = 0;
+        }
+      }
+      executed.fetch_add(local_exec, std::memory_order_relaxed);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RunResult res;
+  res.exited = exited_.load(std::memory_order_relaxed);
+  res.exit_code = exit_code_.load(std::memory_order_relaxed);
+  res.deadlock = deadlock.load(std::memory_order_relaxed);
+  res.instructions = executed.load(std::memory_order_relaxed);
+  return res;
+}
+
+u64 Machine::total_instructions() const {
+  u64 sum = 0;
+  for (const auto& h : harts_) sum += h.instructions();
+  return sum;
+}
+
+u64 Machine::estimated_cycles() const {
+  u64 mx = 0;
+  for (const auto& h : harts_) mx = std::max(mx, h.cycles());
+  return mx;
+}
+
+u64 Machine::total_cycles() const {
+  u64 sum = 0;
+  for (const auto& h : harts_) sum += h.cycles();
+  return sum;
+}
+
+}  // namespace tsim::iss

@@ -1,0 +1,99 @@
+// The fast ISS machine: N harts over one ClusterMemory, executing a
+// predecoded (translated) program with the static-latency timing model.
+//
+// Run modes mirror Banshee's:
+//  - run():           deterministic single-host-thread round-robin.
+//  - run_threads(n):  harts sharded over n host threads, synchronizing only
+//                     through the DUT program's own atomics and wfi/wake.
+//
+// Per-hart cycle estimates depend only on that hart's instruction stream
+// plus barrier wake times, so functional results and cycle estimates are
+// independent of the host scheduling (verified by test).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "iss/hart.h"
+#include "iss/timing.h"
+#include "iss/translation.h"
+#include "tera/memory.h"
+
+namespace tsim::iss {
+
+struct RunResult {
+  bool exited = false;    // program stored to the exit MMIO register
+  u32 exit_code = 0;
+  bool deadlock = false;  // all live harts asleep with nobody to wake them
+  u64 instructions = 0;   // total retired across harts this run
+};
+
+class Machine {
+ public:
+  /// Constructs a machine with `active_harts` live cores (0 = all cores of
+  /// the cluster configuration).
+  Machine(const tera::TeraPoolConfig& cluster, TimingConfig timing = {},
+          u32 active_harts = 0);
+
+  tera::ClusterMemory& memory() { return *mem_; }
+  const tera::ClusterMemory& memory() const { return *mem_; }
+
+  /// Loads and translates the program; harts reset to its "_start" symbol.
+  void load_program(const rvasm::Program& prog);
+
+  /// Re-arms all harts at the entry point (keeps memory and translation).
+  void reset_harts();
+
+  /// Runs until exit, deadlock, or `max_instructions` (0 = unlimited).
+  RunResult run(u64 max_instructions = 0);
+
+  /// Runs with harts sharded across `n_threads` host threads.
+  RunResult run_threads(u32 n_threads);
+
+  u32 num_harts() const { return static_cast<u32>(harts_.size()); }
+  const Hart& hart(u32 i) const { return harts_[i]; }
+  const TimingConfig& timing() const { return timing_; }
+
+  /// Per-instruction trace hook: called before each instruction executes
+  /// with (hart id, pc, decoded instruction). Intended for debugging and
+  /// trace tooling; adds one predictable branch when unset. Only meaningful
+  /// with single-threaded run().
+  using TraceFn = std::function<void(u32 hart, u32 pc, const rv::Decoded&)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+  /// Aggregate retired instructions over all harts.
+  u64 total_instructions() const;
+  /// Parallel-program cycle estimate: max per-hart cycle count.
+  u64 estimated_cycles() const;
+  /// Sum of per-hart estimated cycles (single-stream comparisons).
+  u64 total_cycles() const;
+
+ private:
+  enum class SleepState : u8 { kAwake = 0, kSleeping = 1, kWakePending = 2 };
+
+  /// Executes one instruction on hart `h`. Returns false when the hart can
+  /// make no further progress now (halted or just went to sleep).
+  bool step(u32 hart_index);
+
+  void on_exit(u32 code);
+  void on_wake(u32 target, u64 waker_cycle);
+  /// True if every live hart is asleep (deadlock when nobody will wake them).
+  bool all_asleep() const;
+
+  tera::TeraPoolConfig cluster_;
+  TimingConfig timing_;
+  const rv::InstrDef* isa_defs_ = rv::isa_table().data();
+  std::unique_ptr<tera::ClusterMemory> mem_;
+  TranslationCache tcache_;
+  u32 entry_pc_ = 0;
+  std::vector<Hart> harts_;
+  std::vector<std::atomic<u8>> sleep_;  // SleepState per hart
+  std::atomic<bool> stop_{false};
+  std::atomic<u32> exit_code_{0};
+  std::atomic<bool> exited_{false};
+  TraceFn trace_;
+};
+
+}  // namespace tsim::iss

@@ -1,0 +1,25 @@
+// Static timing model of the fast ISS (paper Sec. III-B).
+//
+// Banshee "assigns a static latency to each instruction to estimate the
+// program runtime" and "implements a scoreboard that keeps track of the RAW
+// dependencies": issuing a consumer before its producer's result latency has
+// elapsed stalls the hart. Memory transactions conservatively receive the
+// largest zero-contention access latency (9 cycles) regardless of NUMA
+// distance; both the value and the NUMA-aware alternative are exposed for
+// the ablation benches.
+#pragma once
+
+#include "common/types.h"
+
+namespace tsim::iss {
+
+struct TimingConfig {
+  bool scoreboard = true;        // RAW dependency tracking (ablation: off)
+  bool numa_latency = false;     // ablation: use real NUMA distance instead
+  u32 static_mem_latency = 9;    // cycles charged to every L1 transaction
+  u32 l2_latency = 25;           // cycles for L2 transactions
+  u32 branch_taken_penalty = 2;  // pipeline refill on taken control flow
+  u32 barrier_wake_cost = 2;     // cycles from wake store to sleeper resume
+};
+
+}  // namespace tsim::iss

@@ -1,0 +1,44 @@
+// Translation cache: the SBT analog of this repo.
+//
+// Banshee translates the RISC-V binary once (to LLVM IR, then host code).
+// Offline we cannot JIT, so the equivalent one-time work is predecoding
+// every program word into its dense `rv::Decoded` form; emulation then
+// dispatches on the predecoded array with no per-step decode cost. The
+// ablation bench `bench_ablation_translation` quantifies the speedup over
+// decode-every-step interpretation.
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+#include "rv/decode.h"
+#include "rvasm/program.h"
+
+namespace tsim::iss {
+
+class TranslationCache {
+ public:
+  TranslationCache() = default;
+
+  /// Predecodes the full program image.
+  explicit TranslationCache(const rvasm::Program& prog)
+      : base_(prog.base), decoded_(prog.words.size()) {
+    for (size_t i = 0; i < prog.words.size(); ++i) decoded_[i] = rv::decode(prog.words[i]);
+  }
+
+  /// Decoded instruction at `pc`; nullptr when pc leaves the translated image.
+  const rv::Decoded* lookup(u32 pc) const {
+    const u32 off = pc - base_;
+    if ((off & 3) != 0 || off / 4 >= decoded_.size()) return nullptr;
+    return &decoded_[off / 4];
+  }
+
+  u32 base() const { return base_; }
+  size_t size() const { return decoded_.size(); }
+
+ private:
+  u32 base_ = 0;
+  std::vector<rv::Decoded> decoded_;
+};
+
+}  // namespace tsim::iss

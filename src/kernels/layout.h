@@ -1,0 +1,133 @@
+// Shared-L1 data layout of the MMSE workload (paper Fig. 4).
+//
+// All per-problem data lives in the word-interleaved L1 region: inputs
+// (H, y, sigma^2) and outputs (x) in consecutive addresses - matching their
+// L2 allocation so DMA needs no element relocation - followed by a scratch
+// area per core (G, L, z, w, reciprocal diagonal, stack). Consecutive words
+// stripe across all cluster banks, so per-core blocks spread uniformly and
+// cores contend only when their strided accesses collide on a bank.
+//
+// Capacity note (documented deviation, see EXPERIMENTS.md): a 32x32 fp16
+// problem needs ~13 KiB of L1 per core; 1024 of them exceed TeraPool's
+// 4 MiB. `max_parallel_cores` returns how many single-problem cores fit;
+// benches use it to scale the parallel experiments.
+//
+// This struct is the single source of truth for addresses: the kernel
+// generator bakes them into the emitted RISC-V code and the co-simulation
+// driver uses them to stage operands and read back results.
+#pragma once
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "kernels/precision.h"
+#include "tera/addr_map.h"
+
+namespace tsim::kern {
+
+struct MmseLayout {
+  u32 ntx = 4;          // transmitting users (matrix order)
+  u32 nrx = 4;          // base-station antennas
+  Precision prec = Precision::k16Half;
+  u32 problems_per_core = 1;  // >1 = batched Monte-Carlo mode (paper Fig. 6)
+  u32 num_cores = 1;          // cores running MMSE problems
+
+  tera::TeraPoolConfig cluster;
+
+  // ---- input block, per problem ----
+  u32 h_bytes() const { return nrx * ntx * input_elem_bytes(prec); }
+  u32 y_bytes() const { return nrx * input_elem_bytes(prec); }
+  u32 sigma_bytes() const { return 4; }  // one fp16 value, word-padded
+  u32 x_bytes() const { return ntx * kScratchElemBytes; }  // fp16 output
+
+  /// One problem's input+output footprint, word-aligned.
+  u32 problem_bytes() const {
+    return static_cast<u32>(
+        align_up(h_bytes() + y_bytes() + sigma_bytes() + x_bytes(), 4));
+  }
+
+  // The barrier counter sits below the data blocks.
+  static constexpr u32 kBarrierAddr = tera::kL1InterleavedBase + 0x80;
+  static constexpr u32 kInputBase = tera::kL1InterleavedBase + 0x100;
+
+  u32 problem_base(u32 core, u32 problem) const {
+    return kInputBase + (core * problems_per_core + problem) * problem_bytes();
+  }
+  u32 h_addr(u32 core, u32 problem) const { return problem_base(core, problem); }
+  u32 y_addr(u32 core, u32 problem) const { return h_addr(core, problem) + h_bytes(); }
+  u32 sigma_addr(u32 core, u32 problem) const {
+    return y_addr(core, problem) + y_bytes();
+  }
+  u32 x_addr(u32 core, u32 problem) const {
+    return sigma_addr(core, problem) + sigma_bytes();
+  }
+
+  // ---- scratch block, per core, above all input blocks ----
+  u32 g_bytes() const { return ntx * ntx * kScratchElemBytes; }
+  u32 l_bytes() const { return ntx * ntx * kScratchElemBytes; }
+  u32 z_bytes() const { return ntx * kScratchElemBytes; }
+  u32 w_bytes() const { return ntx * kScratchElemBytes; }
+  u32 invd_bytes() const { return static_cast<u32>(align_up(ntx * 2, 4)); }
+  /// Per-core profile block: cycle counts of {gram, mvm, chol, fsolve,
+  /// bsolve, whole problem} for the most recent problem, written by the
+  /// instrumented main() via the mcycle CSR, plus two spare words.
+  static constexpr u32 kProfileWords = 8;
+  static constexpr u32 kProfileBytes = kProfileWords * 4;
+  static constexpr u32 kStackBytes = 512;
+
+  u32 scratch_stride() const {
+    return static_cast<u32>(
+        align_up(g_bytes() + l_bytes() + z_bytes() + w_bytes() + invd_bytes() +
+                     kProfileBytes + kStackBytes,
+                 16));
+  }
+  u32 scratch_region_base() const {
+    return static_cast<u32>(
+        align_up(kInputBase + static_cast<u64>(num_cores) * problems_per_core *
+                                  problem_bytes(),
+                 16));
+  }
+  u32 scratch_base(u32 core) const {
+    return scratch_region_base() + core * scratch_stride();
+  }
+  u32 g_addr(u32 core) const { return scratch_base(core); }
+  u32 l_addr(u32 core) const { return g_addr(core) + g_bytes(); }
+  u32 z_addr(u32 core) const { return l_addr(core) + l_bytes(); }
+  u32 w_addr(u32 core) const { return z_addr(core) + z_bytes(); }
+  u32 invd_addr(u32 core) const { return w_addr(core) + w_bytes(); }
+  u32 profile_addr(u32 core) const { return invd_addr(core) + invd_bytes(); }
+  u32 stack_top(u32 core) const { return scratch_base(core) + scratch_stride(); }
+
+  u64 total_l1_bytes() const {
+    return static_cast<u64>(scratch_region_base()) - tera::kL1InterleavedBase +
+           static_cast<u64>(num_cores) * scratch_stride();
+  }
+
+  /// Validates the layout against the cluster's L1 capacity.
+  void validate() const {
+    check(num_cores >= 1 && num_cores <= cluster.num_cores(),
+          "MmseLayout: core count exceeds the cluster");
+    check(ntx >= 2 && ntx <= 64 && nrx >= ntx, "MmseLayout: unsupported MIMO size");
+    check(ntx % 2 == 0 && nrx % 2 == 0,
+          "MmseLayout: SIMD variants require even antenna counts");
+    check(total_l1_bytes() <= cluster.l1_bytes(), "MmseLayout: data overflows L1");
+  }
+
+  /// Largest number of single-problem cores that fits in L1.
+  static u32 max_parallel_cores(const tera::TeraPoolConfig& cluster, u32 ntx, u32 nrx,
+                                Precision prec) {
+    MmseLayout probe;
+    probe.ntx = ntx;
+    probe.nrx = nrx;
+    probe.prec = prec;
+    probe.cluster = cluster;
+    probe.problems_per_core = 1;
+    const u64 per_core = probe.problem_bytes() + probe.scratch_stride();
+    const u64 budget = cluster.l1_bytes() - (kInputBase - tera::kL1InterleavedBase) - 64;
+    const u64 fit = budget / per_core;
+    return static_cast<u32>(std::min<u64>(fit, cluster.num_cores()));
+  }
+};
+
+}  // namespace tsim::kern

@@ -1,0 +1,450 @@
+#include "kernels/mmse_program.h"
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "kernels/strategy.h"
+#include "rv/hart_state.h"
+
+namespace tsim::kern {
+namespace {
+
+using rvasm::Asm;
+using rv::Op;
+using rv::Reg;
+
+constexpr i32 kFp16One = 0x3C00;
+
+/// rd = rs + imm, honoring the 12-bit addi range (falls back to li+add).
+void add_imm(Asm& a, Reg rd, Reg rs, i32 imm, Reg scratch) {
+  if (imm >= -2048 && imm <= 2047) {
+    a.addi(rd, rs, imm);
+  } else {
+    a.li(scratch, imm);
+    a.add(rd, rs, scratch);
+  }
+}
+
+/// Emits the per-element dot-product steps: load A, load B, MAC.
+void emit_steps(Asm& a, MacEmitter& s, u32 count, i32 stride_a, i32 stride_b,
+                Conj conj) {
+  for (u32 k = 0; k < count; ++k) {
+    s.load_a(a, stride_a);
+    s.load_b(a, stride_b);
+    s.mac(a, conj);
+  }
+}
+
+/// Emits the inner dot-product over a compile-time element count, either
+/// fully unrolled or as a counted loop of `unroll` steps per iteration.
+/// Pointers must be preset in t0/t1; clobbers a6.
+void emit_dot_imm(Asm& a, MacEmitter& s, u32 elems, i32 stride_a, i32 stride_b,
+                  Conj conj, u32 unroll, const std::string& label) {
+  const u32 steps = elems / s.elems_per_step();
+  check(elems % s.elems_per_step() == 0, "kernelgen: element count not steppable");
+  if (unroll == 0 || unroll >= steps) {
+    emit_steps(a, s, steps, stride_a, stride_b, conj);
+    return;
+  }
+  check(steps % unroll == 0, "kernelgen: unroll must divide the step count");
+  a.li(Reg::a6, static_cast<i32>(steps / unroll));
+  a.label(label);
+  emit_steps(a, s, unroll, stride_a, stride_b, conj);
+  a.addi(Reg::a6, Reg::a6, -1);
+  a.bnez(Reg::a6, label);
+}
+
+/// Emits the inner dot-product over a runtime element count already in a6
+/// (clobbered). Single-step body; elems_per_step must be 1.
+void emit_dot_reg(Asm& a, MacEmitter& s, i32 stride_a, i32 stride_b, Conj conj,
+                  const std::string& label) {
+  check(s.elems_per_step() == 1, "kernelgen: runtime loops need 1 elem/step");
+  a.beqz(Reg::a6, label + "_done");
+  a.label(label);
+  emit_steps(a, s, 1, stride_a, stride_b, conj);
+  a.addi(Reg::a6, Reg::a6, -1);
+  a.bnez(Reg::a6, label);
+  a.label(label + "_done");
+}
+
+/// G = H^H H + sigma^2 I.  Args: a0 = H (column-major), a1 = sigma ptr
+/// (fp16), a2 = G out (row-major complex fp16).
+void emit_gram(Asm& a, MacEmitter& s, const MmseLayout& lay, u32 unroll) {
+  const u32 n = lay.ntx;
+  const i32 colbytes = static_cast<i32>(lay.nrx * s.elem_bytes());
+  const i32 step = static_cast<i32>(s.elems_per_step() * s.elem_bytes());
+
+  a.label("gram");
+  s.prologue(a);
+  a.li(Reg::s11, static_cast<i32>(n));
+  a.li(Reg::a4, 0);
+  a.mv(Reg::s8, Reg::a0);   // column i pointer
+  a.mv(Reg::s10, Reg::a2);  // G walker
+  a.label("gram_i");
+  a.li(Reg::a5, 0);
+  a.mv(Reg::s9, Reg::a0);   // column j pointer
+  a.label("gram_j");
+  a.mv(Reg::t0, Reg::s8);
+  a.mv(Reg::t1, Reg::s9);
+  s.init_acc(a);
+  emit_dot_imm(a, s, lay.nrx, step, step, Conj::kA, unroll, "gram_k");
+  s.reduce(a);
+  a.sh(Reg::s6, 0, Reg::s10);
+  a.sh(Reg::s7, 2, Reg::s10);
+  a.addi(Reg::s10, Reg::s10, 4);
+  add_imm(a, Reg::s9, Reg::s9, colbytes, Reg::t5);
+  a.addi(Reg::a5, Reg::a5, 1);
+  a.blt(Reg::a5, Reg::s11, "gram_j");
+  add_imm(a, Reg::s8, Reg::s8, colbytes, Reg::t5);
+  a.addi(Reg::a4, Reg::a4, 1);
+  a.blt(Reg::a4, Reg::s11, "gram_i");
+  // Diagonal regularization: G[d][d].re += sigma^2 (fp16).
+  a.lh(Reg::a7, 0, Reg::a1);
+  a.mv(Reg::t2, Reg::a2);
+  a.li(Reg::a4, 0);
+  a.label("gram_diag");
+  a.lh(Reg::t3, 0, Reg::t2);
+  a.r(Op::kFaddH, Reg::t3, Reg::t3, Reg::a7);
+  a.sh(Reg::t3, 0, Reg::t2);
+  add_imm(a, Reg::t2, Reg::t2, static_cast<i32>((n + 1) * 4), Reg::t5);
+  a.addi(Reg::a4, Reg::a4, 1);
+  a.blt(Reg::a4, Reg::s11, "gram_diag");
+  a.ret();
+}
+
+/// z = H^H y.  Args: a0 = H (column-major), a1 = y, a2 = z out.
+void emit_mvm(Asm& a, MacEmitter& s, const MmseLayout& lay, u32 unroll) {
+  const i32 colbytes = static_cast<i32>(lay.nrx * s.elem_bytes());
+  const i32 step = static_cast<i32>(s.elems_per_step() * s.elem_bytes());
+
+  a.label("mvm");
+  s.prologue(a);
+  a.li(Reg::s11, static_cast<i32>(lay.ntx));
+  a.li(Reg::a4, 0);
+  a.mv(Reg::s8, Reg::a0);
+  a.mv(Reg::s10, Reg::a2);
+  a.label("mvm_i");
+  a.mv(Reg::t0, Reg::s8);
+  a.mv(Reg::t1, Reg::a1);
+  s.init_acc(a);
+  emit_dot_imm(a, s, lay.nrx, step, step, Conj::kA, unroll, "mvm_k");
+  s.reduce(a);
+  a.sh(Reg::s6, 0, Reg::s10);
+  a.sh(Reg::s7, 2, Reg::s10);
+  a.addi(Reg::s10, Reg::s10, 4);
+  add_imm(a, Reg::s8, Reg::s8, colbytes, Reg::t5);
+  a.addi(Reg::a4, Reg::a4, 1);
+  a.blt(Reg::a4, Reg::s11, "mvm_i");
+  a.ret();
+}
+
+/// In-place complex Cholesky: G = L L^H (lower L, real positive diagonal),
+/// plus the reciprocal-diagonal vector.
+/// Args: a0 = G (row-major cf16), a1 = L out, a2 = invd out (fp16/entry).
+void emit_chol(Asm& a, MacEmitter& s, const MmseLayout& lay) {
+  const u32 n = lay.ntx;
+  const i32 row = static_cast<i32>(n * 4);
+
+  a.label("chol");
+  s.prologue(a);
+  a.li(Reg::s11, static_cast<i32>(n));
+  a.li(Reg::a5, 0);         // j
+  a.mv(Reg::s8, Reg::a1);   // L row j
+  a.mv(Reg::s9, Reg::a0);   // G[j][j]
+  a.mv(Reg::s10, Reg::a1);  // L[j][j]
+  a.label("chol_j");
+  // sumsq = sum_{k<j} |L[j][k]|^2  (imaginary part cancels exactly)
+  a.mv(Reg::t0, Reg::s8);
+  a.mv(Reg::t1, Reg::s8);
+  s.init_acc(a);
+  a.mv(Reg::a6, Reg::a5);
+  emit_dot_reg(a, s, 4, 4, Conj::kB, "chol_sumsq");
+  s.reduce(a);
+  a.lh(Reg::t3, 0, Reg::s9);
+  a.r(Op::kFsubH, Reg::t3, Reg::t3, Reg::s6);
+  // Clamp the pivot to the smallest fp16 normal: low-precision Gram
+  // quantization (notably the 8-bit variants on fading channels) can push
+  // it non-positive, and a robust detector must not emit NaN.
+  a.li(Reg::t5, 0x0400);
+  a.r(Op::kFmaxH, Reg::t3, Reg::t3, Reg::t5);
+  a.r2(Op::kFsqrtH, Reg::t4, Reg::t3);
+  a.sh(Reg::t4, 0, Reg::s10);
+  a.sh(Reg::zero, 2, Reg::s10);
+  a.li(Reg::t5, kFp16One);
+  a.r(Op::kFdivH, Reg::a7, Reg::t5, Reg::t4);  // invd_j, kept live for the i loop
+  a.sh(Reg::a7, 0, Reg::a2);
+  // for i in j+1..n-1: L[i][j] = (G[i][j] - sum_k L[i][k] conj(L[j][k])) * invd_j
+  a.addi(Reg::a4, Reg::a5, 1);
+  a.li(Reg::t5, row);
+  a.add(Reg::a3, Reg::s8, Reg::t5);  // L row i
+  a.add(Reg::t2, Reg::s9, Reg::t5);  // G[i][j]
+  a.label("chol_i");
+  a.bge(Reg::a4, Reg::s11, "chol_i_done");
+  a.mv(Reg::t0, Reg::a3);
+  a.mv(Reg::t1, Reg::s8);
+  s.init_acc(a);
+  a.mv(Reg::a6, Reg::a5);
+  emit_dot_reg(a, s, 4, 4, Conj::kB, "chol_dot");
+  s.reduce(a);
+  a.lh(Reg::t3, 0, Reg::t2);
+  a.r(Op::kFsubH, Reg::t3, Reg::t3, Reg::s6);
+  a.lh(Reg::t4, 2, Reg::t2);
+  a.r(Op::kFsubH, Reg::t4, Reg::t4, Reg::s7);
+  a.r(Op::kFmulH, Reg::t3, Reg::t3, Reg::a7);
+  a.r(Op::kFmulH, Reg::t4, Reg::t4, Reg::a7);
+  a.slli(Reg::t5, Reg::a5, 2);
+  a.add(Reg::t5, Reg::a3, Reg::t5);
+  a.sh(Reg::t3, 0, Reg::t5);
+  a.sh(Reg::t4, 2, Reg::t5);
+  add_imm(a, Reg::a3, Reg::a3, row, Reg::t5);
+  add_imm(a, Reg::t2, Reg::t2, row, Reg::t5);
+  a.addi(Reg::a4, Reg::a4, 1);
+  a.j("chol_i");
+  a.label("chol_i_done");
+  add_imm(a, Reg::s8, Reg::s8, row, Reg::t5);
+  add_imm(a, Reg::s9, Reg::s9, row + 4, Reg::t5);
+  add_imm(a, Reg::s10, Reg::s10, row + 4, Reg::t5);
+  a.addi(Reg::a2, Reg::a2, 2);
+  a.addi(Reg::a5, Reg::a5, 1);
+  a.blt(Reg::a5, Reg::s11, "chol_j");
+  a.ret();
+}
+
+/// Forward solve: w[i] = (z[i] - sum_{k<i} L[i][k] w[k]) * invd[i].
+/// Args: a0 = L, a1 = z, a2 = w out, a3 = invd.
+void emit_fsolve(Asm& a, MacEmitter& s, const MmseLayout& lay) {
+  const i32 row = static_cast<i32>(lay.ntx * 4);
+
+  a.label("fsolve");
+  s.prologue(a);
+  a.li(Reg::s11, static_cast<i32>(lay.ntx));
+  a.li(Reg::a4, 0);
+  a.mv(Reg::s8, Reg::a0);
+  a.mv(Reg::s9, Reg::a1);
+  a.mv(Reg::s10, Reg::a3);
+  a.label("fsolve_i");
+  a.mv(Reg::t0, Reg::s8);
+  a.mv(Reg::t1, Reg::a2);
+  s.init_acc(a);
+  a.mv(Reg::a6, Reg::a4);
+  emit_dot_reg(a, s, 4, 4, Conj::kNone, "fs_dot");
+  s.reduce(a);
+  a.lh(Reg::t3, 0, Reg::s9);
+  a.r(Op::kFsubH, Reg::t3, Reg::t3, Reg::s6);
+  a.lh(Reg::t4, 2, Reg::s9);
+  a.r(Op::kFsubH, Reg::t4, Reg::t4, Reg::s7);
+  a.lh(Reg::t5, 0, Reg::s10);
+  a.r(Op::kFmulH, Reg::t3, Reg::t3, Reg::t5);
+  a.r(Op::kFmulH, Reg::t4, Reg::t4, Reg::t5);
+  a.slli(Reg::t6, Reg::a4, 2);
+  a.add(Reg::t6, Reg::a2, Reg::t6);
+  a.sh(Reg::t3, 0, Reg::t6);
+  a.sh(Reg::t4, 2, Reg::t6);
+  add_imm(a, Reg::s8, Reg::s8, row, Reg::t5);
+  a.addi(Reg::s9, Reg::s9, 4);
+  a.addi(Reg::s10, Reg::s10, 2);
+  a.addi(Reg::a4, Reg::a4, 1);
+  a.blt(Reg::a4, Reg::s11, "fsolve_i");
+  a.ret();
+}
+
+/// Backward solve: x[i] = (w[i] - sum_{k>i} conj(L[k][i]) x[k]) * invd[i].
+/// Args: a0 = L, a1 = w, a2 = x out, a3 = invd.
+void emit_bsolve(Asm& a, MacEmitter& s, const MmseLayout& lay) {
+  const u32 n = lay.ntx;
+  const i32 row = static_cast<i32>(n * 4);
+
+  a.label("bsolve");
+  s.prologue(a);
+  a.li(Reg::s11, static_cast<i32>(n));
+  a.li(Reg::a4, static_cast<i32>(n - 1));
+  a.label("bsolve_i");
+  // A: column i of L starting at row i+1 (stride = one row).
+  a.addi(Reg::t5, Reg::a4, 1);
+  a.li(Reg::t6, row);
+  a.mul(Reg::t5, Reg::t5, Reg::t6);
+  a.add(Reg::t5, Reg::a0, Reg::t5);
+  a.slli(Reg::t6, Reg::a4, 2);
+  a.add(Reg::t0, Reg::t5, Reg::t6);
+  // B: x[i+1..n-1].
+  a.slli(Reg::t6, Reg::a4, 2);
+  a.addi(Reg::t6, Reg::t6, 4);
+  a.add(Reg::t1, Reg::a2, Reg::t6);
+  s.init_acc(a);
+  a.li(Reg::a6, static_cast<i32>(n - 1));
+  a.sub(Reg::a6, Reg::a6, Reg::a4);
+  emit_dot_reg(a, s, row, 4, Conj::kA, "bs_dot");
+  s.reduce(a);
+  a.slli(Reg::t6, Reg::a4, 2);
+  a.add(Reg::t5, Reg::a1, Reg::t6);
+  a.lh(Reg::t3, 0, Reg::t5);
+  a.r(Op::kFsubH, Reg::t3, Reg::t3, Reg::s6);
+  a.lh(Reg::t4, 2, Reg::t5);
+  a.r(Op::kFsubH, Reg::t4, Reg::t4, Reg::s7);
+  a.slli(Reg::t5, Reg::a4, 1);
+  a.add(Reg::t5, Reg::a3, Reg::t5);
+  a.lh(Reg::t5, 0, Reg::t5);
+  a.r(Op::kFmulH, Reg::t3, Reg::t3, Reg::t5);
+  a.r(Op::kFmulH, Reg::t4, Reg::t4, Reg::t5);
+  a.slli(Reg::t6, Reg::a4, 2);
+  a.add(Reg::t6, Reg::a2, Reg::t6);
+  a.sh(Reg::t3, 0, Reg::t6);
+  a.sh(Reg::t4, 2, Reg::t6);
+  a.addi(Reg::a4, Reg::a4, -1);
+  a.bge(Reg::a4, Reg::zero, "bsolve_i");
+  a.ret();
+}
+
+/// Per-hart startup, parking of inactive harts, and the fork-join epilogue
+/// (barrier, then hart 0 signals exit).
+void emit_crt0(Asm& a, const MmseLayout& lay) {
+  a.label("_start");
+  a.csrr(Reg::t0, rv::kCsrMhartid);
+  a.li(Reg::t1, static_cast<i32>(lay.num_cores));
+  a.bltu(Reg::t0, Reg::t1, "crt_run");
+  a.label("crt_park");
+  a.wfi();
+  a.j("crt_park");
+  a.label("crt_run");
+  // sp = scratch_region_base + (hartid + 1) * scratch_stride.
+  a.addi(Reg::t2, Reg::t0, 1);
+  a.li(Reg::t3, static_cast<i32>(lay.scratch_stride()));
+  a.mul(Reg::t2, Reg::t2, Reg::t3);
+  a.li(Reg::t3, static_cast<i32>(lay.scratch_region_base()));
+  a.add(Reg::sp, Reg::t3, Reg::t2);
+  a.call("main");
+  a.call("barrier");
+  a.csrr(Reg::t0, rv::kCsrMhartid);
+  a.bnez(Reg::t0, "crt_park");
+  a.li(Reg::t1, static_cast<i32>(tera::kMmioExit));
+  a.sw(Reg::zero, 0, Reg::t1);
+  a.j("crt_park");
+}
+
+/// amoadd-counter barrier with wfi sleep and wake-register broadcast.
+void emit_barrier(Asm& a, const MmseLayout& lay) {
+  a.label("barrier");
+  a.li(Reg::t0, static_cast<i32>(MmseLayout::kBarrierAddr));
+  a.li(Reg::t1, 1);
+  a.amo(Op::kAmoaddW, Reg::t2, Reg::t1, Reg::t0);
+  a.li(Reg::t3, static_cast<i32>(lay.num_cores - 1));
+  a.beq(Reg::t2, Reg::t3, "barrier_last");
+  a.wfi();
+  a.ret();
+  a.label("barrier_last");
+  a.sw(Reg::zero, 0, Reg::t0);
+  a.li(Reg::t4, static_cast<i32>(tera::kMmioWake));
+  a.li(Reg::t5, -1);
+  a.sw(Reg::t5, 0, Reg::t4);
+  a.ret();
+}
+
+/// Per-core driver: computes this hart's pointers, then runs the operator
+/// chain once per assigned problem, bracketing each operator with mcycle
+/// reads that land in the core's profile block (kernels/profile.h).
+void emit_main(Asm& a, const MmseLayout& lay) {
+  const i32 pb = static_cast<i32>(lay.problem_bytes());
+
+  a.label("main");
+  a.addi(Reg::sp, Reg::sp, -56);
+  a.sw(Reg::ra, 0, Reg::sp);
+  a.csrr(Reg::s0, rv::kCsrMhartid);
+  // First input block of this core.
+  a.li(Reg::t0, static_cast<i32>(lay.problems_per_core * lay.problem_bytes()));
+  a.mul(Reg::t0, Reg::s0, Reg::t0);
+  a.li(Reg::t1, static_cast<i32>(MmseLayout::kInputBase));
+  a.add(Reg::t1, Reg::t1, Reg::t0);
+  // Scratch block of this core.
+  a.li(Reg::t2, static_cast<i32>(lay.scratch_stride()));
+  a.mul(Reg::t2, Reg::s0, Reg::t2);
+  a.li(Reg::t3, static_cast<i32>(lay.scratch_region_base()));
+  a.add(Reg::t2, Reg::t3, Reg::t2);
+  // Stack slots: 4 H, 8 y, 12 sigma, 16 x, 20 G, 24 L, 28 z, 32 w, 36 invd.
+  a.sw(Reg::t1, 4, Reg::sp);
+  add_imm(a, Reg::t4, Reg::t1, static_cast<i32>(lay.h_bytes()), Reg::t5);
+  a.sw(Reg::t4, 8, Reg::sp);
+  add_imm(a, Reg::t4, Reg::t4, static_cast<i32>(lay.y_bytes()), Reg::t5);
+  a.sw(Reg::t4, 12, Reg::sp);
+  add_imm(a, Reg::t4, Reg::t4, static_cast<i32>(lay.sigma_bytes()), Reg::t5);
+  a.sw(Reg::t4, 16, Reg::sp);
+  a.sw(Reg::t2, 20, Reg::sp);
+  add_imm(a, Reg::t4, Reg::t2, static_cast<i32>(lay.g_bytes()), Reg::t5);
+  a.sw(Reg::t4, 24, Reg::sp);
+  add_imm(a, Reg::t4, Reg::t4, static_cast<i32>(lay.l_bytes()), Reg::t5);
+  a.sw(Reg::t4, 28, Reg::sp);
+  add_imm(a, Reg::t4, Reg::t4, static_cast<i32>(lay.z_bytes()), Reg::t5);
+  a.sw(Reg::t4, 32, Reg::sp);
+  add_imm(a, Reg::t4, Reg::t4, static_cast<i32>(lay.w_bytes()), Reg::t5);
+  a.sw(Reg::t4, 36, Reg::sp);
+  // Profile block pointer (stack slot 44): right above invd.
+  add_imm(a, Reg::t4, Reg::t4, static_cast<i32>(lay.invd_bytes()), Reg::t5);
+  a.sw(Reg::t4, 44, Reg::sp);
+
+  // Brackets one operator call with mcycle reads; stores the delta at
+  // profile word `slot`.
+  const auto timed_call = [&](const char* fn, i32 prof_slot,
+                              std::initializer_list<std::pair<Reg, i32>> args) {
+    a.csrr(Reg::t0, rv::kCsrMcycle);
+    a.sw(Reg::t0, 40, Reg::sp);
+    for (const auto& [reg, slot] : args) a.lw(reg, slot, Reg::sp);
+    a.call(fn);
+    a.csrr(Reg::t0, rv::kCsrMcycle);
+    a.lw(Reg::t1, 40, Reg::sp);
+    a.sub(Reg::t0, Reg::t0, Reg::t1);
+    a.lw(Reg::t2, 44, Reg::sp);
+    a.sw(Reg::t0, prof_slot, Reg::t2);
+  };
+
+  a.li(Reg::s1, static_cast<i32>(lay.problems_per_core));
+  a.label("main_loop");
+  a.csrr(Reg::t0, rv::kCsrMcycle);
+  a.sw(Reg::t0, 48, Reg::sp);  // problem start timestamp
+  timed_call("gram", 0, {{Reg::a0, 4}, {Reg::a1, 12}, {Reg::a2, 20}});
+  timed_call("mvm", 4, {{Reg::a0, 4}, {Reg::a1, 8}, {Reg::a2, 28}});
+  timed_call("chol", 8, {{Reg::a0, 20}, {Reg::a1, 24}, {Reg::a2, 36}});
+  timed_call("fsolve", 12,
+             {{Reg::a0, 24}, {Reg::a1, 28}, {Reg::a2, 32}, {Reg::a3, 36}});
+  timed_call("bsolve", 16,
+             {{Reg::a0, 24}, {Reg::a1, 32}, {Reg::a2, 16}, {Reg::a3, 36}});
+  a.csrr(Reg::t0, rv::kCsrMcycle);
+  a.lw(Reg::t1, 48, Reg::sp);
+  a.sub(Reg::t0, Reg::t0, Reg::t1);
+  a.lw(Reg::t2, 44, Reg::sp);
+  a.sw(Reg::t0, 20, Reg::t2);  // whole-problem cycles
+  a.addi(Reg::s1, Reg::s1, -1);
+  a.beqz(Reg::s1, "main_done");
+  // Advance the four input pointers to the next problem block.
+  for (const i32 slot : {4, 8, 12, 16}) {
+    a.lw(Reg::t0, slot, Reg::sp);
+    add_imm(a, Reg::t0, Reg::t0, pb, Reg::t5);
+    a.sw(Reg::t0, slot, Reg::sp);
+  }
+  a.j("main_loop");
+  a.label("main_done");
+  a.lw(Reg::ra, 0, Reg::sp);
+  a.addi(Reg::sp, Reg::sp, 56);
+  a.ret();
+}
+
+}  // namespace
+
+rvasm::Program build_mmse_program(const MmseLayout& layout,
+                                  const MmseProgramOptions& options) {
+  layout.validate();
+  const auto input = make_input_emitter(layout.prec);
+  const auto solve = make_solve_emitter(layout.prec);
+
+  Asm a(tera::kL2Base);
+  emit_crt0(a, layout);
+  emit_barrier(a, layout);
+  emit_main(a, layout);
+  emit_gram(a, *input, layout, options.gram_unroll);
+  emit_mvm(a, *input, layout, options.gram_unroll);
+  emit_chol(a, *solve, layout);
+  emit_fsolve(a, *solve, layout);
+  emit_bsolve(a, *solve, layout);
+  return a.link();
+}
+
+}  // namespace tsim::kern

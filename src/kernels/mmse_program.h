@@ -1,0 +1,34 @@
+// Generates the complete software-defined MMSE program (paper Sec. IV) as a
+// linked RV32 image: crt0 (per-hart stacks, parking), the fork-join barrier
+// (amoadd + wfi/wake), and the four operators - Gram matrix
+// G = H^H H + sigma^2 I, matched filter z = H^H y, complex Cholesky
+// G = L L^H, and the forward/backward triangular solves - instantiated for
+// one of the five arithmetic precisions.
+//
+// Operand convention: H is staged column-major (column i contiguous), so
+// every inner dot product walks unit-stride memory; y, z, w, x are
+// contiguous complex vectors; G and L are row-major complex fp16 matrices;
+// invd is the vector of reciprocal Cholesky diagonals (fp16).
+//
+// In parallel mode each active core solves the problem whose index equals
+// its hartid; in batched mode (problems_per_core > 1, paper Fig. 6) a
+// single core iterates over consecutive problem blocks.
+#pragma once
+
+#include "kernels/layout.h"
+#include "rvasm/program.h"
+
+namespace tsim::kern {
+
+struct MmseProgramOptions {
+  /// Unroll factor of the Gram/MVM inner dot-product loops. 0 = fully
+  /// unrolled (the paper's configuration: "loops are unrolled to minimize
+  /// RAW stalls"); 1/2/4 = partially unrolled runtime loops (ablation).
+  u32 gram_unroll = 0;
+};
+
+/// Builds and links the full program for the given layout.
+rvasm::Program build_mmse_program(const MmseLayout& layout,
+                                  const MmseProgramOptions& options = {});
+
+}  // namespace tsim::kern

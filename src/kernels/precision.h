@@ -1,0 +1,55 @@
+// Arithmetic precision variants of the software-defined MMSE (paper Sec. IV).
+#pragma once
+
+#include <string_view>
+
+#include "common/types.h"
+
+namespace tsim::kern {
+
+enum class Precision : u8 {
+  k16Half,     // zhinx scalar fp16; separate re/im loads; 4 fmadd.h per cMAC
+  k16WDotp,    // vfdotpex.s.h wide dot product, fp32 accumulators
+  k16CDotp,    // vfcdotp.h complex dot product, fp32 internal, fp16 accs
+  k8Quarter,   // scalar-style fp8 ops, fp8 accumulation, cast to 16b to solve
+  k8WDotp,     // vfdotpex.h.b fp8 dot product, fp16 accumulators
+};
+
+constexpr std::string_view name_of(Precision p) {
+  switch (p) {
+    case Precision::k16Half: return "16bHalf";
+    case Precision::k16WDotp: return "16bwDotp";
+    case Precision::k16CDotp: return "16bCDotp";
+    case Precision::k8Quarter: return "8bQuarter";
+    case Precision::k8WDotp: return "8bwDotp";
+  }
+  return "?";
+}
+
+/// Bytes per complex element of the *input* operands (H, y).
+constexpr u32 input_elem_bytes(Precision p) {
+  switch (p) {
+    case Precision::k8Quarter:
+    case Precision::k8WDotp:
+      return 2;  // fp8 re + fp8 im
+    default:
+      return 4;  // fp16 re + fp16 im
+  }
+}
+
+/// All intermediate (G, L, z, w) and output (x) elements are complex fp16.
+constexpr u32 kScratchElemBytes = 4;
+
+/// The five DUT variants, in the paper's presentation order.
+constexpr Precision kAllPrecisions[] = {
+    Precision::k16Half, Precision::k16WDotp, Precision::k16CDotp,
+    Precision::k8Quarter, Precision::k8WDotp,
+};
+
+/// The four variants shown in the paper's runtime/cycle figures (Figs. 5-8).
+constexpr Precision kTimedPrecisions[] = {
+    Precision::k16Half, Precision::k16WDotp, Precision::k16CDotp,
+    Precision::k8WDotp,
+};
+
+}  // namespace tsim::kern

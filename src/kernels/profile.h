@@ -1,0 +1,39 @@
+// Host-side reader for the DUT's per-operator cycle profile.
+//
+// The generated main() brackets each MMSE operator with mcycle CSR reads
+// and stores the deltas of the most recent problem into the core's profile
+// block (see MmseLayout::profile_addr). Both timing engines maintain
+// mcycle, so profiles are available from the fast ISS (estimated cycles)
+// and the cycle-accurate model (measured cycles) alike.
+#pragma once
+
+#include "kernels/layout.h"
+#include "tera/memory.h"
+
+namespace tsim::kern {
+
+struct KernelProfile {
+  u32 gram = 0;
+  u32 mvm = 0;
+  u32 chol = 0;
+  u32 fsolve = 0;
+  u32 bsolve = 0;
+  u32 total = 0;  // whole problem, including call glue
+
+  u32 operator_sum() const { return gram + mvm + chol + fsolve + bsolve; }
+};
+
+inline KernelProfile read_profile(const tera::ClusterMemory& mem,
+                                  const MmseLayout& lay, u32 core) {
+  const u32 base = lay.profile_addr(core);
+  KernelProfile p;
+  p.gram = mem.host_read_word(base + 0);
+  p.mvm = mem.host_read_word(base + 4);
+  p.chol = mem.host_read_word(base + 8);
+  p.fsolve = mem.host_read_word(base + 12);
+  p.bsolve = mem.host_read_word(base + 16);
+  p.total = mem.host_read_word(base + 20);
+  return p;
+}
+
+}  // namespace tsim::kern

@@ -1,0 +1,273 @@
+#include "kernels/strategy.h"
+
+#include "common/error.h"
+#include "rv/fp_formats.h"
+
+namespace tsim::kern {
+namespace {
+
+using rvasm::Asm;
+using rv::Op;
+using rv::Reg;
+
+// Register roles (see strategy.h).
+constexpr Reg kPtrA = Reg::t0;
+constexpr Reg kPtrB = Reg::t1;
+constexpr Reg kOpA = Reg::t3;
+constexpr Reg kOpB = Reg::t4;
+constexpr Reg kTmp1 = Reg::t5;
+constexpr Reg kTmp2 = Reg::t6;
+constexpr Reg kTmp3 = Reg::t2;
+constexpr Reg kAcc0 = Reg::s2;
+constexpr Reg kAcc1 = Reg::s3;
+constexpr Reg kConst0 = Reg::s4;
+constexpr Reg kConst1 = Reg::s5;
+constexpr Reg kOutRe = Reg::s6;
+constexpr Reg kOutIm = Reg::s7;
+
+// Per-lane sign masks of the DUT fp8 format. The format may be narrower
+// than a byte (the paper's 1-4-2 occupies 7 LSB-aligned bits), so the sign
+// position must come from the format, not from bit 7.
+constexpr u32 kFp8Sign = rv::Fp8::kSignBit;
+constexpr i32 kFp8SignLane1 = static_cast<i32>(kFp8Sign << 8);
+constexpr i32 kFp8SignLanes13 = static_cast<i32>((kFp8Sign << 8) | (kFp8Sign << 24));
+constexpr i32 kFp8SignLanes02 = static_cast<i32>(kFp8Sign | (kFp8Sign << 16));
+
+/// 16bHalf: zhinx scalars; re/im loaded separately (2x the memory
+/// operations, as the paper highlights); 4 fmadd.h per complex MAC.
+class Half16Emitter final : public MacEmitter {
+ public:
+  u32 elem_bytes() const override { return 4; }
+  void prologue(Asm&) override {}
+  void init_acc(Asm& a) override {
+    a.li(kAcc0, 0);
+    a.li(kAcc1, 0);
+  }
+  void load_a(Asm& a, i32 stride) override {
+    a.load(Op::kPLh, kOpA, 2, kPtrA);           // re, then advance to im
+    a.load(Op::kPLh, kTmp1, stride - 2, kPtrA); // im, then advance to next elem
+  }
+  void load_b(Asm& a, i32 stride) override {
+    a.load(Op::kPLh, kOpB, 2, kPtrB);
+    a.load(Op::kPLh, kTmp2, stride - 2, kPtrB);
+  }
+  void mac(Asm& a, Conj conj) override {
+    // a = (t3, t5), b = (t4, t6); acc = (s2, s3).
+    switch (conj) {
+      case Conj::kA:  // re+=rr+ii, im+=ri-ir
+        a.r4(Op::kFmaddH, kAcc0, kOpA, kOpB, kAcc0);
+        a.r4(Op::kFmaddH, kAcc0, kTmp1, kTmp2, kAcc0);
+        a.r4(Op::kFmaddH, kAcc1, kOpA, kTmp2, kAcc1);
+        a.r4(Op::kFnmsubH, kAcc1, kTmp1, kOpB, kAcc1);
+        break;
+      case Conj::kNone:  // re+=rr-ii, im+=ri+ir
+        a.r4(Op::kFmaddH, kAcc0, kOpA, kOpB, kAcc0);
+        a.r4(Op::kFnmsubH, kAcc0, kTmp1, kTmp2, kAcc0);
+        a.r4(Op::kFmaddH, kAcc1, kOpA, kTmp2, kAcc1);
+        a.r4(Op::kFmaddH, kAcc1, kTmp1, kOpB, kAcc1);
+        break;
+      case Conj::kB:  // re+=rr+ii, im+=ir-ri
+        a.r4(Op::kFmaddH, kAcc0, kOpA, kOpB, kAcc0);
+        a.r4(Op::kFmaddH, kAcc0, kTmp1, kTmp2, kAcc0);
+        a.r4(Op::kFnmsubH, kAcc1, kOpA, kTmp2, kAcc1);
+        a.r4(Op::kFmaddH, kAcc1, kTmp1, kOpB, kAcc1);
+        break;
+    }
+  }
+  void reduce(Asm& a) override {
+    a.mv(kOutRe, kAcc0);
+    a.mv(kOutIm, kAcc1);
+  }
+};
+
+/// 16bwDotp: packed fp16 loads; two vfdotpex.s.h (fp32 accumulation) plus a
+/// lane shuffle and a SIMD sign flip per complex MAC (paper Fig. 3).
+class WDotp16Emitter final : public MacEmitter {
+ public:
+  u32 elem_bytes() const override { return 4; }
+  void prologue(Asm& a) override {
+    a.li(kConst0, static_cast<i32>(0x80000000));  // negate high (im) lane
+    a.li(kConst1, 0x00000001);                    // swap-lane selector (1,0)
+  }
+  void init_acc(Asm& a) override {
+    a.li(kAcc0, 0);
+    a.li(kAcc1, 0);
+  }
+  void load_a(Asm& a, i32 stride) override { a.load(Op::kPLw, kOpA, stride, kPtrA); }
+  void load_b(Asm& a, i32 stride) override { a.load(Op::kPLw, kOpB, stride, kPtrB); }
+  void mac(Asm& a, Conj conj) override {
+    switch (conj) {
+      case Conj::kA:
+        a.r(Op::kVfdotpexSH, kAcc0, kOpA, kOpB);    // re += rr + ii
+        a.r(Op::kPvShuffleH, kTmp1, kOpB, kConst1); // (b_im, b_re)
+        a.r(Op::kPvXorH, kTmp2, kOpA, kConst0);     // (a_re, -a_im)
+        a.r(Op::kVfdotpexSH, kAcc1, kTmp2, kTmp1);  // im += ri - ir
+        break;
+      case Conj::kNone:
+        a.r(Op::kPvXorH, kTmp2, kOpB, kConst0);     // (b_re, -b_im)
+        a.r(Op::kVfdotpexSH, kAcc0, kOpA, kTmp2);   // re += rr - ii
+        a.r(Op::kPvShuffleH, kTmp1, kOpB, kConst1); // (b_im, b_re)
+        a.r(Op::kVfdotpexSH, kAcc1, kOpA, kTmp1);   // im += ri + ir
+        break;
+      case Conj::kB:
+        a.r(Op::kVfdotpexSH, kAcc0, kOpA, kOpB);    // re += rr + ii
+        a.li(kTmp2, 0x00008000);                    // negate low (re) lane
+        a.r(Op::kPvXorH, kTmp2, kOpA, kTmp2);       // (-a_re, a_im)
+        a.r(Op::kPvShuffleH, kTmp1, kOpB, kConst1); // (b_im, b_re)
+        a.r(Op::kVfdotpexSH, kAcc1, kTmp2, kTmp1);  // im += ir - ri
+        break;
+    }
+  }
+  void reduce(Asm& a) override {
+    a.r2(Op::kFcvtHS, kOutRe, kAcc0);
+    a.r2(Op::kFcvtHS, kOutIm, kAcc1);
+  }
+};
+
+/// 16bCDotp: one complex-dot-product instruction per MAC (fp32 internal,
+/// packed fp16 accumulator).
+class CDotp16Emitter final : public MacEmitter {
+ public:
+  u32 elem_bytes() const override { return 4; }
+  void prologue(Asm&) override {}
+  void init_acc(Asm& a) override { a.li(kAcc0, 0); }
+  void load_a(Asm& a, i32 stride) override { a.load(Op::kPLw, kOpA, stride, kPtrA); }
+  void load_b(Asm& a, i32 stride) override { a.load(Op::kPLw, kOpB, stride, kPtrB); }
+  void mac(Asm& a, Conj conj) override {
+    switch (conj) {
+      case Conj::kA:
+        a.r(Op::kVfccdotpH, kAcc0, kOpA, kOpB);
+        break;
+      case Conj::kNone:
+        a.r(Op::kVfcdotpH, kAcc0, kOpA, kOpB);
+        break;
+      case Conj::kB:
+        // a*conj(b) == conj(b)*a: swap the operands of the conjugating form.
+        a.r(Op::kVfccdotpH, kAcc0, kOpB, kOpA);
+        break;
+    }
+  }
+  void reduce(Asm& a) override {
+    a.lanes(Op::kPvExtractH, kOutRe, kAcc0, 0);
+    a.lanes(Op::kPvExtractH, kOutIm, kAcc0, 1);
+  }
+};
+
+/// 8bQuarter: SmallFloat scalar-style fp8 compute; products AND
+/// accumulation stay in fp8 (the source of the BER loss in Fig. 9), cast to
+/// fp16 only at reduce().
+class Quarter8Emitter final : public MacEmitter {
+ public:
+  u32 elem_bytes() const override { return 2; }
+  void prologue(Asm& a) override {
+    a.li(kConst0, 0x03020000);  // selector (re,re,z,z); lanes 2,3 pick zeros
+    a.li(kConst1, 0x03020001);  // selector (im,re,z,z) - swapped pair
+  }
+  void init_acc(Asm& a) override { a.li(kAcc0, 0); }
+  void load_a(Asm& a, i32 stride) override { a.load(Op::kPLhu, kOpA, stride, kPtrA); }
+  void load_b(Asm& a, i32 stride) override { a.load(Op::kPLhu, kOpB, stride, kPtrB); }
+  void mac(Asm& a, Conj conj) override {
+    // acc lanes (re, im, -, -) in fp8. Two vfmac.b terms:
+    //   term1: (a_re, a_re) * f1(b);  term2: (a_im, a_im) * f2(swap(b)).
+    if (conj == Conj::kB) {
+      a.li(kTmp3, kFp8SignLane1);            // negate b_im for term1
+      a.r(Op::kPvXorB, kTmp2, kOpB, kTmp3);  // (b_re, -b_im)
+    } else {
+      a.mv(kTmp2, kOpB);  // (b_re, b_im)
+    }
+    a.r(Op::kPvShuffleB, kTmp1, kOpA, kConst0);  // (a_re, a_re)
+    a.r(Op::kVfmacB, kAcc0, kTmp1, kTmp2);       // term1
+    a.i(Op::kOri, kTmp2, kConst0, 0x0101);       // selector (im,im,z,z)
+    a.r(Op::kPvShuffleB, kTmp1, kOpA, kTmp2);    // (a_im, a_im)
+    a.r(Op::kPvShuffleB, kTmp2, kOpB, kConst1);  // (b_im, b_re)
+    switch (conj) {
+      case Conj::kA:  // term2 = (a_im,a_im) * (b_im, -b_re)
+        a.li(kTmp3, kFp8SignLane1);
+        a.r(Op::kPvXorB, kTmp2, kTmp2, kTmp3);
+        break;
+      case Conj::kNone:  // term2 = (a_im,a_im) * (-b_im, b_re)
+        a.li(kTmp3, static_cast<i32>(kFp8Sign));
+        a.r(Op::kPvXorB, kTmp2, kTmp2, kTmp3);
+        break;
+      case Conj::kB:  // term2 = (a_im,a_im) * (b_im, b_re)
+        break;
+    }
+    a.r(Op::kVfmacB, kAcc0, kTmp1, kTmp2);  // term2
+  }
+  void reduce(Asm& a) override {
+    a.r2(Op::kVfcvtHB, kTmp1, kAcc0);  // fp8 (re,im) -> packed fp16
+    a.lanes(Op::kPvExtractH, kOutRe, kTmp1, 0);
+    a.lanes(Op::kPvExtractH, kOutIm, kTmp1, 1);
+  }
+};
+
+/// 8bwDotp: four fp8 lanes = two complex elements per 32-bit load; one
+/// vfdotpex.h.b (fp16 accumulation) per part plus a byte shuffle (Fig. 3).
+class WDotp8Emitter final : public MacEmitter {
+ public:
+  u32 elems_per_step() const override { return 2; }
+  u32 elem_bytes() const override { return 2; }
+  void prologue(Asm& a) override {
+    a.li(kConst0, kFp8SignLanes13);  // negate im lanes (1,3)
+    a.li(kConst1, 0x02030001);       // byte selector (1,0,3,2)
+  }
+  void init_acc(Asm& a) override {
+    a.li(kAcc0, 0);
+    a.li(kAcc1, 0);
+  }
+  void load_a(Asm& a, i32 stride) override { a.load(Op::kPLw, kOpA, stride, kPtrA); }
+  void load_b(Asm& a, i32 stride) override { a.load(Op::kPLw, kOpB, stride, kPtrB); }
+  void mac(Asm& a, Conj conj) override {
+    switch (conj) {
+      case Conj::kA:
+        a.r(Op::kVfdotpexHB, kAcc0, kOpA, kOpB);    // re parts of both elems
+        a.r(Op::kPvShuffleB, kTmp1, kOpB, kConst1); // (im,re,im,re)
+        a.r(Op::kPvXorB, kTmp2, kOpA, kConst0);     // negate a_im lanes
+        a.r(Op::kVfdotpexHB, kAcc1, kTmp2, kTmp1);
+        break;
+      case Conj::kNone:
+        a.r(Op::kPvXorB, kTmp2, kOpB, kConst0);     // negate b_im lanes
+        a.r(Op::kVfdotpexHB, kAcc0, kOpA, kTmp2);
+        a.r(Op::kPvShuffleB, kTmp1, kOpB, kConst1);
+        a.r(Op::kVfdotpexHB, kAcc1, kOpA, kTmp1);
+        break;
+      case Conj::kB:
+        a.r(Op::kVfdotpexHB, kAcc0, kOpA, kOpB);
+        a.li(kTmp3, kFp8SignLanes02);               // negate a_re lanes
+        a.r(Op::kPvXorB, kTmp2, kOpA, kTmp3);
+        a.r(Op::kPvShuffleB, kTmp1, kOpB, kConst1);
+        a.r(Op::kVfdotpexHB, kAcc1, kTmp2, kTmp1);
+        break;
+    }
+  }
+  void reduce(Asm& a) override {
+    a.mv(kOutRe, kAcc0);
+    a.mv(kOutIm, kAcc1);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<MacEmitter> make_input_emitter(Precision p) {
+  switch (p) {
+    case Precision::k16Half: return std::make_unique<Half16Emitter>();
+    case Precision::k16WDotp: return std::make_unique<WDotp16Emitter>();
+    case Precision::k16CDotp: return std::make_unique<CDotp16Emitter>();
+    case Precision::k8Quarter: return std::make_unique<Quarter8Emitter>();
+    case Precision::k8WDotp: return std::make_unique<WDotp8Emitter>();
+  }
+  throw SimError("unknown precision");
+}
+
+std::unique_ptr<MacEmitter> make_solve_emitter(Precision p) {
+  switch (p) {
+    case Precision::k16Half: return std::make_unique<Half16Emitter>();
+    case Precision::k16WDotp:
+    case Precision::k8WDotp: return std::make_unique<WDotp16Emitter>();
+    case Precision::k16CDotp:
+    case Precision::k8Quarter: return std::make_unique<CDotp16Emitter>();
+  }
+  throw SimError("unknown precision");
+}
+
+}  // namespace tsim::kern

@@ -1,0 +1,76 @@
+// Per-precision complex-MAC emitter strategies (paper Fig. 3).
+//
+// The four MMSE operators are generated once against this interface; each
+// precision variant supplies its own loads, multiply-accumulate sequence
+// and reduction, which is exactly how the paper differentiates the five
+// implementations ("the kernels differ in the complex MAC implementation
+// and load width").
+//
+// Register convention inside generated kernels (all code in this repo is
+// generated, so the C ABI is narrowed: kernels may clobber every register
+// except ra/sp/s0/s1):
+//   a0..a3   kernel arguments (pointers)
+//   a4,a5,a6 loop counters (i, j, k/count)
+//   t0,t1    operand pointers A and B (strategies post-increment them)
+//   t2       output pointer / glue temporary
+//   t3,t4    loaded operands (strategy-owned)
+//   t5,t6    strategy temporaries
+//   s2,s3    strategy accumulators
+//   s4,s5    strategy constants (masks/selectors, set once in prologue)
+//   s6,s7    reduce() outputs: scalar fp16 re/im
+//   s8..s11,a7  glue registers of the kernel generator
+#pragma once
+
+#include <memory>
+
+#include "kernels/precision.h"
+#include "rvasm/builder.h"
+
+namespace tsim::kern {
+
+/// Conjugation mode of a complex multiply-accumulate acc += op(a)*op(b).
+enum class Conj : u8 {
+  kNone,   // acc += a * b
+  kA,      // acc += conj(a) * b
+  kB,      // acc += a * conj(b)
+};
+
+class MacEmitter {
+ public:
+  virtual ~MacEmitter() = default;
+
+  /// Number of complex elements consumed per load_*/mac step (1 or 2).
+  virtual u32 elems_per_step() const { return 1; }
+
+  /// Emits one-time constant setup (masks, selectors) into s4/s5.
+  virtual void prologue(rvasm::Asm& a) = 0;
+
+  /// Zeroes the accumulators.
+  virtual void init_acc(rvasm::Asm& a) = 0;
+
+  /// Loads the next operand-A element(s) from (t0), post-incrementing t0 by
+  /// `stride` bytes. Result parked in strategy registers.
+  virtual void load_a(rvasm::Asm& a, i32 stride) = 0;
+
+  /// Loads the next operand-B element(s) from (t1), post-incrementing t1.
+  virtual void load_b(rvasm::Asm& a, i32 stride) = 0;
+
+  /// Emits acc += op(a) * op(b) for the loaded operands.
+  virtual void mac(rvasm::Asm& a, Conj conj) = 0;
+
+  /// Finalizes the accumulators into scalar fp16 re -> s6, im -> s7.
+  virtual void reduce(rvasm::Asm& a) = 0;
+
+  /// Bytes of one complex element in this strategy's input operands.
+  virtual u32 elem_bytes() const = 0;
+};
+
+/// Creates the emitter for a precision's Gram/MVM phase (fp8 for the 8-bit
+/// variants, fp16 otherwise).
+std::unique_ptr<MacEmitter> make_input_emitter(Precision p);
+
+/// Creates the emitter for the Cholesky/solve phase (always fp16; the 8-bit
+/// variants solve in 16-bit precision per paper Sec. IV).
+std::unique_ptr<MacEmitter> make_solve_emitter(Precision p);
+
+}  // namespace tsim::kern

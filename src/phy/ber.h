@@ -1,0 +1,33 @@
+// Bit-error-rate accumulation for Monte-Carlo runs (paper Sec. V-C:
+// "for different input SNR, we iterate to a target error count").
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace tsim::phy {
+
+class BerCounter {
+ public:
+  void add(std::span<const u8> sent, std::span<const u8> received) {
+    const size_t n = std::min(sent.size(), received.size());
+    for (size_t i = 0; i < n; ++i) errors_ += (sent[i] != received[i]) ? 1 : 0;
+    bits_ += n;
+  }
+
+  void add_errors(u64 errors, u64 bits) {
+    errors_ += errors;
+    bits_ += bits;
+  }
+
+  u64 errors() const { return errors_; }
+  u64 bits() const { return bits_; }
+  double ber() const { return bits_ == 0 ? 0.0 : static_cast<double>(errors_) / bits_; }
+
+ private:
+  u64 errors_ = 0;
+  u64 bits_ = 0;
+};
+
+}  // namespace tsim::phy

@@ -1,0 +1,30 @@
+#include "phy/channel.h"
+
+#include <cmath>
+
+namespace tsim::phy {
+
+CMat Channel::realize(Rng& rng) const {
+  if (type_ == ChannelType::kAwgn) {
+    // Zero attenuation, no inter-user interference (paper Sec. V-C):
+    // identity coupling between each user and its antenna.
+    CMat h(nrx_, ntx_);
+    for (u32 i = 0; i < std::min(nrx_, ntx_); ++i) h.at(i, i) = 1.0;
+    return h;
+  }
+  CMat h(nrx_, ntx_);
+  const double s = 1.0 / std::sqrt(2.0 * ntx_);  // CN(0, 1/NTX) entries
+  for (u32 r = 0; r < nrx_; ++r)
+    for (u32 c = 0; c < ntx_; ++c) h.at(r, c) = cd(rng.normal() * s, rng.normal() * s);
+  return h;
+}
+
+std::vector<cd> Channel::transmit(const CMat& h, const std::vector<cd>& x, double sigma2,
+                                  Rng& rng) const {
+  std::vector<cd> y = matvec(h, x);
+  const double s = std::sqrt(sigma2 / 2.0);
+  for (cd& v : y) v += cd(rng.normal() * s, rng.normal() * s);
+  return y;
+}
+
+}  // namespace tsim::phy

@@ -1,0 +1,45 @@
+// Wireless channel models of the E2E transmission (paper Sec. III-A, V-C):
+// AWGN (identity channel, noise only) and flat-fading Rayleigh MIMO.
+//
+// Conventions: NTX users transmit unit-energy QAM symbols; H is NRX x NTX.
+// Rayleigh entries are CN(0, 1/NTX) so the received per-antenna signal
+// power is 1 and SNR(dB) maps to sigma^2 = 10^(-SNR/10) for both channels.
+#pragma once
+
+#include "common/rng.h"
+#include "phy/linalg.h"
+
+namespace tsim::phy {
+
+enum class ChannelType : u8 { kAwgn, kRayleigh };
+
+struct ChannelRealization {
+  CMat h;                 // NRX x NTX
+  double sigma2 = 0.0;    // complex noise variance per receive antenna
+};
+
+class Channel {
+ public:
+  Channel(ChannelType type, u32 nrx, u32 ntx) : type_(type), nrx_(nrx), ntx_(ntx) {}
+
+  ChannelType type() const { return type_; }
+
+  /// Draws a channel matrix for one subcarrier.
+  CMat realize(Rng& rng) const;
+
+  /// y = H x + n with n ~ CN(0, sigma2 I).
+  std::vector<cd> transmit(const CMat& h, const std::vector<cd>& x, double sigma2,
+                           Rng& rng) const;
+
+  /// sigma^2 for an SNR in dB under this repo's normalization.
+  static double sigma2_from_snr_db(double snr_db) {
+    return std::pow(10.0, -snr_db / 10.0);
+  }
+
+ private:
+  ChannelType type_;
+  u32 nrx_;
+  u32 ntx_;
+};
+
+}  // namespace tsim::phy

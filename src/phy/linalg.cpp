@@ -1,0 +1,112 @@
+#include "phy/linalg.h"
+
+#include <cmath>
+
+namespace tsim::phy {
+
+CMat hermitian(const CMat& a) {
+  CMat out(a.cols(), a.rows());
+  for (u32 r = 0; r < a.rows(); ++r)
+    for (u32 c = 0; c < a.cols(); ++c) out.at(c, r) = std::conj(a.at(r, c));
+  return out;
+}
+
+CMat matmul(const CMat& a, const CMat& b) {
+  check(a.cols() == b.rows(), "matmul: dimension mismatch");
+  CMat out(a.rows(), b.cols());
+  for (u32 r = 0; r < a.rows(); ++r) {
+    for (u32 k = 0; k < a.cols(); ++k) {
+      const cd av = a.at(r, k);
+      for (u32 c = 0; c < b.cols(); ++c) out.at(r, c) += av * b.at(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<cd> matvec(const CMat& a, const std::vector<cd>& x) {
+  check(a.cols() == x.size(), "matvec: dimension mismatch");
+  std::vector<cd> out(a.rows());
+  for (u32 r = 0; r < a.rows(); ++r) {
+    cd acc = 0.0;
+    for (u32 c = 0; c < a.cols(); ++c) acc += a.at(r, c) * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<cd> hermitian_matvec(const CMat& a, const std::vector<cd>& x) {
+  check(a.rows() == x.size(), "hermitian_matvec: dimension mismatch");
+  std::vector<cd> out(a.cols());
+  for (u32 c = 0; c < a.cols(); ++c) {
+    cd acc = 0.0;
+    for (u32 r = 0; r < a.rows(); ++r) acc += std::conj(a.at(r, c)) * x[r];
+    out[c] = acc;
+  }
+  return out;
+}
+
+CMat gram(const CMat& a, double diag_load) {
+  CMat g(a.cols(), a.cols());
+  for (u32 i = 0; i < a.cols(); ++i) {
+    for (u32 j = 0; j < a.cols(); ++j) {
+      cd acc = 0.0;
+      for (u32 r = 0; r < a.rows(); ++r) acc += std::conj(a.at(r, i)) * a.at(r, j);
+      g.at(i, j) = acc;
+    }
+    g.at(i, i) += diag_load;
+  }
+  return g;
+}
+
+CMat cholesky(const CMat& g) {
+  check(g.rows() == g.cols(), "cholesky: matrix must be square");
+  const u32 n = g.rows();
+  CMat l(n, n);
+  for (u32 j = 0; j < n; ++j) {
+    double sumsq = 0.0;
+    for (u32 k = 0; k < j; ++k) sumsq += std::norm(l.at(j, k));
+    const double d = g.at(j, j).real() - sumsq;
+    check(d > 0.0, "cholesky: matrix not positive definite");
+    const double diag = std::sqrt(d);
+    l.at(j, j) = diag;
+    for (u32 i = j + 1; i < n; ++i) {
+      cd acc = 0.0;
+      for (u32 k = 0; k < j; ++k) acc += l.at(i, k) * std::conj(l.at(j, k));
+      l.at(i, j) = (g.at(i, j) - acc) / diag;
+    }
+  }
+  return l;
+}
+
+std::vector<cd> forward_solve(const CMat& l, const std::vector<cd>& b) {
+  const u32 n = l.rows();
+  check(b.size() == n, "forward_solve: dimension mismatch");
+  std::vector<cd> w(n);
+  for (u32 i = 0; i < n; ++i) {
+    cd acc = 0.0;
+    for (u32 k = 0; k < i; ++k) acc += l.at(i, k) * w[k];
+    w[i] = (b[i] - acc) / l.at(i, i).real();
+  }
+  return w;
+}
+
+std::vector<cd> backward_solve(const CMat& l, const std::vector<cd>& b) {
+  const u32 n = l.rows();
+  check(b.size() == n, "backward_solve: dimension mismatch");
+  std::vector<cd> x(n);
+  for (u32 ii = 0; ii < n; ++ii) {
+    const u32 i = n - 1 - ii;
+    cd acc = 0.0;
+    for (u32 k = i + 1; k < n; ++k) acc += std::conj(l.at(k, i)) * x[k];
+    x[i] = (b[i] - acc) / l.at(i, i).real();
+  }
+  return x;
+}
+
+double fro_norm(const CMat& a) {
+  double s = 0.0;
+  for (const cd& v : a.data()) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+}  // namespace tsim::phy

@@ -1,0 +1,70 @@
+// Dense complex double-precision linear algebra for the golden (64bDouble)
+// receive chain: the reference the paper's Python model provides.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace tsim::phy {
+
+using cd = std::complex<double>;
+
+/// Row-major dense complex matrix.
+class CMat {
+ public:
+  CMat() = default;
+  CMat(u32 rows, u32 cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  u32 rows() const { return rows_; }
+  u32 cols() const { return cols_; }
+
+  cd& at(u32 r, u32 c) { return data_[r * cols_ + c]; }
+  const cd& at(u32 r, u32 c) const { return data_[r * cols_ + c]; }
+
+  std::vector<cd>& data() { return data_; }
+  const std::vector<cd>& data() const { return data_; }
+
+  static CMat identity(u32 n) {
+    CMat m(n, n);
+    for (u32 i = 0; i < n; ++i) m.at(i, i) = 1.0;
+    return m;
+  }
+
+ private:
+  u32 rows_ = 0;
+  u32 cols_ = 0;
+  std::vector<cd> data_;
+};
+
+/// Conjugate transpose.
+CMat hermitian(const CMat& a);
+
+/// Matrix product a * b.
+CMat matmul(const CMat& a, const CMat& b);
+
+/// Matrix-vector product a * x.
+std::vector<cd> matvec(const CMat& a, const std::vector<cd>& x);
+
+/// a^H * x (matched filter) without forming the transpose.
+std::vector<cd> hermitian_matvec(const CMat& a, const std::vector<cd>& x);
+
+/// Gram matrix a^H a + diag_load * I.
+CMat gram(const CMat& a, double diag_load);
+
+/// Cholesky factorization g = l l^H (lower l, real positive diagonal).
+/// Throws SimError if g is not positive definite.
+CMat cholesky(const CMat& g);
+
+/// Solves l w = b for lower-triangular l.
+std::vector<cd> forward_solve(const CMat& l, const std::vector<cd>& b);
+
+/// Solves l^H x = b for lower-triangular l.
+std::vector<cd> backward_solve(const CMat& l, const std::vector<cd>& b);
+
+/// Frobenius norm.
+double fro_norm(const CMat& a);
+
+}  // namespace tsim::phy

@@ -1,0 +1,13 @@
+#include "phy/mmse.h"
+
+namespace tsim::phy {
+
+std::vector<cd> mmse_detect(const CMat& h, const std::vector<cd>& y, double sigma2) {
+  const CMat g = gram(h, sigma2);
+  const std::vector<cd> z = hermitian_matvec(h, y);
+  const CMat l = cholesky(g);
+  const std::vector<cd> w = forward_solve(l, z);
+  return backward_solve(l, w);
+}
+
+}  // namespace tsim::phy

@@ -1,0 +1,13 @@
+// Golden double-precision MMSE detector (the paper's "64bDouble" reference),
+// implemented with the same operator decomposition the DUT software uses:
+// Gram -> matched filter -> Cholesky -> forward/backward triangular solves.
+#pragma once
+
+#include "phy/linalg.h"
+
+namespace tsim::phy {
+
+/// x_hat = (H^H H + sigma2 I)^-1 H^H y.
+std::vector<cd> mmse_detect(const CMat& h, const std::vector<cd>& y, double sigma2);
+
+}  // namespace tsim::phy

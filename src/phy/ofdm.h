@@ -1,0 +1,85 @@
+// 5G NR OFDM numerology and frame structure (paper Sec. II/V-A).
+//
+// The paper's Monte-Carlo unit is one OFDM symbol of a New Radio carrier:
+// "a NR transmission in a 50 MHz bandwidth, with NSC = 1638, 30 kHz
+// subcarrier spacing, and 0.5 ms TTI duration", and "the BS processes a
+// Transmission Time Interval (TTI) with 14 OFDM-symbols in <1 ms". This
+// module captures that arithmetic so workloads and deadline analyses are
+// derived from standard parameters instead of magic numbers.
+#pragma once
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace tsim::phy {
+
+/// NR numerology (3GPP TS 38.211): mu selects the subcarrier spacing.
+struct Numerology {
+  u32 mu = 1;  // 0: 15 kHz, 1: 30 kHz (the paper's case), 2: 60 kHz ...
+
+  u32 subcarrier_spacing_hz() const { return 15'000u << mu; }
+  u32 slots_per_subframe() const { return 1u << mu; }
+  /// Slot (= TTI at one slot per TTI) duration in seconds.
+  double slot_seconds() const { return 1e-3 / slots_per_subframe(); }
+};
+
+/// One carrier configuration: bandwidth + numerology -> resource grid.
+struct CarrierConfig {
+  double bandwidth_hz = 50e6;
+  Numerology numerology{};
+  double guard_fraction = 0.0172;  // spectrum not usable for data
+  u32 symbols_per_slot = 14;       // normal cyclic prefix
+
+  /// Usable data subcarriers per OFDM symbol. For the paper's 50 MHz /
+  /// 30 kHz configuration this yields 1638 (= 136.5 PRB-equivalents).
+  u32 num_subcarriers() const {
+    const double usable = bandwidth_hz * (1.0 - guard_fraction);
+    return static_cast<u32>(usable / numerology.subcarrier_spacing_hz());
+  }
+
+  /// OFDM symbol duration including cyclic prefix (seconds).
+  double symbol_seconds() const {
+    return numerology.slot_seconds() / symbols_per_slot;
+  }
+
+  /// Detection problems per TTI: one MMSE per subcarrier per symbol.
+  u64 problems_per_tti() const {
+    return static_cast<u64>(num_subcarriers()) * symbols_per_slot;
+  }
+
+  /// The paper's carrier: 50 MHz, mu = 1 (30 kHz SCS), NSC = 1638.
+  static CarrierConfig paper_50mhz() { return CarrierConfig{}; }
+};
+
+/// Real-time feasibility of a detector implementation on the DUT.
+struct TtiDeadlineReport {
+  u64 cycles_per_problem = 0;
+  u64 problems = 0;            // per TTI
+  u32 parallel_cores = 0;      // cores processing problems concurrently
+  double clock_hz = 1e9;       // assumed DUT clock
+
+  double processing_seconds() const {
+    const u64 rounds = ceil_div(problems, parallel_cores);
+    return static_cast<double>(rounds) * cycles_per_problem / clock_hz;
+  }
+  double tti_seconds = 1e-3;
+  bool meets_deadline() const { return processing_seconds() <= tti_seconds; }
+  /// How many such carriers one cluster could sustain (>1 = headroom).
+  double headroom() const { return tti_seconds / processing_seconds(); }
+};
+
+/// Builds the deadline report for a measured per-problem cycle count.
+inline TtiDeadlineReport tti_deadline(const CarrierConfig& carrier,
+                                      u64 cycles_per_problem, u32 parallel_cores,
+                                      double clock_hz = 1e9) {
+  check(parallel_cores > 0, "tti_deadline: need at least one core");
+  TtiDeadlineReport r;
+  r.cycles_per_problem = cycles_per_problem;
+  r.problems = carrier.problems_per_tti();
+  r.parallel_cores = parallel_cores;
+  r.clock_hz = clock_hz;
+  r.tti_seconds = carrier.numerology.slot_seconds();
+  return r;
+}
+
+}  // namespace tsim::phy

@@ -1,0 +1,104 @@
+#include "phy/qam.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tsim::phy {
+namespace {
+
+u32 gray_encode(u32 v) { return v ^ (v >> 1); }
+
+u32 gray_decode(u32 g) {
+  u32 v = g;
+  for (u32 shift = 1; shift < 32; shift <<= 1) v ^= v >> shift;
+  return v;
+}
+
+}  // namespace
+
+QamModulator::QamModulator(u32 order) : order_(order) {
+  check(order == 4 || order == 16 || order == 64 || order == 256,
+        "QamModulator: unsupported constellation order");
+  bits_ = 0;
+  for (u32 m = order; m > 1; m >>= 1) ++bits_;
+  axis_bits_ = bits_ / 2;
+  levels_ = 1u << axis_bits_;
+  // Mean energy of the unnormalized constellation: 2*(M-1)/3.
+  scale_ = 1.0 / std::sqrt(2.0 * (order - 1) / 3.0);
+}
+
+u32 QamModulator::axis_level(std::span<const u8> bits) const {
+  u32 g = 0;
+  for (u32 i = 0; i < axis_bits_; ++i) g = (g << 1) | (bits[i] & 1);
+  return gray_decode(g);
+}
+
+void QamModulator::axis_bits(u32 index, std::span<u8> bits) const {
+  const u32 g = gray_encode(index);
+  for (u32 i = 0; i < axis_bits_; ++i)
+    bits[i] = static_cast<u8>((g >> (axis_bits_ - 1 - i)) & 1);
+}
+
+std::complex<double> QamModulator::map(std::span<const u8> bits) const {
+  check(bits.size() >= bits_, "QamModulator::map: not enough bits");
+  const u32 li = axis_level(bits.first(axis_bits_));
+  const u32 lq = axis_level(bits.subspan(axis_bits_, axis_bits_));
+  const double re = (2.0 * li - (levels_ - 1)) * scale_;
+  const double im = (2.0 * lq - (levels_ - 1)) * scale_;
+  return {re, im};
+}
+
+void QamModulator::demap(std::complex<double> symbol, std::span<u8> bits) const {
+  check(bits.size() >= bits_, "QamModulator::demap: not enough space");
+  const auto quantize = [&](double v) -> u32 {
+    if (!std::isfinite(v)) return 0;  // garbage symbols decode deterministically
+    const double level = (v / scale_ + (levels_ - 1)) / 2.0;
+    const long idx = std::lround(level);
+    return static_cast<u32>(std::clamp<long>(idx, 0, levels_ - 1));
+  };
+  axis_bits(quantize(symbol.real()), bits.first(axis_bits_));
+  axis_bits(quantize(symbol.imag()), bits.subspan(axis_bits_, axis_bits_));
+}
+
+std::vector<std::complex<double>> QamModulator::map_sequence(
+    std::span<const u8> bits) const {
+  check(bits.size() % bits_ == 0, "QamModulator: bit count not a symbol multiple");
+  std::vector<std::complex<double>> out(bits.size() / bits_);
+  for (size_t s = 0; s < out.size(); ++s) out[s] = map(bits.subspan(s * bits_, bits_));
+  return out;
+}
+
+void QamModulator::soft_demap(std::complex<double> symbol, double n0,
+                              std::span<double> llrs) const {
+  check(llrs.size() >= bits_, "soft_demap: not enough space");
+  check(n0 > 0.0, "soft_demap: noise variance must be positive");
+  // The square Gray constellation factorizes: I-axis bits depend only on
+  // Re(y), Q-axis bits only on Im(y). Enumerate the per-axis levels.
+  const auto axis_llrs = [&](double y, std::span<double> out) {
+    for (u32 b = 0; b < axis_bits_; ++b) {
+      double best0 = std::numeric_limits<double>::infinity();
+      double best1 = best0;
+      for (u32 level = 0; level < levels_; ++level) {
+        const double s = (2.0 * level - (levels_ - 1)) * scale_;
+        const double d2 = (y - s) * (y - s);
+        const u32 g = gray_encode(level);
+        const bool bit = ((g >> (axis_bits_ - 1 - b)) & 1) != 0;
+        (bit ? best1 : best0) = std::min(bit ? best1 : best0, d2);
+      }
+      out[b] = (best1 - best0) / n0;
+    }
+  };
+  axis_llrs(symbol.real(), llrs.first(axis_bits_));
+  axis_llrs(symbol.imag(), llrs.subspan(axis_bits_, axis_bits_));
+}
+
+std::vector<u8> QamModulator::demap_sequence(
+    std::span<const std::complex<double>> symbols) const {
+  std::vector<u8> out(symbols.size() * bits_);
+  for (size_t s = 0; s < symbols.size(); ++s)
+    demap(symbols[s], std::span<u8>(out).subspan(s * bits_, bits_));
+  return out;
+}
+
+}  // namespace tsim::phy

@@ -1,0 +1,51 @@
+// Gray-coded square QAM mapping/demapping (4/16/64/256-QAM), unit average
+// symbol energy, as used by the paper's transmission model.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace tsim::phy {
+
+class QamModulator {
+ public:
+  /// order: constellation size M (4, 16, 64, 256).
+  explicit QamModulator(u32 order);
+
+  u32 order() const { return order_; }
+  u32 bits_per_symbol() const { return bits_; }
+
+  /// Maps `bits_per_symbol()` bits (MSB first: first half I, second half Q)
+  /// to a unit-average-energy constellation point.
+  std::complex<double> map(std::span<const u8> bits) const;
+
+  /// Hard-decision demap to the nearest constellation point.
+  void demap(std::complex<double> symbol, std::span<u8> bits) const;
+
+  /// Maps a whole bit sequence (length multiple of bits_per_symbol).
+  std::vector<std::complex<double>> map_sequence(std::span<const u8> bits) const;
+
+  /// Demaps a symbol sequence into bits.
+  std::vector<u8> demap_sequence(std::span<const std::complex<double>> symbols) const;
+
+  /// Max-log-MAP soft demapping: per-bit log-likelihood ratios
+  /// LLR_b = (min_{s: b=1} |y-s|^2 - min_{s: b=0} |y-s|^2) / n0,
+  /// so positive values favour bit 0. `llrs` must hold bits_per_symbol().
+  void soft_demap(std::complex<double> symbol, double n0, std::span<double> llrs) const;
+
+ private:
+  u32 axis_level(std::span<const u8> bits) const;  // Gray bits -> level index
+  void axis_bits(u32 index, std::span<u8> bits) const;
+
+  u32 order_;
+  u32 bits_;       // per symbol
+  u32 axis_bits_;  // per I/Q axis
+  u32 levels_;     // per axis
+  double scale_;   // 1/sqrt(mean energy)
+};
+
+}  // namespace tsim::phy

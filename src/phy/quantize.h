@@ -1,0 +1,47 @@
+// Host-side staging of complex operands into the DUT's bit-true formats.
+#pragma once
+
+#include <vector>
+
+#include "phy/linalg.h"
+#include "rv/fp_formats.h"
+#include "softfloat/minifloat.h"
+
+namespace tsim::phy {
+
+/// Complex value -> packed (re16, im16) little-endian bytes.
+inline void append_cf16(std::vector<u8>& out, cd v) {
+  const u16 re = static_cast<u16>(sf::F16::from_double(v.real()));
+  const u16 im = static_cast<u16>(sf::F16::from_double(v.imag()));
+  out.push_back(static_cast<u8>(re));
+  out.push_back(static_cast<u8>(re >> 8));
+  out.push_back(static_cast<u8>(im));
+  out.push_back(static_cast<u8>(im >> 8));
+}
+
+/// Complex value -> packed (re8, im8) bytes in the DUT's fp8 format.
+inline void append_cf8(std::vector<u8>& out, cd v) {
+  out.push_back(static_cast<u8>(rv::Fp8::from_double(v.real())));
+  out.push_back(static_cast<u8>(rv::Fp8::from_double(v.imag())));
+}
+
+/// Packed (re16, im16) bytes -> complex double.
+inline cd read_cf16(const u8* p) {
+  const u16 re = static_cast<u16>(p[0] | (p[1] << 8));
+  const u16 im = static_cast<u16>(p[2] | (p[3] << 8));
+  return {sf::F16::to_double(re), sf::F16::to_double(im)};
+}
+
+/// Round-trips a complex value through fp16 (models input quantization).
+inline cd quantize_cf16(cd v) {
+  return {sf::F16::to_double(sf::F16::from_double(v.real())),
+          sf::F16::to_double(sf::F16::from_double(v.imag()))};
+}
+
+/// Round-trips a complex value through the DUT fp8 format.
+inline cd quantize_cf8(cd v) {
+  return {rv::Fp8::to_double(rv::Fp8::from_double(v.real())),
+          rv::Fp8::to_double(rv::Fp8::from_double(v.imag()))};
+}
+
+}  // namespace tsim::phy

@@ -1,0 +1,169 @@
+#include "rv/decode.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <vector>
+
+#include "rv/encoding.h"
+
+namespace tsim::rv {
+namespace {
+
+/// Candidate instructions bucketed by the 7-bit major opcode, most-specific
+/// (highest mask popcount) first so exact-match system instructions win over
+/// field-wise patterns.
+const std::array<std::vector<const InstrDef*>, 128>& buckets() {
+  static const auto kBuckets = [] {
+    std::array<std::vector<const InstrDef*>, 128> b{};
+    for (const auto& d : isa_table()) {
+      if (d.op == Op::kInvalid) continue;
+      b[d.match & 0x7F].push_back(&d);
+    }
+    for (auto& v : b) {
+      std::sort(v.begin(), v.end(), [](const InstrDef* a, const InstrDef* c) {
+        return std::popcount(a->mask) > std::popcount(c->mask);
+      });
+    }
+    return b;
+  }();
+  return kBuckets;
+}
+
+/// Extracts format-specific operands once the table entry is known.
+Decoded extract(const InstrDef& def, u32 w) {
+  Decoded d;
+  d.op = def.op;
+  switch (def.fmt) {
+    case Fmt::kR:
+      d.rd = get_rd(w);
+      d.rs1 = get_rs1(w);
+      d.rs2 = get_rs2(w);
+      break;
+    case Fmt::kR2:
+      d.rd = get_rd(w);
+      d.rs1 = get_rs1(w);
+      break;
+    case Fmt::kR4:
+      d.rd = get_rd(w);
+      d.rs1 = get_rs1(w);
+      d.rs2 = get_rs2(w);
+      d.rs3 = get_rs3(w);
+      break;
+    case Fmt::kI:
+    case Fmt::kILoad:
+      d.rd = get_rd(w);
+      d.rs1 = get_rs1(w);
+      d.imm = imm_i(w);
+      break;
+    case Fmt::kIShift:
+      d.rd = get_rd(w);
+      d.rs1 = get_rs1(w);
+      d.imm = static_cast<i32>(get_rs2(w));  // shamt lives in the rs2 field
+      break;
+    case Fmt::kS:
+      d.rs1 = get_rs1(w);
+      d.rs2 = get_rs2(w);
+      d.imm = imm_s(w);
+      break;
+    case Fmt::kB:
+      d.rs1 = get_rs1(w);
+      d.rs2 = get_rs2(w);
+      d.imm = imm_b(w);
+      break;
+    case Fmt::kU:
+      d.rd = get_rd(w);
+      d.imm = imm_u(w);
+      break;
+    case Fmt::kJ:
+      d.rd = get_rd(w);
+      d.imm = imm_j(w);
+      break;
+    case Fmt::kCsr:
+      d.rd = get_rd(w);
+      d.rs1 = get_rs1(w);
+      d.imm = static_cast<i32>(w >> 20);  // CSR number, zero-extended
+      break;
+    case Fmt::kCsrI:
+      d.rd = get_rd(w);
+      d.rs1 = get_rs1(w);  // uimm5 in the rs1 field
+      d.imm = static_cast<i32>(w >> 20);
+      break;
+    case Fmt::kAmo:
+    case Fmt::kLrSc:
+      d.rd = get_rd(w);
+      d.rs1 = get_rs1(w);
+      d.rs2 = get_rs2(w);
+      break;
+    case Fmt::kNullary:
+      break;
+    case Fmt::kPLanes:
+      d.rd = get_rd(w);
+      d.rs1 = get_rs1(w);
+      d.imm = static_cast<i32>(get_rs2(w));  // lane index in the rs2 field
+      break;
+  }
+  return d;
+}
+
+}  // namespace
+
+Decoded decode(u32 word) {
+  for (const InstrDef* def : buckets()[word & 0x7F]) {
+    if ((word & def->mask) == def->match) return extract(*def, word);
+  }
+  return Decoded{};
+}
+
+u32 encode(const Decoded& d) {
+  const InstrDef& def = def_of(d.op);
+  u32 w = def.match;
+  switch (def.fmt) {
+    case Fmt::kR:
+      w |= f_rd(d.rd) | f_rs1(d.rs1) | f_rs2(d.rs2);
+      break;
+    case Fmt::kR2:
+      w |= f_rd(d.rd) | f_rs1(d.rs1);
+      break;
+    case Fmt::kR4:
+      w |= f_rd(d.rd) | f_rs1(d.rs1) | f_rs2(d.rs2) | f_rs3(d.rs3);
+      break;
+    case Fmt::kI:
+    case Fmt::kILoad:
+      w |= f_rd(d.rd) | f_rs1(d.rs1) | enc_imm_i(d.imm);
+      break;
+    case Fmt::kIShift:
+      w |= f_rd(d.rd) | f_rs1(d.rs1) | f_rs2(static_cast<u32>(d.imm) & 31);
+      break;
+    case Fmt::kS:
+      w |= f_rs1(d.rs1) | f_rs2(d.rs2) | enc_imm_s(d.imm);
+      break;
+    case Fmt::kB:
+      w |= f_rs1(d.rs1) | f_rs2(d.rs2) | enc_imm_b(d.imm);
+      break;
+    case Fmt::kU:
+      w |= f_rd(d.rd) | enc_imm_u(d.imm);
+      break;
+    case Fmt::kJ:
+      w |= f_rd(d.rd) | enc_imm_j(d.imm);
+      break;
+    case Fmt::kCsr:
+      w |= f_rd(d.rd) | f_rs1(d.rs1) | (static_cast<u32>(d.imm) << 20);
+      break;
+    case Fmt::kCsrI:
+      w |= f_rd(d.rd) | f_rs1(d.rs1) | (static_cast<u32>(d.imm) << 20);
+      break;
+    case Fmt::kAmo:
+    case Fmt::kLrSc:
+      w |= f_rd(d.rd) | f_rs1(d.rs1) | f_rs2(d.rs2);
+      break;
+    case Fmt::kNullary:
+      break;
+    case Fmt::kPLanes:
+      w |= f_rd(d.rd) | f_rs1(d.rs1) | f_rs2(static_cast<u32>(d.imm) & 31);
+      break;
+  }
+  return w;
+}
+
+}  // namespace tsim::rv

@@ -1,0 +1,12 @@
+// Binary decoder: 32-bit instruction word -> Decoded operands.
+#pragma once
+
+#include "rv/inst.h"
+
+namespace tsim::rv {
+
+/// Decodes one instruction word. Returns Op::kInvalid in `.op` for words
+/// that match no ISA table entry.
+Decoded decode(u32 word);
+
+}  // namespace tsim::rv

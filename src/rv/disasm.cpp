@@ -1,0 +1,93 @@
+#include "rv/disasm.h"
+#include <cstdarg>
+
+#include <cstdio>
+
+#include "rv/decode.h"
+#include "rv/reg.h"
+
+namespace tsim::rv {
+namespace {
+
+std::string fmt_str(const char* fmt, ...) {
+  char buf[96];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+const char* r(u8 i) { return reg_name(i).data(); }
+
+bool is_post_increment(Op op) {
+  switch (op) {
+    case Op::kPLb:
+    case Op::kPLbu:
+    case Op::kPLh:
+    case Op::kPLhu:
+    case Op::kPLw:
+    case Op::kPSb:
+    case Op::kPSh:
+    case Op::kPSw:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string disassemble(const Decoded& d) {
+  const InstrDef& def = def_of(d.op);
+  if (d.op == Op::kInvalid) return ".word <invalid>";
+  const std::string m(def.mnemonic);
+  switch (def.fmt) {
+    case Fmt::kR:
+      return fmt_str("%s %s, %s, %s", m.c_str(), r(d.rd), r(d.rs1), r(d.rs2));
+    case Fmt::kR2:
+      return fmt_str("%s %s, %s", m.c_str(), r(d.rd), r(d.rs1));
+    case Fmt::kR4:
+      return fmt_str("%s %s, %s, %s, %s", m.c_str(), r(d.rd), r(d.rs1), r(d.rs2), r(d.rs3));
+    case Fmt::kI:
+      return fmt_str("%s %s, %s, %d", m.c_str(), r(d.rd), r(d.rs1), d.imm);
+    case Fmt::kILoad:
+      if (is_post_increment(d.op))
+        return fmt_str("%s %s, %d(%s!)", m.c_str(), r(d.rd), d.imm, r(d.rs1));
+      return fmt_str("%s %s, %d(%s)", m.c_str(), r(d.rd), d.imm, r(d.rs1));
+    case Fmt::kIShift:
+      return fmt_str("%s %s, %s, %d", m.c_str(), r(d.rd), r(d.rs1), d.imm);
+    case Fmt::kS:
+      if (is_post_increment(d.op))
+        return fmt_str("%s %s, %d(%s!)", m.c_str(), r(d.rs2), d.imm, r(d.rs1));
+      return fmt_str("%s %s, %d(%s)", m.c_str(), r(d.rs2), d.imm, r(d.rs1));
+    case Fmt::kB:
+      return fmt_str("%s %s, %s, %d", m.c_str(), r(d.rs1), r(d.rs2), d.imm);
+    case Fmt::kU:
+      return fmt_str("%s %s, 0x%x", m.c_str(), r(d.rd), static_cast<u32>(d.imm) >> 12);
+    case Fmt::kJ:
+      return fmt_str("%s %s, %d", m.c_str(), r(d.rd), d.imm);
+    case Fmt::kCsr:
+      return fmt_str("%s %s, 0x%x, %s", m.c_str(), r(d.rd), d.imm, r(d.rs1));
+    case Fmt::kCsrI:
+      return fmt_str("%s %s, 0x%x, %u", m.c_str(), r(d.rd), d.imm, d.rs1);
+    case Fmt::kAmo:
+      return fmt_str("%s %s, %s, (%s)", m.c_str(), r(d.rd), r(d.rs2), r(d.rs1));
+    case Fmt::kLrSc:
+      if (d.op == Op::kLrW) return fmt_str("%s %s, (%s)", m.c_str(), r(d.rd), r(d.rs1));
+      return fmt_str("%s %s, %s, (%s)", m.c_str(), r(d.rd), r(d.rs2), r(d.rs1));
+    case Fmt::kNullary:
+      return m;
+    case Fmt::kPLanes:
+      return fmt_str("%s %s, %s, %d", m.c_str(), r(d.rd), r(d.rs1), d.imm);
+  }
+  return m;
+}
+
+std::string disassemble_word(u32 word) {
+  const Decoded d = decode(word);
+  if (d.op == Op::kInvalid) return fmt_str(".word 0x%08x", word);
+  return disassemble(d);
+}
+
+}  // namespace tsim::rv

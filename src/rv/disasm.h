@@ -1,0 +1,18 @@
+// Disassembler: Decoded (or raw word) -> assembly text.
+#pragma once
+
+#include <string>
+
+#include "rv/inst.h"
+
+namespace tsim::rv {
+
+/// Renders a decoded instruction using ABI register names, e.g.
+/// "addi sp, sp, -16" or "p.lw a0, 4(a1!)".
+std::string disassemble(const Decoded& d);
+
+/// Decodes and renders a raw instruction word; invalid words render as
+/// ".word 0x........".
+std::string disassemble_word(u32 word);
+
+}  // namespace tsim::rv

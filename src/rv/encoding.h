@@ -1,0 +1,67 @@
+// RISC-V bit-level encode/extract helpers shared by the ISA table, the
+// assembler and the decoder.
+#pragma once
+
+#include "common/types.h"
+#include "rv/inst.h"
+
+namespace tsim::rv {
+
+// Field placement helpers (field value -> its position in the 32-bit word).
+constexpr u32 f_opcode(u32 v) { return v & 0x7F; }
+constexpr u32 f_rd(u32 v) { return (v & 31) << 7; }
+constexpr u32 f_funct3(u32 v) { return (v & 7) << 12; }
+constexpr u32 f_rs1(u32 v) { return (v & 31) << 15; }
+constexpr u32 f_rs2(u32 v) { return (v & 31) << 20; }
+constexpr u32 f_funct7(u32 v) { return (v & 0x7F) << 25; }
+constexpr u32 f_rs3(u32 v) { return (v & 31) << 27; }
+
+// Field extraction from an encoded word.
+constexpr u32 get_opcode(u32 w) { return w & 0x7F; }
+constexpr u8 get_rd(u32 w) { return static_cast<u8>((w >> 7) & 31); }
+constexpr u32 get_funct3(u32 w) { return (w >> 12) & 7; }
+constexpr u8 get_rs1(u32 w) { return static_cast<u8>((w >> 15) & 31); }
+constexpr u8 get_rs2(u32 w) { return static_cast<u8>((w >> 20) & 31); }
+constexpr u32 get_funct7(u32 w) { return (w >> 25) & 0x7F; }
+constexpr u8 get_rs3(u32 w) { return static_cast<u8>((w >> 27) & 31); }
+
+// Immediate extraction per format (sign-extended).
+constexpr i32 imm_i(u32 w) { return sign_extend(w >> 20, 12); }
+constexpr i32 imm_s(u32 w) {
+  return sign_extend(((w >> 25) << 5) | ((w >> 7) & 31), 12);
+}
+constexpr i32 imm_b(u32 w) {
+  const u32 v = (bits_of(w, 31, 1) << 12) | (bits_of(w, 7, 1) << 11) |
+                (bits_of(w, 25, 6) << 5) | (bits_of(w, 8, 4) << 1);
+  return sign_extend(v, 13);
+}
+constexpr i32 imm_u(u32 w) { return static_cast<i32>(w & 0xFFFFF000u); }
+constexpr i32 imm_j(u32 w) {
+  const u32 v = (bits_of(w, 31, 1) << 20) | (bits_of(w, 12, 8) << 12) |
+                (bits_of(w, 20, 1) << 11) | (bits_of(w, 21, 10) << 1);
+  return sign_extend(v, 21);
+}
+
+// Immediate encoding per format. Values must be range-checked by the caller.
+constexpr u32 enc_imm_i(i32 imm) { return static_cast<u32>(imm & 0xFFF) << 20; }
+constexpr u32 enc_imm_s(i32 imm) {
+  const u32 v = static_cast<u32>(imm) & 0xFFF;
+  return ((v >> 5) << 25) | ((v & 31) << 7);
+}
+constexpr u32 enc_imm_b(i32 imm) {
+  const u32 v = static_cast<u32>(imm) & 0x1FFF;
+  return (bits_of(v, 12, 1) << 31) | (bits_of(v, 5, 6) << 25) |
+         (bits_of(v, 1, 4) << 8) | (bits_of(v, 11, 1) << 7);
+}
+constexpr u32 enc_imm_u(i32 imm) { return static_cast<u32>(imm) & 0xFFFFF000u; }
+constexpr u32 enc_imm_j(i32 imm) {
+  const u32 v = static_cast<u32>(imm) & 0x1FFFFF;
+  return (bits_of(v, 20, 1) << 31) | (bits_of(v, 1, 10) << 21) |
+         (bits_of(v, 11, 1) << 20) | (bits_of(v, 12, 8) << 12);
+}
+
+/// Encodes a fully-decoded instruction back into its 32-bit word using the
+/// ISA table entry for `d.op`. Inverse of decode() for valid operands.
+u32 encode(const Decoded& d);
+
+}  // namespace tsim::rv

@@ -1,0 +1,37 @@
+// Instruction semantics, shared by the fast ISS and the cycle-accurate
+// uarch model. `execute` performs the architectural state change of one
+// instruction (registers, pc, memory) and reports what happened so that the
+// timing engines can account for it without re-decoding.
+//
+// `execute` is a template on the memory type: calling it with a concrete
+// final memory class (tera::ClusterMemory) devirtualizes every access on
+// the hot path; calling it with rv::MemIface& keeps the generic interface.
+#pragma once
+
+#include "rv/hart_state.h"
+#include "rv/inst.h"
+#include "rv/mem_iface.h"
+
+namespace tsim::rv {
+
+/// Side-channel report of one executed instruction.
+struct StepInfo {
+  bool branch_taken = false;  // control transfer happened (branch/jal/jalr)
+  bool is_load = false;
+  bool is_store = false;
+  bool is_amo = false;
+  u32 mem_addr = 0;
+  u8 mem_bytes = 0;
+  bool entered_wfi = false;
+  bool halted = false;  // ebreak or fault this step
+};
+
+/// Executes one decoded instruction: updates registers and pc, performs
+/// memory accesses through `mem`. Does NOT advance cycle counts (timing is
+/// engine-specific) but increments `instret`.
+template <typename Mem>
+StepInfo execute(const Decoded& d, HartState& h, Mem& mem);
+
+}  // namespace tsim::rv
+
+#include "rv/exec_inl.h"

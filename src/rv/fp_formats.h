@@ -1,0 +1,17 @@
+// Selects the concrete 8-bit FP format used by the DUT's `.b` instructions.
+//
+// The paper describes the 8-bit SmallFloat operands as "1b sign, 4b exponent,
+// 2b mantissa" (7 bits, stored in a byte). We follow it literally: the
+// 2-bit mantissa is what produces the paper's Fig. 9 BER degradation of the
+// 8-bit variants (with e4m3 the loss is much milder - measured in
+// EXPERIMENTS.md). The e4m3/e5m2 alternatives are instantiated and covered
+// by tests; switch the alias to explore them.
+#pragma once
+
+#include "softfloat/minifloat.h"
+
+namespace tsim::rv {
+
+using Fp8 = sf::F8E4M2;
+
+}  // namespace tsim::rv

@@ -1,0 +1,44 @@
+// Architectural state of one emulated RISC-V hart (Snitch core).
+//
+// With zfinx/zhinx there is no separate FP register file: floating-point
+// values live in the integer registers, exactly as on TeraPool's Snitch.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+
+namespace tsim::rv {
+
+/// CSR addresses implemented by the DUT model.
+enum Csr : u32 {
+  kCsrMhartid = 0xF14,
+  kCsrMcycle = 0xB00,
+  kCsrMcycleH = 0xB80,
+  kCsrMinstret = 0xB02,
+  kCsrMinstretH = 0xB82,
+};
+
+struct HartState {
+  std::array<u32, 32> x{};  // x0 hardwired to zero via write helper
+  u32 pc = 0;
+  u32 hartid = 0;
+
+  u64 cycle = 0;    // advanced by the owning timing engine
+  u64 instret = 0;  // retired instruction count
+
+  bool halted = false;  // terminated (ebreak / exit MMIO / trap)
+  bool in_wfi = false;  // sleeping; cleared by a wake event
+  bool trapped = false; // halted due to a fault (invalid instr, bad access)
+
+  // LR/SC reservation.
+  bool has_reservation = false;
+  u32 reservation_addr = 0;
+
+  u32 read_reg(u8 i) const { return x[i & 31]; }
+  void write_reg(u8 i, u32 v) {
+    if ((i & 31) != 0) x[i & 31] = v;
+  }
+};
+
+}  // namespace tsim::rv

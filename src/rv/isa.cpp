@@ -1,0 +1,325 @@
+// The ISA descriptor table: one entry per instruction.
+//
+// Encodings: standard RV32IMA_Zicsr_Zfinx_Zhinx where ratified; the Xpulpimg
+// and SmallFloat/MiniFloat subsets use the RISC-V custom-0/1/2/3 opcode
+// spaces with repo-defined funct fields (the in-repo assembler and decoder
+// share this table, so consistency is structural).
+//
+// Timing: `issue_cycles` and `result_latency` are the static per-instruction
+// latencies of the paper's Banshee timing model (Sec. III-B): the ISS charges
+// issue_cycles per instruction and marks rd busy for result_latency cycles;
+// a consumer reading a busy register stalls (RAW scoreboard). Memory
+// latencies are added dynamically by the timing engines on top of these.
+#include "rv/inst.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "rv/encoding.h"
+
+namespace tsim::rv {
+namespace {
+
+// Encoding-space constants.
+constexpr u32 kLoad = 0x03, kStore = 0x23, kOpImm = 0x13, kOpReg = 0x33;
+constexpr u32 kBranch = 0x63, kJalOp = 0x6F, kJalrOp = 0x67;
+constexpr u32 kLuiOp = 0x37, kAuipcOp = 0x17, kMiscMem = 0x0F, kSystem = 0x73;
+constexpr u32 kAmoOp = 0x2F, kOpFp = 0x53;
+constexpr u32 kFmaddOp = 0x43, kFmsubOp = 0x47, kFnmsubOp = 0x4B, kFnmaddOp = 0x4F;
+constexpr u32 kCustom0 = 0x0B;  // Xpulpimg post-increment loads
+constexpr u32 kCustom1 = 0x2B;  // Xpulpimg post-increment stores
+constexpr u32 kCustom2 = 0x5B;  // Xpulpimg R-type DSP
+constexpr u32 kCustom3 = 0x7B;  // SmallFloat/MiniFloat packed FP
+
+// Common masks.
+constexpr u32 kMaskOp = 0x0000007F;        // opcode only (U/J)
+constexpr u32 kMaskOpF3 = 0x0000707F;      // opcode + funct3 (I/S/B/CSR)
+constexpr u32 kMaskR = 0xFE00707F;         // opcode + funct3 + funct7
+constexpr u32 kMaskFpArith = 0xFE00007F;   // funct7 + opcode, rounding mode free
+constexpr u32 kMaskFpUnary = 0xFFF0007F;   // funct7 + rs2 + opcode, rm free
+constexpr u32 kMaskFpUnaryF3 = 0xFFF0707F; // funct7 + rs2 + funct3 + opcode
+constexpr u32 kMaskR4 = 0x0600007F;        // fmt[26:25] + opcode
+constexpr u32 kMaskAmo = 0xF800707F;       // funct5 + funct3 + opcode (aq/rl free)
+constexpr u32 kMaskAmoRs2 = 0xF9F0707F;    // ... + rs2 fixed (LR)
+constexpr u32 kMaskFull = 0xFFFFFFFFu;
+
+// OP-FP fmt field values (bits 26:25): binary32 = 00, binary16 = 10.
+constexpr u32 kFmtS = 0u << 25;
+constexpr u32 kFmtH = 2u << 25;
+constexpr u32 kFmt4S = 0u << 25;
+constexpr u32 kFmt4H = 2u << 25;
+
+struct TableBuilder {
+  std::array<InstrDef, kNumOps> defs{};
+
+  void add(Op op, std::string_view mnem, Fmt fmt, u32 match, u32 mask, Unit unit,
+           Mix mix, u8 issue, u8 result) {
+    auto& d = defs[static_cast<size_t>(op)];
+    check(d.op == Op::kInvalid, "duplicate ISA table entry");
+    d = InstrDef{op, mnem, fmt, match, mask, unit, mix, issue, result};
+  }
+};
+
+std::array<InstrDef, kNumOps> build_table() {
+  TableBuilder t;
+  const auto f3m = [](u32 f3v) { return f_funct3(f3v); };
+
+  // ----- RV32I -----
+  t.add(Op::kLui, "lui", Fmt::kU, kLuiOp, kMaskOp, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kAuipc, "auipc", Fmt::kU, kAuipcOp, kMaskOp, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kJal, "jal", Fmt::kJ, kJalOp, kMaskOp, Unit::kBranch, Mix::kBranch, 1, 1);
+  t.add(Op::kJalr, "jalr", Fmt::kILoad, kJalrOp | f3m(0), kMaskOpF3, Unit::kBranch,
+        Mix::kBranch, 1, 1);
+  t.add(Op::kBeq, "beq", Fmt::kB, kBranch | f3m(0), kMaskOpF3, Unit::kBranch, Mix::kBranch, 1, 1);
+  t.add(Op::kBne, "bne", Fmt::kB, kBranch | f3m(1), kMaskOpF3, Unit::kBranch, Mix::kBranch, 1, 1);
+  t.add(Op::kBlt, "blt", Fmt::kB, kBranch | f3m(4), kMaskOpF3, Unit::kBranch, Mix::kBranch, 1, 1);
+  t.add(Op::kBge, "bge", Fmt::kB, kBranch | f3m(5), kMaskOpF3, Unit::kBranch, Mix::kBranch, 1, 1);
+  t.add(Op::kBltu, "bltu", Fmt::kB, kBranch | f3m(6), kMaskOpF3, Unit::kBranch, Mix::kBranch, 1, 1);
+  t.add(Op::kBgeu, "bgeu", Fmt::kB, kBranch | f3m(7), kMaskOpF3, Unit::kBranch, Mix::kBranch, 1, 1);
+  t.add(Op::kLb, "lb", Fmt::kILoad, kLoad | f3m(0), kMaskOpF3, Unit::kLsu, Mix::kLoad, 1, 1);
+  t.add(Op::kLh, "lh", Fmt::kILoad, kLoad | f3m(1), kMaskOpF3, Unit::kLsu, Mix::kLoad, 1, 1);
+  t.add(Op::kLw, "lw", Fmt::kILoad, kLoad | f3m(2), kMaskOpF3, Unit::kLsu, Mix::kLoad, 1, 1);
+  t.add(Op::kLbu, "lbu", Fmt::kILoad, kLoad | f3m(4), kMaskOpF3, Unit::kLsu, Mix::kLoad, 1, 1);
+  t.add(Op::kLhu, "lhu", Fmt::kILoad, kLoad | f3m(5), kMaskOpF3, Unit::kLsu, Mix::kLoad, 1, 1);
+  t.add(Op::kSb, "sb", Fmt::kS, kStore | f3m(0), kMaskOpF3, Unit::kLsu, Mix::kStore, 1, 1);
+  t.add(Op::kSh, "sh", Fmt::kS, kStore | f3m(1), kMaskOpF3, Unit::kLsu, Mix::kStore, 1, 1);
+  t.add(Op::kSw, "sw", Fmt::kS, kStore | f3m(2), kMaskOpF3, Unit::kLsu, Mix::kStore, 1, 1);
+  t.add(Op::kAddi, "addi", Fmt::kI, kOpImm | f3m(0), kMaskOpF3, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kSlti, "slti", Fmt::kI, kOpImm | f3m(2), kMaskOpF3, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kSltiu, "sltiu", Fmt::kI, kOpImm | f3m(3), kMaskOpF3, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kXori, "xori", Fmt::kI, kOpImm | f3m(4), kMaskOpF3, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kOri, "ori", Fmt::kI, kOpImm | f3m(6), kMaskOpF3, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kAndi, "andi", Fmt::kI, kOpImm | f3m(7), kMaskOpF3, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kSlli, "slli", Fmt::kIShift, kOpImm | f3m(1) | f_funct7(0x00), kMaskR,
+        Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kSrli, "srli", Fmt::kIShift, kOpImm | f3m(5) | f_funct7(0x00), kMaskR,
+        Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kSrai, "srai", Fmt::kIShift, kOpImm | f3m(5) | f_funct7(0x20), kMaskR,
+        Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kAdd, "add", Fmt::kR, kOpReg | f3m(0) | f_funct7(0x00), kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kSub, "sub", Fmt::kR, kOpReg | f3m(0) | f_funct7(0x20), kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kSll, "sll", Fmt::kR, kOpReg | f3m(1) | f_funct7(0x00), kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kSlt, "slt", Fmt::kR, kOpReg | f3m(2) | f_funct7(0x00), kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kSltu, "sltu", Fmt::kR, kOpReg | f3m(3) | f_funct7(0x00), kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kXor, "xor", Fmt::kR, kOpReg | f3m(4) | f_funct7(0x00), kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kSrl, "srl", Fmt::kR, kOpReg | f3m(5) | f_funct7(0x00), kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kSra, "sra", Fmt::kR, kOpReg | f3m(5) | f_funct7(0x20), kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kOr, "or", Fmt::kR, kOpReg | f3m(6) | f_funct7(0x00), kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kAnd, "and", Fmt::kR, kOpReg | f3m(7) | f_funct7(0x00), kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kFence, "fence", Fmt::kNullary, kMiscMem | f3m(0), kMaskOpF3, Unit::kNone,
+        Mix::kSync, 1, 1);
+  t.add(Op::kEcall, "ecall", Fmt::kNullary, 0x00000073, kMaskFull, Unit::kNone, Mix::kSync, 1, 1);
+  t.add(Op::kEbreak, "ebreak", Fmt::kNullary, 0x00100073, kMaskFull, Unit::kNone, Mix::kSync, 1, 1);
+  t.add(Op::kWfi, "wfi", Fmt::kNullary, 0x10500073, kMaskFull, Unit::kNone, Mix::kSync, 1, 1);
+
+  // ----- Zicsr -----
+  t.add(Op::kCsrrw, "csrrw", Fmt::kCsr, kSystem | f3m(1), kMaskOpF3, Unit::kCsr, Mix::kCsr, 1, 1);
+  t.add(Op::kCsrrs, "csrrs", Fmt::kCsr, kSystem | f3m(2), kMaskOpF3, Unit::kCsr, Mix::kCsr, 1, 1);
+  t.add(Op::kCsrrc, "csrrc", Fmt::kCsr, kSystem | f3m(3), kMaskOpF3, Unit::kCsr, Mix::kCsr, 1, 1);
+  t.add(Op::kCsrrwi, "csrrwi", Fmt::kCsrI, kSystem | f3m(5), kMaskOpF3, Unit::kCsr, Mix::kCsr, 1, 1);
+  t.add(Op::kCsrrsi, "csrrsi", Fmt::kCsrI, kSystem | f3m(6), kMaskOpF3, Unit::kCsr, Mix::kCsr, 1, 1);
+  t.add(Op::kCsrrci, "csrrci", Fmt::kCsrI, kSystem | f3m(7), kMaskOpF3, Unit::kCsr, Mix::kCsr, 1, 1);
+
+  // ----- M extension (Snitch IPU) -----
+  const u32 m7 = f_funct7(0x01);
+  t.add(Op::kMul, "mul", Fmt::kR, kOpReg | f3m(0) | m7, kMaskR, Unit::kMul, Mix::kMul, 1, 3);
+  t.add(Op::kMulh, "mulh", Fmt::kR, kOpReg | f3m(1) | m7, kMaskR, Unit::kMul, Mix::kMul, 1, 3);
+  t.add(Op::kMulhsu, "mulhsu", Fmt::kR, kOpReg | f3m(2) | m7, kMaskR, Unit::kMul, Mix::kMul, 1, 3);
+  t.add(Op::kMulhu, "mulhu", Fmt::kR, kOpReg | f3m(3) | m7, kMaskR, Unit::kMul, Mix::kMul, 1, 3);
+  t.add(Op::kDiv, "div", Fmt::kR, kOpReg | f3m(4) | m7, kMaskR, Unit::kDiv, Mix::kMul, 20, 21);
+  t.add(Op::kDivu, "divu", Fmt::kR, kOpReg | f3m(5) | m7, kMaskR, Unit::kDiv, Mix::kMul, 20, 21);
+  t.add(Op::kRem, "rem", Fmt::kR, kOpReg | f3m(6) | m7, kMaskR, Unit::kDiv, Mix::kMul, 20, 21);
+  t.add(Op::kRemu, "remu", Fmt::kR, kOpReg | f3m(7) | m7, kMaskR, Unit::kDiv, Mix::kMul, 20, 21);
+
+  // ----- A extension (barriers / atomics) -----
+  const auto amo = [&](Op op, std::string_view mnem, u32 funct5) {
+    t.add(op, mnem, Fmt::kAmo, kAmoOp | f3m(2) | (funct5 << 27), kMaskAmo, Unit::kLsu,
+          Mix::kAmo, 1, 1);
+  };
+  t.add(Op::kLrW, "lr.w", Fmt::kLrSc, kAmoOp | f3m(2) | (0x02u << 27), kMaskAmoRs2,
+        Unit::kLsu, Mix::kAmo, 1, 1);
+  t.add(Op::kScW, "sc.w", Fmt::kLrSc, kAmoOp | f3m(2) | (0x03u << 27), kMaskAmo,
+        Unit::kLsu, Mix::kAmo, 1, 1);
+  amo(Op::kAmoswapW, "amoswap.w", 0x01);
+  amo(Op::kAmoaddW, "amoadd.w", 0x00);
+  amo(Op::kAmoxorW, "amoxor.w", 0x04);
+  amo(Op::kAmoandW, "amoand.w", 0x0C);
+  amo(Op::kAmoorW, "amoor.w", 0x08);
+  amo(Op::kAmominW, "amomin.w", 0x10);
+  amo(Op::kAmomaxW, "amomax.w", 0x14);
+  amo(Op::kAmominuW, "amominu.w", 0x18);
+  amo(Op::kAmomaxuW, "amomaxu.w", 0x1C);
+
+  // ----- Zfinx / Zhinx scalar FP -----
+  // funct7 = funct5 << 2 | fmt; fp32 latencies ~FPnew, fp16 one cycle less.
+  const auto fp = [&](Op op, std::string_view mnem, u32 funct5, u32 fmt, Fmt afmt,
+                      u32 mask, u32 extra, u8 issue, u8 result) {
+    t.add(op, mnem, afmt, kOpFp | f_funct7((funct5 << 2)) | fmt | extra, mask,
+          Unit::kFpu, Mix::kFp, issue, result);
+  };
+  // Arithmetic (rounding-mode field free).
+  fp(Op::kFaddS, "fadd.s", 0x00, kFmtS, Fmt::kR, kMaskFpArith, 0, 1, 3);
+  fp(Op::kFaddH, "fadd.h", 0x00, kFmtH, Fmt::kR, kMaskFpArith, 0, 1, 2);
+  fp(Op::kFsubS, "fsub.s", 0x01, kFmtS, Fmt::kR, kMaskFpArith, 0, 1, 3);
+  fp(Op::kFsubH, "fsub.h", 0x01, kFmtH, Fmt::kR, kMaskFpArith, 0, 1, 2);
+  fp(Op::kFmulS, "fmul.s", 0x02, kFmtS, Fmt::kR, kMaskFpArith, 0, 1, 3);
+  fp(Op::kFmulH, "fmul.h", 0x02, kFmtH, Fmt::kR, kMaskFpArith, 0, 1, 2);
+  t.add(Op::kFdivS, "fdiv.s", Fmt::kR, kOpFp | f_funct7(0x03 << 2) | kFmtS, kMaskFpArith,
+        Unit::kFdiv, Mix::kFp, 12, 14);
+  t.add(Op::kFdivH, "fdiv.h", Fmt::kR, kOpFp | f_funct7((0x03 << 2)) | kFmtH, kMaskFpArith,
+        Unit::kFdiv, Mix::kFp, 9, 11);
+  t.add(Op::kFsqrtS, "fsqrt.s", Fmt::kR2, kOpFp | f_funct7((0x0B << 2)) | kFmtS,
+        kMaskFpUnary, Unit::kFdiv, Mix::kFp, 12, 14);
+  t.add(Op::kFsqrtH, "fsqrt.h", Fmt::kR2, kOpFp | f_funct7((0x0B << 2)) | kFmtH,
+        kMaskFpUnary, Unit::kFdiv, Mix::kFp, 9, 11);
+  // Sign injection / min-max / compares (funct3 significant).
+  const auto fp3 = [&](Op op, std::string_view mnem, u32 funct5, u32 fmt, u32 f3v,
+                       u8 result) {
+    t.add(op, mnem, Fmt::kR, kOpFp | f_funct7((funct5 << 2)) | fmt | f3m(f3v), kMaskR,
+          Unit::kFpu, Mix::kFp, 1, result);
+  };
+  fp3(Op::kFsgnjS, "fsgnj.s", 0x04, kFmtS, 0, 2);
+  fp3(Op::kFsgnjnS, "fsgnjn.s", 0x04, kFmtS, 1, 2);
+  fp3(Op::kFsgnjxS, "fsgnjx.s", 0x04, kFmtS, 2, 2);
+  fp3(Op::kFsgnjH, "fsgnj.h", 0x04, kFmtH, 0, 2);
+  fp3(Op::kFsgnjnH, "fsgnjn.h", 0x04, kFmtH, 1, 2);
+  fp3(Op::kFsgnjxH, "fsgnjx.h", 0x04, kFmtH, 2, 2);
+  fp3(Op::kFminS, "fmin.s", 0x05, kFmtS, 0, 2);
+  fp3(Op::kFmaxS, "fmax.s", 0x05, kFmtS, 1, 2);
+  fp3(Op::kFminH, "fmin.h", 0x05, kFmtH, 0, 2);
+  fp3(Op::kFmaxH, "fmax.h", 0x05, kFmtH, 1, 2);
+  fp3(Op::kFleS, "fle.s", 0x14, kFmtS, 0, 2);
+  fp3(Op::kFltS, "flt.s", 0x14, kFmtS, 1, 2);
+  fp3(Op::kFeqS, "feq.s", 0x14, kFmtS, 2, 2);
+  fp3(Op::kFleH, "fle.h", 0x14, kFmtH, 0, 2);
+  fp3(Op::kFltH, "flt.h", 0x14, kFmtH, 1, 2);
+  fp3(Op::kFeqH, "feq.h", 0x14, kFmtH, 2, 2);
+  // Conversions (unary; rs2 selects the source/int type).
+  const auto cvt = [&](Op op, std::string_view mnem, u32 funct5, u32 fmt, u32 rs2sel) {
+    t.add(op, mnem, Fmt::kR2, kOpFp | f_funct7((funct5 << 2)) | fmt | f_rs2(rs2sel),
+          kMaskFpUnary, Unit::kFpu, Mix::kFp, 1, 2);
+  };
+  cvt(Op::kFcvtWS, "fcvt.w.s", 0x18, kFmtS, 0);
+  cvt(Op::kFcvtWuS, "fcvt.wu.s", 0x18, kFmtS, 1);
+  cvt(Op::kFcvtSW, "fcvt.s.w", 0x1A, kFmtS, 0);
+  cvt(Op::kFcvtSWu, "fcvt.s.wu", 0x1A, kFmtS, 1);
+  cvt(Op::kFcvtWH, "fcvt.w.h", 0x18, kFmtH, 0);
+  cvt(Op::kFcvtWuH, "fcvt.wu.h", 0x18, kFmtH, 1);
+  cvt(Op::kFcvtHW, "fcvt.h.w", 0x1A, kFmtH, 0);
+  cvt(Op::kFcvtHWu, "fcvt.h.wu", 0x1A, kFmtH, 1);
+  cvt(Op::kFcvtSH, "fcvt.s.h", 0x08, kFmtS, 2);
+  cvt(Op::kFcvtHS, "fcvt.h.s", 0x08, kFmtH, 0);
+  // Classification (funct3 = 001).
+  t.add(Op::kFclassS, "fclass.s", Fmt::kR2, kOpFp | f_funct7((0x1C << 2)) | kFmtS | f3m(1),
+        kMaskFpUnaryF3, Unit::kFpu, Mix::kFp, 1, 2);
+  t.add(Op::kFclassH, "fclass.h", Fmt::kR2, kOpFp | f_funct7((0x1C << 2)) | kFmtH | f3m(1),
+        kMaskFpUnaryF3, Unit::kFpu, Mix::kFp, 1, 2);
+  // Fused multiply-add family.
+  const auto fp4 = [&](Op op, std::string_view mnem, u32 opc, u32 fmt, u8 result) {
+    t.add(op, mnem, Fmt::kR4, opc | fmt, kMaskR4, Unit::kFpu, Mix::kFp, 1, result);
+  };
+  fp4(Op::kFmaddS, "fmadd.s", kFmaddOp, kFmt4S, 4);
+  fp4(Op::kFmsubS, "fmsub.s", kFmsubOp, kFmt4S, 4);
+  fp4(Op::kFnmsubS, "fnmsub.s", kFnmsubOp, kFmt4S, 4);
+  fp4(Op::kFnmaddS, "fnmadd.s", kFnmaddOp, kFmt4S, 4);
+  fp4(Op::kFmaddH, "fmadd.h", kFmaddOp, kFmt4H, 3);
+  fp4(Op::kFmsubH, "fmsub.h", kFmsubOp, kFmt4H, 3);
+  fp4(Op::kFnmsubH, "fnmsub.h", kFnmsubOp, kFmt4H, 3);
+  fp4(Op::kFnmaddH, "fnmadd.h", kFnmaddOp, kFmt4H, 3);
+
+  // ----- Xpulpimg: post-increment loads (custom-0) / stores (custom-1) -----
+  const auto plo = [&](Op op, std::string_view mnem, u32 f3v) {
+    t.add(op, mnem, Fmt::kILoad, kCustom0 | f3m(f3v), kMaskOpF3, Unit::kLsu, Mix::kLoad, 1, 1);
+  };
+  plo(Op::kPLb, "p.lb", 0);
+  plo(Op::kPLh, "p.lh", 1);
+  plo(Op::kPLw, "p.lw", 2);
+  plo(Op::kPLbu, "p.lbu", 4);
+  plo(Op::kPLhu, "p.lhu", 5);
+  const auto pst = [&](Op op, std::string_view mnem, u32 f3v) {
+    t.add(op, mnem, Fmt::kS, kCustom1 | f3m(f3v), kMaskOpF3, Unit::kLsu, Mix::kStore, 1, 1);
+  };
+  pst(Op::kPSb, "p.sb", 0);
+  pst(Op::kPSh, "p.sh", 1);
+  pst(Op::kPSw, "p.sw", 2);
+
+  // ----- Xpulpimg: R-type DSP (custom-2; funct3 0 = .h/scalar, 1 = .b) -----
+  const auto pr = [&](Op op, std::string_view mnem, u32 funct7, u32 f3v, u8 result) {
+    t.add(op, mnem, Fmt::kR, kCustom2 | f_funct7(funct7) | f3m(f3v), kMaskR, Unit::kAlu,
+          Mix::kAlu, 1, result);
+  };
+  pr(Op::kPMac, "p.mac", 0x00, 0, 3);
+  pr(Op::kPMsu, "p.msu", 0x01, 0, 3);
+  pr(Op::kPvAddH, "pv.add.h", 0x02, 0, 1);
+  pr(Op::kPvAddB, "pv.add.b", 0x02, 1, 1);
+  pr(Op::kPvSubH, "pv.sub.h", 0x03, 0, 1);
+  pr(Op::kPvSubB, "pv.sub.b", 0x03, 1, 1);
+  pr(Op::kPvXorH, "pv.xor.h", 0x04, 0, 1);
+  pr(Op::kPvXorB, "pv.xor.b", 0x04, 1, 1);
+  pr(Op::kPvAndH, "pv.and.h", 0x05, 0, 1);
+  pr(Op::kPvAndB, "pv.and.b", 0x05, 1, 1);
+  pr(Op::kPvOrH, "pv.or.h", 0x06, 0, 1);
+  pr(Op::kPvOrB, "pv.or.b", 0x06, 1, 1);
+  pr(Op::kPvShuffle2H, "pv.shuffle2.h", 0x07, 0, 1);
+  pr(Op::kPvShuffle2B, "pv.shuffle2.b", 0x07, 1, 1);
+  pr(Op::kPvShuffleH, "pv.shuffle.h", 0x0B, 0, 1);
+  pr(Op::kPvShuffleB, "pv.shuffle.b", 0x0B, 1, 1);
+  pr(Op::kPvPackH, "pv.pack.h", 0x08, 0, 1);
+  t.add(Op::kPvExtractH, "pv.extract.h", Fmt::kPLanes, kCustom2 | f_funct7(0x09) | f3m(0),
+        kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+  t.add(Op::kPvInsertH, "pv.insert.h", Fmt::kPLanes, kCustom2 | f_funct7(0x0A) | f3m(0),
+        kMaskR, Unit::kAlu, Mix::kAlu, 1, 1);
+
+  // ----- SmallFloat / MiniFloat packed FP (custom-3; funct3 0 = .h, 1 = .b) -----
+  const auto vf = [&](Op op, std::string_view mnem, u32 funct7, u32 f3v, u8 result) {
+    t.add(op, mnem, Fmt::kR, kCustom3 | f_funct7(funct7) | f3m(f3v), kMaskR, Unit::kFpu,
+          Mix::kSimdFp, 1, result);
+  };
+  vf(Op::kVfaddH, "vfadd.h", 0x00, 0, 3);
+  vf(Op::kVfaddB, "vfadd.b", 0x00, 1, 3);
+  vf(Op::kVfsubH, "vfsub.h", 0x01, 0, 3);
+  vf(Op::kVfsubB, "vfsub.b", 0x01, 1, 3);
+  vf(Op::kVfmulH, "vfmul.h", 0x02, 0, 3);
+  vf(Op::kVfmulB, "vfmul.b", 0x02, 1, 3);
+  vf(Op::kVfmacH, "vfmac.h", 0x03, 0, 3);
+  vf(Op::kVfmacB, "vfmac.b", 0x03, 1, 3);
+  vf(Op::kVfdotpexSH, "vfdotpex.s.h", 0x04, 0, 3);
+  vf(Op::kVfdotpexHB, "vfdotpex.h.b", 0x04, 1, 3);
+  vf(Op::kVfcdotpH, "vfcdotp.h", 0x05, 0, 4);
+  vf(Op::kVfccdotpH, "vfccdotp.h", 0x06, 0, 4);
+  t.add(Op::kVfcvtHB, "vfcvt.h.b", Fmt::kR2, kCustom3 | f_funct7(0x07) | f3m(0),
+        kMaskFpUnaryF3, Unit::kFpu, Mix::kSimdFp, 1, 2);
+  t.add(Op::kVfcvtBH, "vfcvt.b.h", Fmt::kR2, kCustom3 | f_funct7(0x07) | f3m(1),
+        kMaskFpUnaryF3, Unit::kFpu, Mix::kSimdFp, 1, 2);
+
+  return t.defs;
+}
+
+const std::array<InstrDef, kNumOps>& table() {
+  static const std::array<InstrDef, kNumOps> kTable = build_table();
+  return kTable;
+}
+
+}  // namespace
+
+std::span<const InstrDef> isa_table() { return table(); }
+
+const InstrDef& def_of(Op op) { return table()[static_cast<size_t>(op)]; }
+
+const InstrDef* find_mnemonic(std::string_view mnemonic) {
+  static const auto kByName = [] {
+    std::unordered_map<std::string_view, const InstrDef*> m;
+    for (const auto& d : table()) {
+      if (d.op != Op::kInvalid) m.emplace(d.mnemonic, &d);
+    }
+    return m;
+  }();
+  const auto it = kByName.find(mnemonic);
+  return it == kByName.end() ? nullptr : it->second;
+}
+
+
+}  // namespace tsim::rv

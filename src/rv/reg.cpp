@@ -1,0 +1,37 @@
+#include "rv/reg.h"
+
+#include <cctype>
+
+namespace tsim::rv {
+namespace {
+
+constexpr std::array<std::string_view, 32> kNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+}  // namespace
+
+std::string_view reg_name(u8 i) { return kNames[i & 31]; }
+
+std::optional<u8> parse_reg(std::string_view name) {
+  if (name.empty()) return std::nullopt;
+  // Numeric form: x0..x31.
+  if (name[0] == 'x' && name.size() >= 2 && name.size() <= 3) {
+    unsigned v = 0;
+    for (size_t i = 1; i < name.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(name[i]))) return std::nullopt;
+      v = v * 10 + static_cast<unsigned>(name[i] - '0');
+    }
+    if (v < 32) return static_cast<u8>(v);
+    return std::nullopt;
+  }
+  // ABI aliases (incl. "fp" for s0).
+  if (name == "fp") return index_of(Reg::s0);
+  for (u8 i = 0; i < 32; ++i) {
+    if (kNames[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tsim::rv

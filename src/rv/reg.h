@@ -1,0 +1,34 @@
+// RISC-V integer register file names (RV32 + ABI mnemonics).
+//
+// TeraPool's Snitch cores implement zfinx/zhinx: floating-point values live
+// in the integer register file, so this is the only register namespace.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace tsim::rv {
+
+/// Integer register index with ABI aliases.
+enum class Reg : u8 {
+  // clang-format off
+  zero = 0, ra, sp, gp, tp, t0, t1, t2,
+  s0, s1, a0, a1, a2, a3, a4, a5,
+  a6, a7, s2, s3, s4, s5, s6, s7,
+  s8, s9, s10, s11, t3, t4, t5, t6,
+  // clang-format on
+};
+
+constexpr u8 index_of(Reg r) { return static_cast<u8>(r); }
+constexpr Reg reg_of(u8 i) { return static_cast<Reg>(i & 31); }
+
+/// ABI name of register `i` ("zero", "ra", "sp", ...).
+std::string_view reg_name(u8 i);
+
+/// Parses "x7", "a0", "s11", ... into a register index.
+std::optional<u8> parse_reg(std::string_view name);
+
+}  // namespace tsim::rv

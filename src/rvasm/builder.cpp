@@ -1,0 +1,168 @@
+#include "rvasm/builder.h"
+
+#include "rv/encoding.h"
+
+namespace tsim::rvasm {
+namespace {
+
+using rv::Decoded;
+
+u8 idx(Reg r) { return rv::index_of(r); }
+
+/// Splits an absolute value into the lui/addi pair: hi20 rounds up when the
+/// low 12 bits are negative as an I-immediate.
+std::pair<i32, i32> hi_lo(u32 value) {
+  const u32 hi = (value + 0x800u) & 0xFFFFF000u;
+  const i32 lo = static_cast<i32>(value - hi);
+  return {static_cast<i32>(hi), lo};
+}
+
+}  // namespace
+
+void Asm::emit(const Decoded& d) { words_.push_back(rv::encode(d)); }
+
+void Asm::label(const std::string& name) {
+  check(!labels_.contains(name), "duplicate label: " + name);
+  labels_[name] = here();
+}
+
+void Asm::r(Op op, Reg rd, Reg rs1, Reg rs2) {
+  emit({.op = op, .rd = idx(rd), .rs1 = idx(rs1), .rs2 = idx(rs2)});
+}
+
+void Asm::r2(Op op, Reg rd, Reg rs1) { emit({.op = op, .rd = idx(rd), .rs1 = idx(rs1)}); }
+
+void Asm::r4(Op op, Reg rd, Reg rs1, Reg rs2, Reg rs3) {
+  emit({.op = op, .rd = idx(rd), .rs1 = idx(rs1), .rs2 = idx(rs2), .rs3 = idx(rs3)});
+}
+
+void Asm::i(Op op, Reg rd, Reg rs1, i32 imm) {
+  check(imm >= -2048 && imm <= 2047, "I-immediate out of range");
+  emit({.op = op, .rd = idx(rd), .rs1 = idx(rs1), .imm = imm});
+}
+
+void Asm::shift(Op op, Reg rd, Reg rs1, u32 shamt) {
+  check(shamt < 32, "shift amount out of range");
+  emit({.op = op, .rd = idx(rd), .rs1 = idx(rs1), .imm = static_cast<i32>(shamt)});
+}
+
+void Asm::load(Op op, Reg rd, i32 imm, Reg rs1) {
+  check(imm >= -2048 && imm <= 2047, "load offset out of range");
+  emit({.op = op, .rd = idx(rd), .rs1 = idx(rs1), .imm = imm});
+}
+
+void Asm::store(Op op, Reg rs2, i32 imm, Reg rs1) {
+  check(imm >= -2048 && imm <= 2047, "store offset out of range");
+  emit({.op = op, .rs1 = idx(rs1), .rs2 = idx(rs2), .imm = imm});
+}
+
+void Asm::branch(Op op, Reg rs1, Reg rs2, const std::string& target) {
+  fixups_.push_back({words_.size(), FixKind::kBranch, target});
+  emit({.op = op, .rs1 = idx(rs1), .rs2 = idx(rs2), .imm = 0});
+}
+
+void Asm::u_type(Op op, Reg rd, i32 imm) { emit({.op = op, .rd = idx(rd), .imm = imm}); }
+
+void Asm::jal(Reg rd, const std::string& target) {
+  fixups_.push_back({words_.size(), FixKind::kJal, target});
+  emit({.op = Op::kJal, .rd = idx(rd), .imm = 0});
+}
+
+void Asm::jalr(Reg rd, Reg rs1, i32 imm) {
+  emit({.op = Op::kJalr, .rd = idx(rd), .rs1 = idx(rs1), .imm = imm});
+}
+
+void Asm::csrr(Reg rd, u32 csr) {
+  emit({.op = Op::kCsrrs, .rd = idx(rd), .rs1 = 0, .imm = static_cast<i32>(csr)});
+}
+
+void Asm::csr_rw(Op op, Reg rd, u32 csr, Reg rs1) {
+  check(csr < 4096, "CSR number out of range");
+  emit({.op = op, .rd = idx(rd), .rs1 = idx(rs1), .imm = static_cast<i32>(csr)});
+}
+
+void Asm::csr_rwi(Op op, Reg rd, u32 csr, u32 uimm5) {
+  check(csr < 4096 && uimm5 < 32, "CSR immediate out of range");
+  emit({.op = op,
+        .rd = idx(rd),
+        .rs1 = static_cast<u8>(uimm5),
+        .imm = static_cast<i32>(csr)});
+}
+
+void Asm::amo(Op op, Reg rd, Reg rs2, Reg rs1) {
+  emit({.op = op, .rd = idx(rd), .rs1 = idx(rs1), .rs2 = idx(rs2)});
+}
+
+void Asm::lr(Reg rd, Reg rs1) { emit({.op = Op::kLrW, .rd = idx(rd), .rs1 = idx(rs1)}); }
+
+void Asm::sc(Reg rd, Reg rs2, Reg rs1) {
+  emit({.op = Op::kScW, .rd = idx(rd), .rs1 = idx(rs1), .rs2 = idx(rs2)});
+}
+
+void Asm::lanes(Op op, Reg rd, Reg rs1, u32 lane) {
+  emit({.op = op, .rd = idx(rd), .rs1 = idx(rs1), .imm = static_cast<i32>(lane)});
+}
+
+void Asm::nullary(Op op) { emit({.op = op}); }
+
+void Asm::li(Reg rd, i32 value) {
+  if (value >= -2048 && value <= 2047) {
+    addi(rd, Reg::zero, value);
+    return;
+  }
+  const auto [hi, lo] = hi_lo(static_cast<u32>(value));
+  u_type(Op::kLui, rd, hi);
+  if (lo != 0) addi(rd, rd, lo);
+}
+
+void Asm::la(Reg rd, const std::string& sym) {
+  // Always two words so the fixup layout is static.
+  fixups_.push_back({words_.size(), FixKind::kLuiHi, sym});
+  u_type(Op::kLui, rd, 0);
+  fixups_.push_back({words_.size(), FixKind::kAddiLo, sym});
+  addi(rd, rd, 0);
+}
+
+Program Asm::link() {
+  for (const auto& fix : fixups_) {
+    const auto it = labels_.find(fix.target);
+    check(it != labels_.end(), "undefined label: " + fix.target);
+    const u32 target = it->second;
+    const u32 insn_addr = base_ + static_cast<u32>(fix.word_index * 4);
+    u32& w = words_[fix.word_index];
+    switch (fix.kind) {
+      case FixKind::kBranch: {
+        const i32 off = static_cast<i32>(target - insn_addr);
+        check(off >= -4096 && off <= 4094 && (off & 1) == 0, "branch target out of range");
+        w |= rv::enc_imm_b(off);
+        break;
+      }
+      case FixKind::kJal: {
+        const i32 off = static_cast<i32>(target - insn_addr);
+        check(off >= -(1 << 20) && off < (1 << 20) && (off & 1) == 0,
+              "jal target out of range");
+        w |= rv::enc_imm_j(off);
+        break;
+      }
+      case FixKind::kLuiHi: {
+        const auto [hi, lo] = hi_lo(target);
+        (void)lo;
+        w |= rv::enc_imm_u(hi);
+        break;
+      }
+      case FixKind::kAddiLo: {
+        const auto [hi, lo] = hi_lo(target);
+        (void)hi;
+        w |= rv::enc_imm_i(lo);
+        break;
+      }
+    }
+  }
+  Program p;
+  p.base = base_;
+  p.words = words_;
+  p.symbols = labels_;
+  return p;
+}
+
+}  // namespace tsim::rvasm

@@ -1,0 +1,110 @@
+// Programmatic RISC-V assembler.
+//
+// This is how DUT software is authored in this repo (no cross-compiler is
+// required): kernels call emit methods, labels are resolved at link time,
+// and the result is a flat image of genuine RV32 machine words that the ISS
+// and the uarch model execute. Convenience wrappers cover the standard
+// pseudo-instructions (li/la/mv/j/call/ret/beqz/...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rv/inst.h"
+#include "rv/reg.h"
+#include "rvasm/program.h"
+
+namespace tsim::rvasm {
+
+using rv::Op;
+using rv::Reg;
+
+class Asm {
+ public:
+  explicit Asm(u32 base = 0x8000'0000) : base_(base) {}
+
+  // ---- labels & layout ----
+  /// Binds `name` to the current emission address.
+  void label(const std::string& name);
+  /// Current emission address.
+  u32 here() const { return base_ + static_cast<u32>(words_.size() * 4); }
+
+  // ---- generic format emitters ----
+  void r(Op op, Reg rd, Reg rs1, Reg rs2);
+  void r2(Op op, Reg rd, Reg rs1);
+  void r4(Op op, Reg rd, Reg rs1, Reg rs2, Reg rs3);
+  void i(Op op, Reg rd, Reg rs1, i32 imm);
+  void shift(Op op, Reg rd, Reg rs1, u32 shamt);
+  void load(Op op, Reg rd, i32 imm, Reg rs1);
+  void store(Op op, Reg rs2, i32 imm, Reg rs1);
+  void branch(Op op, Reg rs1, Reg rs2, const std::string& target);
+  void u_type(Op op, Reg rd, i32 imm);
+  void jal(Reg rd, const std::string& target);
+  void jalr(Reg rd, Reg rs1, i32 imm = 0);
+  void csrr(Reg rd, u32 csr);                  // csrrs rd, csr, x0
+  void csr_rw(Op op, Reg rd, u32 csr, Reg rs1);   // csrrw/csrrs/csrrc
+  void csr_rwi(Op op, Reg rd, u32 csr, u32 uimm5);  // immediate forms
+  void amo(Op op, Reg rd, Reg rs2, Reg rs1);
+  void lr(Reg rd, Reg rs1);
+  void sc(Reg rd, Reg rs2, Reg rs1);
+  void lanes(Op op, Reg rd, Reg rs1, u32 lane);
+  void nullary(Op op);
+
+  // ---- common instruction sugar ----
+  void addi(Reg rd, Reg rs1, i32 imm) { i(Op::kAddi, rd, rs1, imm); }
+  void add(Reg rd, Reg rs1, Reg rs2) { r(Op::kAdd, rd, rs1, rs2); }
+  void sub(Reg rd, Reg rs1, Reg rs2) { r(Op::kSub, rd, rs1, rs2); }
+  void slli(Reg rd, Reg rs1, u32 sh) { shift(Op::kSlli, rd, rs1, sh); }
+  void srli(Reg rd, Reg rs1, u32 sh) { shift(Op::kSrli, rd, rs1, sh); }
+  void mul(Reg rd, Reg rs1, Reg rs2) { r(Op::kMul, rd, rs1, rs2); }
+  void lw(Reg rd, i32 imm, Reg rs1) { load(Op::kLw, rd, imm, rs1); }
+  void lh(Reg rd, i32 imm, Reg rs1) { load(Op::kLh, rd, imm, rs1); }
+  void lhu(Reg rd, i32 imm, Reg rs1) { load(Op::kLhu, rd, imm, rs1); }
+  void sw(Reg rs2, i32 imm, Reg rs1) { store(Op::kSw, rs2, imm, rs1); }
+  void sh(Reg rs2, i32 imm, Reg rs1) { store(Op::kSh, rs2, imm, rs1); }
+  void beq(Reg a, Reg b, const std::string& t) { branch(Op::kBeq, a, b, t); }
+  void bne(Reg a, Reg b, const std::string& t) { branch(Op::kBne, a, b, t); }
+  void blt(Reg a, Reg b, const std::string& t) { branch(Op::kBlt, a, b, t); }
+  void bge(Reg a, Reg b, const std::string& t) { branch(Op::kBge, a, b, t); }
+  void bltu(Reg a, Reg b, const std::string& t) { branch(Op::kBltu, a, b, t); }
+  void bgeu(Reg a, Reg b, const std::string& t) { branch(Op::kBgeu, a, b, t); }
+
+  // ---- pseudo-instructions ----
+  void nop() { addi(Reg::zero, Reg::zero, 0); }
+  void mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+  void li(Reg rd, i32 value);
+  /// Loads the absolute address of `sym` (lui+addi pair, fixed up at link).
+  void la(Reg rd, const std::string& sym);
+  void j(const std::string& target) { jal(Reg::zero, target); }
+  void call(const std::string& target) { jal(Reg::ra, target); }
+  void ret() { jalr(Reg::zero, Reg::ra, 0); }
+  void beqz(Reg rs, const std::string& t) { beq(rs, Reg::zero, t); }
+  void bnez(Reg rs, const std::string& t) { bne(rs, Reg::zero, t); }
+  void ebreak() { nullary(Op::kEbreak); }
+  void wfi() { nullary(Op::kWfi); }
+
+  // ---- data emission ----
+  void word(u32 v) { words_.push_back(v); }
+  void half2(u16 lo, u16 hi) { words_.push_back(static_cast<u32>(lo) | (static_cast<u32>(hi) << 16)); }
+  void space_words(u32 n) { words_.insert(words_.end(), n, 0u); }
+
+  /// Resolves all label references and returns the linked image.
+  Program link();
+
+ private:
+  enum class FixKind { kBranch, kJal, kLuiHi, kAddiLo };
+  struct Fixup {
+    size_t word_index;
+    FixKind kind;
+    std::string target;
+  };
+
+  void emit(const rv::Decoded& d);
+
+  u32 base_;
+  std::vector<u32> words_;
+  std::unordered_map<std::string, u32> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace tsim::rvasm

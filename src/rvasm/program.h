@@ -1,0 +1,30 @@
+// A linked flat program image: instruction/data words at a base address,
+// plus the symbol table produced by the assembler.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace tsim::rvasm {
+
+struct Program {
+  u32 base = 0x8000'0000;      // load address (TeraPool L2)
+  std::vector<u32> words;      // code + embedded data, word-granular
+  std::unordered_map<std::string, u32> symbols;
+
+  u32 size_bytes() const { return static_cast<u32>(words.size() * 4); }
+  u32 end() const { return base + size_bytes(); }
+
+  /// Address of a symbol; throws if undefined.
+  u32 symbol(const std::string& name) const {
+    const auto it = symbols.find(name);
+    check(it != symbols.end(), "undefined symbol: " + name);
+    return it->second;
+  }
+};
+
+}  // namespace tsim::rvasm

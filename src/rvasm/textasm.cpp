@@ -1,0 +1,283 @@
+#include "rvasm/textasm.h"
+
+#include <charconv>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "rv/reg.h"
+#include "rvasm/builder.h"
+
+namespace tsim::rvasm {
+namespace {
+
+using rv::Fmt;
+using rv::InstrDef;
+
+struct LineError {
+  std::string message;
+};
+
+std::optional<i64> parse_int(std::string_view s) {
+  s = trim(s);
+  bool neg = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    neg = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  int bas = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    bas = 16;
+    s.remove_prefix(2);
+  }
+  u64 v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v, bas);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return neg ? -static_cast<i64>(v) : static_cast<i64>(v);
+}
+
+/// Named CSRs accepted by csr instructions.
+std::optional<u32> parse_csr(std::string_view s) {
+  if (s == "mhartid") return 0xF14;
+  if (s == "mcycle") return 0xB00;
+  if (s == "mcycleh") return 0xB80;
+  if (s == "minstret") return 0xB02;
+  if (s == "minstreth") return 0xB82;
+  const auto v = parse_int(s);
+  if (v && *v >= 0 && *v < 4096) return static_cast<u32>(*v);
+  return std::nullopt;
+}
+
+class TextAssembler {
+ public:
+  explicit TextAssembler(u32 base) : asm_(base) {}
+
+  void line(std::string_view raw) {
+    // Strip comments.
+    for (const auto marker : {std::string_view("#"), std::string_view("//")}) {
+      if (const auto pos = raw.find(marker); pos != std::string_view::npos)
+        raw = raw.substr(0, pos);
+    }
+    std::string_view s = trim(raw);
+    if (s.empty()) return;
+
+    // Labels (possibly followed by an instruction on the same line).
+    if (const auto colon = s.find(':'); colon != std::string_view::npos &&
+                                        s.substr(0, colon).find(' ') == std::string_view::npos) {
+      asm_.label(std::string(trim(s.substr(0, colon))));
+      s = trim(s.substr(colon + 1));
+      if (s.empty()) return;
+    }
+
+    // Directives.
+    if (s.starts_with(".word")) {
+      const auto v = parse_int(trim(s.substr(5)));
+      if (!v) throw LineError{"bad .word operand"};
+      asm_.word(static_cast<u32>(*v));
+      return;
+    }
+    if (s.starts_with(".space")) {
+      const auto v = parse_int(trim(s.substr(6)));
+      if (!v || *v < 0 || (*v % 4) != 0) throw LineError{".space needs a word-multiple size"};
+      asm_.space_words(static_cast<u32>(*v / 4));
+      return;
+    }
+
+    // Mnemonic and operand list.
+    const auto sp = s.find_first_of(" \t");
+    const std::string mnem = to_lower(sp == std::string_view::npos ? s : s.substr(0, sp));
+    const std::string_view rest = sp == std::string_view::npos ? "" : trim(s.substr(sp));
+    std::vector<std::string_view> ops;
+    for (const auto piece : split_any(rest, ",")) ops.push_back(trim(piece));
+
+    if (pseudo(mnem, ops)) return;
+
+    const InstrDef* def = rv::find_mnemonic(mnem);
+    if (def == nullptr) throw LineError{"unknown mnemonic: " + mnem};
+    dispatch(*def, ops);
+  }
+
+  Program finish() { return asm_.link(); }
+
+ private:
+  static Reg reg(std::string_view s) {
+    const auto r = rv::parse_reg(trim(s));
+    if (!r) throw LineError{"bad register: " + std::string(s)};
+    return rv::reg_of(*r);
+  }
+
+  static i32 imm(std::string_view s, i64 lo, i64 hi) {
+    const auto v = parse_int(s);
+    if (!v || *v < lo || *v > hi) throw LineError{"immediate out of range: " + std::string(s)};
+    return static_cast<i32>(*v);
+  }
+
+  /// Parses "imm(rs1)" or "imm(rs1!)"; returns {imm, reg}.
+  static std::pair<i32, Reg> mem_operand(std::string_view s) {
+    const auto open = s.find('(');
+    const auto close = s.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos || close < open)
+      throw LineError{"bad memory operand: " + std::string(s)};
+    const std::string_view off = trim(s.substr(0, open));
+    std::string_view rn = trim(s.substr(open + 1, close - open - 1));
+    if (!rn.empty() && rn.back() == '!') rn = trim(rn.substr(0, rn.size() - 1));
+    const i32 o = off.empty() ? 0 : imm(off, -2048, 2047);
+    return {o, reg(rn)};
+  }
+
+  bool pseudo(const std::string& mnem, const std::vector<std::string_view>& ops) {
+    if (mnem == "nop") { asm_.nop(); return true; }
+    if (mnem == "mv") { need(ops, 2); asm_.mv(reg(ops[0]), reg(ops[1])); return true; }
+    if (mnem == "li") {
+      need(ops, 2);
+      asm_.li(reg(ops[0]), static_cast<i32>(imm64(ops[1])));
+      return true;
+    }
+    if (mnem == "la") { need(ops, 2); asm_.la(reg(ops[0]), std::string(ops[1])); return true; }
+    if (mnem == "j") { need(ops, 1); asm_.j(std::string(ops[0])); return true; }
+    if (mnem == "call") { need(ops, 1); asm_.call(std::string(ops[0])); return true; }
+    if (mnem == "ret") { asm_.ret(); return true; }
+    if (mnem == "beqz") { need(ops, 2); asm_.beqz(reg(ops[0]), std::string(ops[1])); return true; }
+    if (mnem == "bnez") { need(ops, 2); asm_.bnez(reg(ops[0]), std::string(ops[1])); return true; }
+    if (mnem == "csrr") {
+      need(ops, 2);
+      const auto c = parse_csr(ops[1]);
+      if (!c) throw LineError{"bad CSR: " + std::string(ops[1])};
+      asm_.csrr(reg(ops[0]), *c);
+      return true;
+    }
+    return false;
+  }
+
+  static i64 imm64(std::string_view s) {
+    const auto v = parse_int(s);
+    if (!v) throw LineError{"bad immediate: " + std::string(s)};
+    return *v;
+  }
+
+  static void need(const std::vector<std::string_view>& ops, size_t n) {
+    if (ops.size() != n) throw LineError{"wrong operand count"};
+  }
+
+  void dispatch(const InstrDef& def, const std::vector<std::string_view>& ops) {
+    switch (def.fmt) {
+      case Fmt::kR:
+        need(ops, 3);
+        asm_.r(def.op, reg(ops[0]), reg(ops[1]), reg(ops[2]));
+        break;
+      case Fmt::kR2:
+        need(ops, 2);
+        asm_.r2(def.op, reg(ops[0]), reg(ops[1]));
+        break;
+      case Fmt::kR4:
+        need(ops, 4);
+        asm_.r4(def.op, reg(ops[0]), reg(ops[1]), reg(ops[2]), reg(ops[3]));
+        break;
+      case Fmt::kI:
+        need(ops, 3);
+        asm_.i(def.op, reg(ops[0]), reg(ops[1]), imm(ops[2], -2048, 2047));
+        break;
+      case Fmt::kILoad: {
+        need(ops, 2);
+        const auto [o, base] = mem_operand(ops[1]);
+        asm_.load(def.op, reg(ops[0]), o, base);
+        break;
+      }
+      case Fmt::kIShift:
+        need(ops, 3);
+        asm_.shift(def.op, reg(ops[0]), reg(ops[1]), static_cast<u32>(imm(ops[2], 0, 31)));
+        break;
+      case Fmt::kS: {
+        need(ops, 2);
+        const auto [o, base] = mem_operand(ops[1]);
+        asm_.store(def.op, reg(ops[0]), o, base);
+        break;
+      }
+      case Fmt::kB:
+        need(ops, 3);
+        asm_.branch(def.op, reg(ops[0]), reg(ops[1]), std::string(ops[2]));
+        break;
+      case Fmt::kU:
+        need(ops, 2);
+        asm_.u_type(def.op, reg(ops[0]),
+                    static_cast<i32>(imm64(ops[1]) << 12));
+        break;
+      case Fmt::kJ:
+        if (ops.size() == 1) {
+          asm_.jal(Reg::ra, std::string(ops[0]));
+        } else {
+          need(ops, 2);
+          asm_.jal(reg(ops[0]), std::string(ops[1]));
+        }
+        break;
+      case Fmt::kCsr: {
+        need(ops, 3);
+        const auto c = parse_csr(ops[1]);
+        if (!c) throw LineError{"bad CSR: " + std::string(ops[1])};
+        asm_.csr_rw(def.op, reg(ops[0]), *c, reg(ops[2]));
+        break;
+      }
+      case Fmt::kCsrI: {
+        need(ops, 3);
+        const auto c = parse_csr(ops[1]);
+        if (!c) throw LineError{"bad CSR: " + std::string(ops[1])};
+        asm_.csr_rwi(def.op, reg(ops[0]), *c, static_cast<u32>(imm(ops[2], 0, 31)));
+        break;
+      }
+      case Fmt::kAmo: {
+        need(ops, 3);
+        const auto [o, base] = mem_operand(ops[2]);
+        if (o != 0) throw LineError{"amo operand must have no offset"};
+        asm_.amo(def.op, reg(ops[0]), reg(ops[1]), base);
+        break;
+      }
+      case Fmt::kLrSc: {
+        if (def.op == rv::Op::kLrW) {
+          need(ops, 2);
+          const auto [o, base] = mem_operand(ops[1]);
+          if (o != 0) throw LineError{"lr operand must have no offset"};
+          asm_.lr(reg(ops[0]), base);
+        } else {
+          need(ops, 3);
+          const auto [o, base] = mem_operand(ops[2]);
+          if (o != 0) throw LineError{"sc operand must have no offset"};
+          asm_.sc(reg(ops[0]), reg(ops[1]), base);
+        }
+        break;
+      }
+      case Fmt::kNullary:
+        need(ops, 0);
+        asm_.nullary(def.op);
+        break;
+      case Fmt::kPLanes:
+        need(ops, 3);
+        asm_.lanes(def.op, reg(ops[0]), reg(ops[1]), static_cast<u32>(imm(ops[2], 0, 31)));
+        break;
+    }
+  }
+
+  Asm asm_;
+};
+
+}  // namespace
+
+Program assemble(std::string_view text, u32 base) {
+  TextAssembler ta(base);
+  size_t line_no = 0;
+  size_t start = 0;
+  try {
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || text[i] == '\n') {
+        ++line_no;
+        ta.line(text.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    return ta.finish();
+  } catch (const LineError& e) {
+    throw SimError("asm line " + std::to_string(line_no) + ": " + e.message);
+  }
+}
+
+}  // namespace tsim::rvasm

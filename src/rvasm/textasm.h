@@ -1,0 +1,19 @@
+// Text-form assembler built on top of the builder API.
+//
+// Supports all table mnemonics with standard operand syntax, labels,
+// `#`/`//` comments, `.word`, and the common pseudo-instructions
+// (nop/li/la/mv/j/call/ret/beqz/bnez/csrr). Post-increment addressing uses
+// the PULP "imm(rs1!)" notation.
+#pragma once
+
+#include <string_view>
+
+#include "rvasm/program.h"
+
+namespace tsim::rvasm {
+
+/// Assembles a full program text. Throws SimError with a line-numbered
+/// message on any syntax error or undefined label.
+Program assemble(std::string_view text, u32 base = 0x8000'0000);
+
+}  // namespace tsim::rvasm

@@ -1,0 +1,74 @@
+#include "sim/cosim.h"
+
+#include "phy/quantize.h"
+
+namespace tsim::sim {
+
+void stage_problem(tera::ClusterMemory& mem, const kern::MmseLayout& lay, u32 core,
+                   u32 problem, const MimoProblem& p) {
+  check(p.h.rows() == lay.nrx && p.h.cols() == lay.ntx, "stage_problem: H shape");
+  check(p.y.size() == lay.nrx, "stage_problem: y length");
+  const bool fp8_inputs = input_elem_bytes(lay.prec) == 2;
+
+  std::vector<u8> block;
+  block.reserve(lay.problem_bytes());
+  // H, column-major (column = all NRX entries of one user's channel).
+  for (u32 c = 0; c < lay.ntx; ++c) {
+    for (u32 r = 0; r < lay.nrx; ++r) {
+      if (fp8_inputs) {
+        phy::append_cf8(block, p.h.at(r, c));
+      } else {
+        phy::append_cf16(block, p.h.at(r, c));
+      }
+    }
+  }
+  // y.
+  for (u32 r = 0; r < lay.nrx; ++r) {
+    if (fp8_inputs) {
+      phy::append_cf8(block, p.y[r]);
+    } else {
+      phy::append_cf16(block, p.y[r]);
+    }
+  }
+  // sigma^2 as a word-padded fp16 scalar.
+  const u16 s16 = static_cast<u16>(sf::F16::from_double(p.sigma2));
+  block.push_back(static_cast<u8>(s16));
+  block.push_back(static_cast<u8>(s16 >> 8));
+  block.push_back(0);
+  block.push_back(0);
+  mem.host_write(lay.h_addr(core, problem), block);
+}
+
+std::vector<phy::cd> read_xhat(const tera::ClusterMemory& mem,
+                               const kern::MmseLayout& lay, u32 core, u32 problem) {
+  std::vector<u8> raw(lay.x_bytes());
+  mem.host_read(lay.x_addr(core, problem), raw);
+  std::vector<phy::cd> x(lay.ntx);
+  for (u32 i = 0; i < lay.ntx; ++i) x[i] = phy::read_cf16(&raw[i * 4]);
+  return x;
+}
+
+Batch generate_batch(const phy::Channel& channel, const phy::QamModulator& qam,
+                     u32 ntx, u32 num_problems, double snr_db, Rng& rng) {
+  Batch batch;
+  batch.problems.reserve(num_problems);
+  const u32 bits_per_problem = ntx * qam.bits_per_symbol();
+  batch.tx_bits.reserve(static_cast<size_t>(num_problems) * bits_per_problem);
+  const double sigma2 = phy::Channel::sigma2_from_snr_db(snr_db);
+
+  for (u32 p = 0; p < num_problems; ++p) {
+    std::vector<u8> bits(bits_per_problem);
+    for (auto& b : bits) b = rng.bit() ? 1 : 0;
+    const auto symbols = qam.map_sequence(bits);
+    MimoProblem prob;
+    prob.h = channel.realize(rng);
+    prob.y = channel.transmit(prob.h, symbols, sigma2, rng);
+    prob.sigma2 = sigma2;
+    batch.problems.push_back(std::move(prob));
+    batch.tx_bits.insert(batch.tx_bits.end(), bits.begin(), bits.end());
+    batch.tx_symbols.insert(batch.tx_symbols.end(), symbols.begin(), symbols.end());
+  }
+  return batch;
+}
+
+}  // namespace tsim::sim

@@ -1,0 +1,47 @@
+// Co-simulation glue: stages MIMO problems into DUT memory in the layout's
+// bit-true formats, and reads detection results back (paper Fig. 2a: the
+// host model feeds the Banshee-simulated DUT).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/layout.h"
+#include "phy/channel.h"
+#include "phy/qam.h"
+#include "tera/memory.h"
+
+namespace tsim::sim {
+
+/// One subcarrier's detection problem.
+struct MimoProblem {
+  phy::CMat h;               // NRX x NTX channel estimate
+  std::vector<phy::cd> y;    // received vector
+  double sigma2 = 0.0;       // noise variance estimate
+};
+
+/// Writes one problem into (core, problem_index)'s input block. H is staged
+/// column-major and quantized to the layout's input precision; sigma^2 is
+/// staged as fp16.
+void stage_problem(tera::ClusterMemory& mem, const kern::MmseLayout& lay, u32 core,
+                   u32 problem, const MimoProblem& p);
+
+/// Reads back the detected symbol vector (complex fp16) of a problem.
+std::vector<phy::cd> read_xhat(const tera::ClusterMemory& mem,
+                               const kern::MmseLayout& lay, u32 core, u32 problem);
+
+/// Generates a full batch of random problems: per-user random bits, QAM
+/// mapping, channel realization and noise at the given SNR. Returns the
+/// problems plus the transmitted bits (for BER counting), concatenated in
+/// problem order.
+struct Batch {
+  std::vector<MimoProblem> problems;
+  std::vector<u8> tx_bits;   // num_problems * ntx * bits_per_symbol
+  std::vector<phy::cd> tx_symbols;  // num_problems * ntx
+};
+
+Batch generate_batch(const phy::Channel& channel, const phy::QamModulator& qam,
+                     u32 ntx, u32 num_problems, double snr_db, Rng& rng);
+
+}  // namespace tsim::sim

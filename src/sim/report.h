@@ -1,0 +1,74 @@
+// Plain-text table/CSV reporting used by the benchmark harness to print
+// rows matching the paper's tables and figure series.
+#pragma once
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tsim::sim {
+
+/// Accumulates rows and prints an aligned plain-text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+    print_row(out, header_, width);
+    std::string sep;
+    for (size_t c = 0; c < width.size(); ++c) {
+      sep += std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) sep += "+";
+    }
+    std::fprintf(out, "%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(out, row, width);
+  }
+
+  void write_csv(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    write_csv_row(f, header_);
+    for (const auto& row : rows_) write_csv_row(f, row);
+    std::fclose(f);
+  }
+
+ private:
+  static void print_row(std::FILE* out, const std::vector<std::string>& row,
+                        const std::vector<size_t>& width) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      std::fprintf(out, " %-*s ", static_cast<int>(width[c]), row[c].c_str());
+      if (c + 1 < width.size()) std::fprintf(out, "|");
+    }
+    std::fprintf(out, "\n");
+  }
+  static void write_csv_row(std::FILE* f, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c)
+      std::fprintf(f, "%s%s", row[c].c_str(), c + 1 < row.size() ? "," : "\n");
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style std::string helper for report rows.
+inline std::string strf(const char* fmt, ...) {
+  char buf[160];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace tsim::sim

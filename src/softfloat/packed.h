@@ -1,0 +1,52 @@
+// Packed SIMD views over 32-bit registers, as used by the Xpulpimg and
+// SmallFloat/MiniFloat vector extensions: two 16-bit lanes or four 8-bit
+// lanes per register. Lane 0 is the least-significant lane.
+#pragma once
+
+#include "common/types.h"
+#include "softfloat/minifloat.h"
+
+namespace tsim::sf {
+
+/// Extracts 16-bit lane `i` (0 = low half-word).
+constexpr u16 lane16(u32 reg, unsigned i) { return static_cast<u16>(reg >> (16 * i)); }
+
+/// Extracts 8-bit lane `i` (0 = low byte).
+constexpr u8 lane8(u32 reg, unsigned i) { return static_cast<u8>(reg >> (8 * i)); }
+
+/// Builds a register from two 16-bit lanes.
+constexpr u32 pack16(u16 lo, u16 hi) {
+  return static_cast<u32>(lo) | (static_cast<u32>(hi) << 16);
+}
+
+/// Builds a register from four 8-bit lanes.
+constexpr u32 pack8(u8 b0, u8 b1, u8 b2, u8 b3) {
+  return static_cast<u32>(b0) | (static_cast<u32>(b1) << 8) |
+         (static_cast<u32>(b2) << 16) | (static_cast<u32>(b3) << 24);
+}
+
+/// Replaces 16-bit lane `i` of `reg` with `v`.
+constexpr u32 insert16(u32 reg, unsigned i, u16 v) {
+  const u32 shift = 16 * i;
+  return (reg & ~(0xFFFFu << shift)) | (static_cast<u32>(v) << shift);
+}
+
+/// Replaces 8-bit lane `i` of `reg` with `v`.
+constexpr u32 insert8(u32 reg, unsigned i, u8 v) {
+  const u32 shift = 8 * i;
+  return (reg & ~(0xFFu << shift)) | (static_cast<u32>(v) << shift);
+}
+
+/// Complex fp16 value packed as (re = lane0, im = lane1).
+struct Cf16 {
+  u16 re = 0;
+  u16 im = 0;
+
+  static Cf16 from_reg(u32 reg) { return {lane16(reg, 0), lane16(reg, 1)}; }
+  u32 to_reg() const { return pack16(re, im); }
+
+  double re_d() const { return F16::to_double(re); }
+  double im_d() const { return F16::to_double(im); }
+};
+
+}  // namespace tsim::sf

@@ -1,0 +1,20 @@
+#include "softfloat/minifloat.h"
+
+namespace tsim::sf {
+
+u32 classify_f32(u32 enc) {
+  const bool neg = (enc >> 31) != 0;
+  const u32 exp = (enc >> 23) & 0xFF;
+  const u32 mant = enc & 0x7FFFFF;
+  if (exp == 0xFF) {
+    if (mant == 0) return static_cast<u32>(neg ? FpClass::kNegInf : FpClass::kPosInf);
+    return static_cast<u32>((mant >> 22) != 0 ? FpClass::kQuietNan : FpClass::kSignalingNan);
+  }
+  if (exp == 0) {
+    if (mant == 0) return static_cast<u32>(neg ? FpClass::kNegZero : FpClass::kPosZero);
+    return static_cast<u32>(neg ? FpClass::kNegSubnormal : FpClass::kPosSubnormal);
+  }
+  return static_cast<u32>(neg ? FpClass::kNegNormal : FpClass::kPosNormal);
+}
+
+}  // namespace tsim::sf

@@ -1,0 +1,120 @@
+// TeraPool address map and physical bank routing.
+//
+// Regions (word-granular routing):
+//   0x0000_0000 +l1    L1 interleaved : consecutive words stripe across ALL
+//                      cluster banks (MemPool-style), so bulk vectors spread
+//                      evenly (paper Fig. 4: y, sigma, x, H).
+//   0x1000_0000 +l1    L1 sequential  : same physical banks, tile-major
+//                      addressing, so a block stays inside one tile
+//                      (paper Fig. 4: per-core intermediates G, L).
+//   0x4000_0000        MMIO           : exit / putchar / wake registers.
+//   0x8000_0000 +l2    L2             : program image and bulk data.
+#pragma once
+
+#include <bit>
+#include <optional>
+
+#include "tera/config.h"
+
+namespace tsim::tera {
+
+constexpr u32 kL1InterleavedBase = 0x0000'0000;
+constexpr u32 kL1SequentialBase = 0x1000'0000;
+constexpr u32 kMmioBase = 0x4000'0000;
+constexpr u32 kL2Base = 0x8000'0000;
+
+constexpr u32 kMmioExit = kMmioBase + 0x0;     // store: halt all, low byte = code
+constexpr u32 kMmioPutchar = kMmioBase + 0x4;  // store: append low byte to console
+constexpr u32 kMmioWake = kMmioBase + 0x8;     // store: wake hart id, ~0u = all
+constexpr u32 kMmioScratch = kMmioBase + 0xC;  // plain MMIO scratch register
+
+/// Where a physical access landed, for timing purposes.
+enum class Space : u8 { kL1, kL2, kMmio };
+
+struct Route {
+  Space space = Space::kL1;
+  u32 bank = 0;        // L1: global bank index
+  u32 tile = 0;        // L1: owning tile
+  u32 phys_word = 0;   // index into the backing word array (L1 or L2)
+};
+
+/// Pure address decoding for a cluster configuration.
+class AddrMap {
+ public:
+  explicit AddrMap(const TeraPoolConfig& cfg) : cfg_(cfg) {
+    cfg_.validate();
+    bank_words_ = cfg_.tile_l1_bytes / 4 / cfg_.banks_per_tile;
+    l1_bytes_ = cfg_.l1_bytes();
+    // Power-of-two bank counts (every practical topology) let the per-access
+    // bank routing use shifts instead of integer division - this is the
+    // hottest address-decode path of both simulation engines.
+    num_banks_ = cfg_.num_banks();
+    banks_pow2_ = is_pow2(num_banks_);
+    bank_shift_ = banks_pow2_ ? static_cast<u32>(std::countr_zero(num_banks_)) : 0;
+  }
+
+  const TeraPoolConfig& config() const { return cfg_; }
+
+  /// Total words of L1 backing storage.
+  u32 l1_words() const { return cfg_.l1_bytes() / 4; }
+  u32 l2_words() const { return cfg_.l2_bytes / 4; }
+
+  /// Routes a byte address. Returns nullopt for unmapped addresses.
+  std::optional<Route> route(u32 addr) const {
+    if (addr < l1_bytes_) return route_interleaved(addr);  // hottest case first
+    if (addr >= kL2Base) {
+      const u32 off = addr - kL2Base;
+      if (off >= cfg_.l2_bytes) return std::nullopt;
+      return Route{Space::kL2, 0, 0, off / 4};
+    }
+    if (addr >= kMmioBase) {
+      if (addr - kMmioBase >= 0x1000) return std::nullopt;
+      return Route{Space::kMmio, 0, 0, (addr - kMmioBase) / 4};
+    }
+    if (addr >= kL1SequentialBase) {
+      const u32 off = addr - kL1SequentialBase;
+      if (off >= l1_bytes_) return std::nullopt;
+      return route_sequential(off);
+    }
+    return std::nullopt;
+  }
+
+  /// Interleaved region: word i lives in bank (i mod nbanks).
+  Route route_interleaved(u32 off) const {
+    const u32 wi = off / 4;
+    u32 bank, slot;
+    if (banks_pow2_) {
+      bank = wi & (num_banks_ - 1);
+      slot = wi >> bank_shift_;
+    } else {
+      bank = wi % num_banks_;
+      slot = wi / num_banks_;
+    }
+    return Route{Space::kL1, bank, bank / cfg_.banks_per_tile, bank * bank_words_ + slot};
+  }
+
+  /// Sequential region: tile-major; words interleave across that tile's
+  /// banks only, so a contiguous block stays tile-local.
+  Route route_sequential(u32 off) const {
+    const u32 tile = off / cfg_.tile_l1_bytes;
+    const u32 wt = (off % cfg_.tile_l1_bytes) / 4;
+    const u32 bank = tile * cfg_.banks_per_tile + (wt % cfg_.banks_per_tile);
+    const u32 slot = wt / cfg_.banks_per_tile;
+    return Route{Space::kL1, bank, tile, bank * bank_words_ + slot};
+  }
+
+  /// Base byte address of `tile`'s scratchpad in the sequential region.
+  u32 tile_sequential_base(u32 tile) const {
+    return kL1SequentialBase + tile * cfg_.tile_l1_bytes;
+  }
+
+ private:
+  TeraPoolConfig cfg_;
+  u32 bank_words_ = 0;
+  u32 l1_bytes_ = 0;
+  u32 num_banks_ = 0;
+  bool banks_pow2_ = false;
+  u32 bank_shift_ = 0;
+};
+
+}  // namespace tsim::tera

@@ -1,0 +1,80 @@
+// TeraPool cluster topology and latency parameters (paper Sec. II).
+//
+// Defaults model the full TeraPool-SDR: 1024 Snitch cores in 128 Tiles
+// (8 cores + 32 KiB scratchpad + 4 KiB I$ each), 8 Tiles per SubGroup,
+// 4 SubGroups per Group, 4 Groups per Cluster, 4 MiB shared L1, and
+// non-uniform access latencies bounded by 9 cycles without contention.
+#pragma once
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace tsim::tera {
+
+struct TeraPoolConfig {
+  u32 cores_per_tile = 8;
+  u32 tiles_per_subgroup = 8;
+  u32 subgroups_per_group = 4;
+  u32 groups = 4;
+
+  u32 tile_l1_bytes = 32 * 1024;  // shared scratchpad per tile
+  u32 banks_per_tile = 16;        // word-interleaved SRAM banks
+  u32 icache_bytes = 4 * 1024;    // per-tile instruction cache
+  u32 icache_line_bytes = 32;
+  u32 l2_bytes = 32 * 1024 * 1024;
+
+  // Zero-contention access latencies by NUMA distance (cycles, round-trip
+  // to load-use). The paper quotes "less than 9 cycles without contentions".
+  u32 lat_local_tile = 1;
+  u32 lat_same_subgroup = 3;
+  u32 lat_same_group = 5;
+  u32 lat_remote_group = 9;
+  u32 lat_l2 = 25;
+
+  u32 tiles_per_group() const { return tiles_per_subgroup * subgroups_per_group; }
+  u32 num_tiles() const { return tiles_per_group() * groups; }
+  u32 num_cores() const { return num_tiles() * cores_per_tile; }
+  u32 num_banks() const { return num_tiles() * banks_per_tile; }
+  u32 l1_bytes() const { return num_tiles() * tile_l1_bytes; }
+
+  u32 tile_of_core(u32 core) const { return core / cores_per_tile; }
+  u32 subgroup_of_tile(u32 tile) const { return tile / tiles_per_subgroup; }
+  u32 group_of_tile(u32 tile) const { return tile / tiles_per_group(); }
+
+  /// Zero-contention latency for a request from `core` to a bank in `tile`.
+  u32 numa_latency(u32 core, u32 tile) const {
+    const u32 core_tile = tile_of_core(core);
+    if (core_tile == tile) return lat_local_tile;
+    if (subgroup_of_tile(core_tile) == subgroup_of_tile(tile)) return lat_same_subgroup;
+    if (group_of_tile(core_tile) == group_of_tile(tile)) return lat_same_group;
+    return lat_remote_group;
+  }
+
+  void validate() const {
+    check(cores_per_tile > 0 && tiles_per_subgroup > 0 && subgroups_per_group > 0 &&
+              groups > 0,
+          "TeraPoolConfig: topology dimensions must be positive");
+    check(is_pow2(banks_per_tile) && is_pow2(tile_l1_bytes),
+          "TeraPoolConfig: banks and tile L1 size must be powers of two");
+    check(tile_l1_bytes % (banks_per_tile * 4) == 0,
+          "TeraPoolConfig: tile L1 must divide evenly into word banks");
+  }
+
+  /// A small configuration for fast unit tests: 2x2x2x2 = 16 cores.
+  static TeraPoolConfig tiny() {
+    TeraPoolConfig c;
+    c.cores_per_tile = 2;
+    c.tiles_per_subgroup = 2;
+    c.subgroups_per_group = 2;
+    c.groups = 2;
+    c.tile_l1_bytes = 16 * 1024;
+    c.banks_per_tile = 4;
+    c.l2_bytes = 4 * 1024 * 1024;
+    return c;
+  }
+
+  /// The full paper configuration (1024 cores).
+  static TeraPoolConfig full() { return TeraPoolConfig{}; }
+};
+
+}  // namespace tsim::tera

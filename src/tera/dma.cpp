@@ -1,0 +1,16 @@
+#include "tera/dma.h"
+
+#include <vector>
+
+namespace tsim::tera {
+
+u64 Dma::transfer(u32 dst, u32 src, u32 bytes) {
+  std::vector<u8> buf(bytes);
+  mem_.host_read(src, buf);
+  mem_.host_write(dst, buf);
+  const u64 cycles = cfg_.setup_cycles + ceil_div(bytes, cfg_.bus_bytes_per_cycle);
+  busy_cycles_ += cycles;
+  return cycles;
+}
+
+}  // namespace tsim::tera

@@ -1,0 +1,36 @@
+// Cluster DMA engine model: explicit L2 <-> L1 block transfers.
+//
+// The paper's workloads preload operands so that "the allocation of data in
+// L2 ... does not require relocating elements after explicit DMA transfers
+// to L1" - i.e. the DMA performs straight linear copies. This model performs
+// the copy functionally and reports a first-order cycle cost so examples and
+// benches can account for transfer time.
+#pragma once
+
+#include "tera/memory.h"
+
+namespace tsim::tera {
+
+struct DmaConfig {
+  u32 setup_cycles = 20;     // descriptor programming + engine start
+  u32 bus_bytes_per_cycle = 64;  // AXI data width at the cluster port
+};
+
+class Dma {
+ public:
+  Dma(ClusterMemory& mem, DmaConfig cfg = {}) : mem_(mem), cfg_(cfg) {}
+
+  /// Copies `bytes` from `src` to `dst` (any mapped, non-MMIO regions) and
+  /// returns the modeled transfer time in DUT cycles.
+  u64 transfer(u32 dst, u32 src, u32 bytes);
+
+  /// Total cycles spent in all transfers so far.
+  u64 busy_cycles() const { return busy_cycles_; }
+
+ private:
+  ClusterMemory& mem_;
+  DmaConfig cfg_;
+  u64 busy_cycles_ = 0;
+};
+
+}  // namespace tsim::tera

@@ -1,0 +1,191 @@
+#include "tera/memory.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace tsim::tera {
+namespace {
+
+/// Relaxed atomic word view over plain storage. x86 codegen is a plain mov;
+/// the atomicity only matters when host threads shard harts.
+u32 atomic_load_word(const u32& slot) {
+  return std::atomic_ref<u32>(const_cast<u32&>(slot)).load(std::memory_order_relaxed);
+}
+void atomic_store_word(u32& slot, u32 v) {
+  std::atomic_ref<u32>(slot).store(v, std::memory_order_relaxed);
+}
+
+/// Merges `bytes` of `value` into `slot` at byte offset `off` atomically.
+void atomic_merge(u32& slot, u32 off, u32 value, u32 bytes) {
+  const u32 shift = off * 8;
+  const u32 mask = (bytes == 1 ? 0xFFu : 0xFFFFu) << shift;
+  std::atomic_ref<u32> ref(slot);
+  u32 old = ref.load(std::memory_order_relaxed);
+  const u32 insert = (value << shift) & mask;
+  while (!ref.compare_exchange_weak(old, (old & ~mask) | insert,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ClusterMemory::ClusterMemory(const TeraPoolConfig& cfg)
+    : map_(cfg), l1_(map_.l1_words(), 0), l2_(map_.l2_words(), 0), mmio_(0x1000 / 4, 0) {}
+
+u32 ClusterMemory::word_load(const Route& r) const {
+  switch (r.space) {
+    case Space::kL1: return atomic_load_word(l1_[r.phys_word]);
+    case Space::kL2: return atomic_load_word(l2_[r.phys_word]);
+    case Space::kMmio: return atomic_load_word(mmio_[r.phys_word]);
+  }
+  return 0;
+}
+
+void ClusterMemory::word_store(const Route& r, u32 value) {
+  switch (r.space) {
+    case Space::kL1: atomic_store_word(l1_[r.phys_word], value); break;
+    case Space::kL2: atomic_store_word(l2_[r.phys_word], value); break;
+    case Space::kMmio: mmio_store(r.phys_word, value); break;
+  }
+}
+
+void ClusterMemory::mmio_store(u32 word_index, u32 value) {
+  const u32 addr = kMmioBase + word_index * 4;
+  switch (addr) {
+    case kMmioExit:
+      if (on_exit_) on_exit_(value);
+      break;
+    case kMmioPutchar:
+      console_.push_back(static_cast<char>(value & 0xFF));
+      break;
+    case kMmioWake:
+      if (on_wake_) on_wake_(value);
+      break;
+    default:
+      atomic_store_word(mmio_[word_index], value);
+      break;
+  }
+}
+
+rv::MemResult ClusterMemory::load(u32 addr, u32 bytes) {
+  const auto r = map_.route(addr);
+  if (!r) return {0, true};
+  const u32 word = word_load(*r);
+  const u32 shift = (addr & 3) * 8;
+  switch (bytes) {
+    case 1: return {(word >> shift) & 0xFF, false};
+    case 2: return {(word >> shift) & 0xFFFF, false};
+    default: return {word, false};
+  }
+}
+
+bool ClusterMemory::store(u32 addr, u32 value, u32 bytes) {
+  const auto r = map_.route(addr);
+  if (!r) return true;
+  if (bytes == 4) {
+    word_store(*r, value);
+    return false;
+  }
+  if (r->space == Space::kMmio) {
+    // Sub-word MMIO stores behave as word stores of the (masked) value.
+    mmio_store(r->phys_word, value);
+    return false;
+  }
+  u32& slot = (r->space == Space::kL1) ? l1_[r->phys_word] : l2_[r->phys_word];
+  atomic_merge(slot, addr & 3, value, bytes);
+  return false;
+}
+
+rv::MemResult ClusterMemory::amo(rv::AmoOp op, u32 addr, u32 value) {
+  const auto r = map_.route(addr);
+  if (!r) return {0, true};
+  u32& slot = (r->space == Space::kL1)   ? l1_[r->phys_word]
+              : (r->space == Space::kL2) ? l2_[r->phys_word]
+                                         : mmio_[r->phys_word];
+  std::atomic_ref<u32> ref(slot);
+  using rv::AmoOp;
+  switch (op) {
+    case AmoOp::kSwap: return {ref.exchange(value, std::memory_order_acq_rel), false};
+    case AmoOp::kAdd: return {ref.fetch_add(value, std::memory_order_acq_rel), false};
+    case AmoOp::kXor: return {ref.fetch_xor(value, std::memory_order_acq_rel), false};
+    case AmoOp::kAnd: return {ref.fetch_and(value, std::memory_order_acq_rel), false};
+    case AmoOp::kOr: return {ref.fetch_or(value, std::memory_order_acq_rel), false};
+    case AmoOp::kMin:
+    case AmoOp::kMax:
+    case AmoOp::kMinu:
+    case AmoOp::kMaxu: {
+      u32 old = ref.load(std::memory_order_acquire);
+      while (true) {
+        u32 next = old;
+        switch (op) {
+          case AmoOp::kMin:
+            next = (static_cast<i32>(value) < static_cast<i32>(old)) ? value : old;
+            break;
+          case AmoOp::kMax:
+            next = (static_cast<i32>(value) > static_cast<i32>(old)) ? value : old;
+            break;
+          case AmoOp::kMinu: next = value < old ? value : old; break;
+          default: next = value > old ? value : old; break;
+        }
+        if (ref.compare_exchange_weak(old, next, std::memory_order_acq_rel)) return {old, false};
+      }
+    }
+  }
+  return {0, true};
+}
+
+rv::MemResult ClusterMemory::fetch(u32 addr) {
+  if ((addr & 3) != 0) return {0, true};
+  return load(addr, 4);
+}
+
+void ClusterMemory::host_write(u32 addr, std::span<const u8> bytes) {
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    const u32 a = addr + static_cast<u32>(i);
+    const auto r = map_.route(a);
+    check(r.has_value() && r->space != Space::kMmio, "host_write: unmapped address");
+    u32& slot = (r->space == Space::kL1) ? l1_[r->phys_word] : l2_[r->phys_word];
+    const u32 shift = (a & 3) * 8;
+    slot = (slot & ~(0xFFu << shift)) | (static_cast<u32>(bytes[i]) << shift);
+  }
+}
+
+void ClusterMemory::host_read(u32 addr, std::span<u8> out) const {
+  for (size_t i = 0; i < out.size(); ++i) {
+    const u32 a = addr + static_cast<u32>(i);
+    const auto r = map_.route(a);
+    check(r.has_value(), "host_read: unmapped address");
+    const u32 word = word_load(*r);
+    out[i] = static_cast<u8>(word >> ((a & 3) * 8));
+  }
+}
+
+void ClusterMemory::host_write_words(u32 addr, std::span<const u32> words) {
+  check((addr & 3) == 0, "host_write_words: unaligned");
+  for (size_t i = 0; i < words.size(); ++i) {
+    const auto r = map_.route(addr + static_cast<u32>(i * 4));
+    check(r.has_value() && r->space != Space::kMmio, "host_write_words: unmapped");
+    u32& slot = (r->space == Space::kL1) ? l1_[r->phys_word] : l2_[r->phys_word];
+    slot = words[i];
+  }
+}
+
+u32 ClusterMemory::host_read_word(u32 addr) const {
+  check((addr & 3) == 0, "host_read_word: unaligned");
+  const auto r = map_.route(addr);
+  check(r.has_value(), "host_read_word: unmapped");
+  return word_load(*r);
+}
+
+void ClusterMemory::load_program(u32 base, std::span<const u32> words) {
+  host_write_words(base, words);
+}
+
+void ClusterMemory::reset_l1() {
+  std::fill(l1_.begin(), l1_.end(), 0u);
+  std::fill(mmio_.begin(), mmio_.end(), 0u);
+  console_.clear();
+}
+
+}  // namespace tsim::tera

@@ -1,0 +1,67 @@
+// Cluster memory system: L1 scratchpad banks + L2 + MMIO, implementing the
+// rv::MemIface used by instruction semantics.
+//
+// Thread-safety: word accesses use relaxed std::atomic_ref (free on x86);
+// sub-word stores merge via CAS; AMOs are genuine host atomics. This lets
+// multiple host threads execute disjoint groups of harts concurrently, with
+// the DUT software's own barriers (amoadd + wfi/wake) as the only
+// synchronization - mirroring how Banshee runs harts on parallel threads.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rv/mem_iface.h"
+#include "tera/addr_map.h"
+
+namespace tsim::tera {
+
+class ClusterMemory final : public rv::MemIface {
+ public:
+  explicit ClusterMemory(const TeraPoolConfig& cfg);
+
+  // ---- rv::MemIface ----
+  rv::MemResult load(u32 addr, u32 bytes) override;
+  bool store(u32 addr, u32 value, u32 bytes) override;
+  rv::MemResult amo(rv::AmoOp op, u32 addr, u32 value) override;
+  rv::MemResult fetch(u32 addr) override;
+
+  // ---- host-side access (no MMIO side effects, handles interleaving) ----
+  void host_write(u32 addr, std::span<const u8> bytes);
+  void host_read(u32 addr, std::span<u8> out) const;
+  void host_write_words(u32 addr, std::span<const u32> words);
+  u32 host_read_word(u32 addr) const;
+
+  /// Loads a program image into L2 (or wherever its base points).
+  void load_program(u32 base, std::span<const u32> words);
+
+  /// Zeroes L1 and the console; L2 is preserved.
+  void reset_l1();
+
+  // ---- MMIO observers ----
+  /// Invoked on a store to the exit register (argument: exit code).
+  void set_exit_handler(std::function<void(u32)> fn) { on_exit_ = std::move(fn); }
+  /// Invoked on a store to the wake register (argument: hart id or ~0u).
+  void set_wake_handler(std::function<void(u32)> fn) { on_wake_ = std::move(fn); }
+
+  const std::string& console() const { return console_; }
+  const AddrMap& map() const { return map_; }
+
+ private:
+  u32 word_load(const Route& r) const;
+  void word_store(const Route& r, u32 value);
+  void mmio_store(u32 word_index, u32 value);
+
+  AddrMap map_;
+  std::vector<u32> l1_;
+  std::vector<u32> l2_;
+  std::vector<u32> mmio_;
+  std::string console_;
+  std::function<void(u32)> on_exit_;
+  std::function<void(u32)> on_wake_;
+};
+
+}  // namespace tsim::tera

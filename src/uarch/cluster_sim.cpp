@@ -1,0 +1,368 @@
+#include "uarch/cluster_sim.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "rv/exec.h"
+
+namespace tsim::uarch {
+namespace {
+
+bool is_post_increment_load(rv::Op op) {
+  switch (op) {
+    case rv::Op::kPLb:
+    case rv::Op::kPLbu:
+    case rv::Op::kPLh:
+    case rv::Op::kPLhu:
+    case rv::Op::kPLw:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool writes_rd(rv::Fmt fmt) {
+  switch (fmt) {
+    case rv::Fmt::kS:
+    case rv::Fmt::kB:
+    case rv::Fmt::kNullary:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool is_mem_mix(rv::Mix m) {
+  return m == rv::Mix::kLoad || m == rv::Mix::kStore || m == rv::Mix::kAmo;
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(const tera::TeraPoolConfig& cluster, UarchConfig cfg,
+                       u32 active_cores)
+    : cluster_(cluster),
+      cfg_(cfg),
+      mem_(std::make_unique<tera::ClusterMemory>(cluster)),
+      cores_(active_cores == 0 ? cluster.num_cores() : active_cores),
+      tiles_(cluster.num_tiles()),
+      bank_free_(cluster.num_banks(), 0),
+      bank_stats_(cluster.num_banks()) {
+  const u32 nlines = cluster_.icache_bytes / cluster_.icache_line_bytes;
+  for (auto& tile : tiles_) {
+    tile.icache_tags.assign(nlines, 0);
+    tile.icache_valid.assign(nlines, false);
+  }
+  for (auto& core : cores_) core.lsu_slots.assign(cfg_.lsu_outstanding, 0);
+  mem_->set_exit_handler([this](u32 code) { on_exit(code); });
+  mem_->set_wake_handler([this](u32 target) { pending_wakes_.push_back(target); });
+}
+
+void ClusterSim::load_program(const rvasm::Program& prog) {
+  mem_->load_program(prog.base, prog.words);
+  tcache_ = iss::TranslationCache(prog);
+  const auto it = prog.symbols.find("_start");
+  entry_pc_ = it != prog.symbols.end() ? it->second : prog.base;
+  reset();
+}
+
+void ClusterSim::reset() {
+  now_ = 0;
+  stop_ = false;
+  exited_ = false;
+  exit_code_ = 0;
+  l2_port_free_ = 0;
+  pending_wakes_.clear();
+  std::fill(bank_free_.begin(), bank_free_.end(), 0);
+  for (auto& b : bank_stats_) b = BankStats{};
+  for (auto& tile : tiles_) {
+    std::fill(tile.icache_valid.begin(), tile.icache_valid.end(), false);
+    tile.refill_port_free = 0;
+  }
+  for (auto& slot : wheel_) slot.clear();
+  live_cores_ = num_cores();
+  for (u32 i = 0; i < num_cores(); ++i) {
+    Core& c = cores_[i];
+    c.state = rv::HartState{};
+    c.state.hartid = i;
+    c.state.pc = entry_pc_;
+    c.ready.fill(0);
+    c.from_mem.fill(false);
+    c.next_time = 0;
+    c.scheduled = false;
+    c.sleep_since = 0;
+    c.wake_pending = false;
+    c.div_busy_until = 0;
+    std::fill(c.lsu_slots.begin(), c.lsu_slots.end(), 0);
+    c.stats = CoreStats{};
+  }
+}
+
+void ClusterSim::on_exit(u32 code) {
+  exited_ = true;
+  exit_code_ = code;
+  stop_ = true;
+}
+
+void ClusterSim::schedule(u32 core, u64 time) {
+  Core& c = cores_[core];
+  check(!c.scheduled, "uarch: core double-scheduled");
+  check(time > now_, "uarch: cannot schedule into the past or present");
+  // The wheel covers kWheelSize cycles; longer waits re-enter via a hop.
+  const u64 slot_time = std::min(time, now_ + kWheelSize - 1);
+  c.next_time = time;
+  c.scheduled = true;
+  wheel_[slot_time & (kWheelSize - 1)].push_back(core);
+}
+
+u64 ClusterSim::fetch_done(u32 core, u32 pc) {
+  Tile& tile = tiles_[core / cluster_.cores_per_tile];
+  const u32 line = pc / cluster_.icache_line_bytes;
+  const u32 nlines = cluster_.icache_bytes / cluster_.icache_line_bytes;
+  const u32 set = line % nlines;
+  const u32 tag = line / nlines;
+  if (tile.icache_valid[set] && tile.icache_tags[set] == tag) return now_;
+  const u64 start = std::max(now_, tile.refill_port_free);
+  const u64 done = start + cfg_.l2_latency;
+  tile.refill_port_free = done;
+  tile.icache_valid[set] = true;
+  tile.icache_tags[set] = tag;
+  return done;
+}
+
+void ClusterSim::apply_wakes(u64 now) {
+  if (pending_wakes_.empty()) return;
+  const auto wake_one = [&](u32 i) {
+    if (i >= num_cores()) return;
+    Core& c = cores_[i];
+    if (c.state.halted) return;
+    if (c.state.in_wfi && !c.scheduled) {
+      const u64 resume = now + cfg_.wake_latency;
+      c.stats.stall_wfi += resume - c.sleep_since;
+      c.state.in_wfi = false;
+      schedule(i, resume);
+    } else {
+      c.wake_pending = true;
+    }
+  };
+  // Drain into a local list first: waking can cascade (not with current
+  // semantics, but keeps the loop re-entrant if MMIO grows).
+  std::vector<u32> wakes;
+  wakes.swap(pending_wakes_);
+  for (const u32 target : wakes) {
+    if (target == ~0u) {
+      for (u32 i = 0; i < num_cores(); ++i) wake_one(i);
+    } else {
+      wake_one(target);
+    }
+  }
+}
+
+void ClusterSim::issue(u32 ci) {
+  Core& c = cores_[ci];
+  auto& st = c.state;
+  const u64 t = now_;
+  if (st.halted) {
+    return;
+  }
+
+  // --- fetch through the tile I$ ---
+  const u64 f = fetch_done(ci, st.pc);
+  if (f > t) {
+    c.stats.stall_ins += f - t;
+    schedule(ci, f);
+    return;
+  }
+
+  const rv::Decoded* d = tcache_.lookup(st.pc);
+  if (d == nullptr || d->op == rv::Op::kInvalid) {
+    st.halted = true;
+    st.trapped = true;
+    --live_cores_;
+    return;
+  }
+  const rv::InstrDef& def = isa_defs_[static_cast<size_t>(d->op)];
+
+  // --- RAW scoreboard (attribute the stall to its producer class) ---
+  {
+    u64 ready = 0;
+    bool blocked_by_mem = false;
+    const auto consider = [&](u8 reg) {
+      if (c.ready[reg] > ready) {
+        ready = c.ready[reg];
+        blocked_by_mem = c.from_mem[reg];
+      }
+    };
+    consider(d->rs1);
+    consider(d->rs2);
+    if (def.fmt == rv::Fmt::kR4) consider(d->rs3);
+    if (rv::reads_rd(d->op)) consider(d->rd);
+    if (ready > t) {
+      if (blocked_by_mem) {
+        c.stats.stall_lsu += ready - t;
+      } else {
+        c.stats.stall_raw += ready - t;
+      }
+      schedule(ci, ready);
+      return;
+    }
+  }
+
+  // --- structural hazard: unpipelined divide/sqrt unit ---
+  if ((def.unit == rv::Unit::kDiv || def.unit == rv::Unit::kFdiv) &&
+      c.div_busy_until > t) {
+    c.stats.stall_acc += c.div_busy_until - t;
+    schedule(ci, c.div_busy_until);
+    return;
+  }
+
+  // --- LSU admission: bounded outstanding requests ---
+  size_t lsu_slot = 0;
+  if (is_mem_mix(def.mix)) {
+    const auto it = std::min_element(c.lsu_slots.begin(), c.lsu_slots.end());
+    if (*it > t) {
+      c.stats.stall_lsu += *it - t;
+      schedule(ci, *it);
+      return;
+    }
+    lsu_slot = static_cast<size_t>(it - c.lsu_slots.begin());
+  }
+
+  // --- execute architecturally ---
+  st.cycle = t;  // expose a meaningful mcycle to the DUT program
+  const rv::StepInfo info = rv::execute(*d, st, *mem_);
+  ++c.stats.instructions;
+  c.stats.instr_cycles += 1;
+  u64 next = t + 1;
+
+  // --- destination availability ---
+  if (info.is_load || info.is_store || info.is_amo) {
+    u64 data_at = t + 1;
+    const auto route = mem_->map().route(info.mem_addr);
+    if (route && route->space == tera::Space::kL1) {
+      const u64 request_at = t + 1;
+      const u64 grant = std::max(request_at, bank_free_[route->bank]);
+      const u64 hold = info.is_amo ? cfg_.amo_bank_hold : 1;
+      bank_free_[route->bank] = grant + hold;
+      auto& bs = bank_stats_[route->bank];
+      ++bs.grants;
+      bs.conflict_cycles += grant - request_at;
+      data_at = grant + cluster_.numa_latency(ci, route->tile);
+    } else if (route && route->space == tera::Space::kL2) {
+      const u64 grant = std::max(t + 1, l2_port_free_);
+      l2_port_free_ = grant + 1;
+      data_at = grant + cfg_.l2_latency;
+    }
+    c.lsu_slots[lsu_slot] = info.is_store ? data_at : data_at + 1;
+    if (info.is_load || info.is_amo) {
+      if (writes_rd(def.fmt) && d->rd != 0) {
+        c.ready[d->rd] = data_at + 1;
+        c.from_mem[d->rd] = true;
+      }
+    }
+    if (is_post_increment_load(d->op) && d->rs1 != 0) {
+      c.ready[d->rs1] = t + 1;
+      c.from_mem[d->rs1] = false;
+    }
+  } else if (writes_rd(def.fmt) && d->rd != 0) {
+    c.ready[d->rd] = t + def.result_latency;
+    c.from_mem[d->rd] = false;
+  }
+
+  // --- unit occupancy ---
+  if (def.unit == rv::Unit::kDiv || def.unit == rv::Unit::kFdiv) {
+    c.div_busy_until = t + def.issue_cycles;
+  }
+
+  // --- control flow ---
+  if (info.branch_taken) {
+    c.stats.stall_branch += cfg_.branch_penalty;
+    next = t + 1 + cfg_.branch_penalty;
+  }
+
+  apply_wakes(t);
+
+  if (st.halted) {
+    --live_cores_;
+    return;
+  }
+
+  if (info.entered_wfi) {
+    if (c.wake_pending) {
+      c.wake_pending = false;
+      st.in_wfi = false;
+      schedule(ci, next + cfg_.wake_latency);
+      return;
+    }
+    st.in_wfi = true;
+    c.sleep_since = next;
+    return;  // parked: not scheduled until a wake arrives
+  }
+
+  schedule(ci, next);
+}
+
+UarchRunResult ClusterSim::run() {
+  for (u32 i = 0; i < num_cores(); ++i) {
+    cores_[i].next_time = 1;
+    cores_[i].scheduled = true;
+    wheel_[1 & (kWheelSize - 1)].push_back(i);
+  }
+  now_ = 0;
+  u64 idle_cycles = 0;
+  std::vector<u32> current;
+
+  while (live_cores_ > 0 && !stop_) {
+    ++now_;
+    if (cfg_.max_cycles != 0 && now_ > cfg_.max_cycles) break;
+    auto& slot = wheel_[now_ & (kWheelSize - 1)];
+    if (slot.empty()) {
+      // Deadlock detection: nothing scheduled for a whole wheel revolution
+      // means every live core is parked in WFI with nobody left to wake it.
+      if (++idle_cycles > kWheelSize) {
+        UarchRunResult res;
+        res.deadlock = true;
+        res.cycles = now_;
+        for (const auto& c : cores_) res.instructions += c.stats.instructions;
+        return res;
+      }
+      continue;
+    }
+    idle_cycles = 0;
+    current.clear();
+    current.swap(slot);
+    for (const u32 ci : current) {
+      Core& c = cores_[ci];
+      if (!c.scheduled) continue;
+      if (c.next_time > now_) {
+        // Long-wait hop: re-enter the wheel closer to the real time.
+        c.scheduled = false;
+        schedule(ci, c.next_time);
+        continue;
+      }
+      c.scheduled = false;
+      issue(ci);
+      if (stop_) break;
+    }
+  }
+
+  UarchRunResult res;
+  res.exited = exited_;
+  res.exit_code = exit_code_;
+  res.cycles = now_;
+  for (const auto& c : cores_) res.instructions += c.stats.instructions;
+  return res;
+}
+
+CoreStats ClusterSim::aggregate_stats() const {
+  CoreStats agg;
+  for (const auto& c : cores_) agg += c.stats;
+  return agg;
+}
+
+u64 ClusterSim::bank_conflict_cycles() const {
+  u64 sum = 0;
+  for (const auto& b : bank_stats_) sum += b.conflict_cycles;
+  return sum;
+}
+
+}  // namespace tsim::uarch

@@ -1,0 +1,47 @@
+// Per-core cycle accounting of the cycle-accurate model, matching the
+// paper's Fig. 8 breakdown: instruction issue cycles vs stall-ins (I$
+// refill), stall-raw (register dependencies), stall-acc (busy functional
+// units), stall-lsu (interconnect/bank contention and LSU capacity) and
+// stall-wfi (barrier sleep). Taken-branch refill bubbles are tracked
+// separately so benches can fold them where the paper does.
+#pragma once
+
+#include "common/types.h"
+
+namespace tsim::uarch {
+
+struct CoreStats {
+  u64 instructions = 0;
+
+  u64 instr_cycles = 0;
+  u64 stall_raw = 0;
+  u64 stall_lsu = 0;
+  u64 stall_acc = 0;
+  u64 stall_ins = 0;
+  u64 stall_wfi = 0;
+  u64 stall_branch = 0;
+
+  u64 total_cycles() const {
+    return instr_cycles + stall_raw + stall_lsu + stall_acc + stall_ins + stall_wfi +
+           stall_branch;
+  }
+
+  CoreStats& operator+=(const CoreStats& o) {
+    instructions += o.instructions;
+    instr_cycles += o.instr_cycles;
+    stall_raw += o.stall_raw;
+    stall_lsu += o.stall_lsu;
+    stall_acc += o.stall_acc;
+    stall_ins += o.stall_ins;
+    stall_wfi += o.stall_wfi;
+    stall_branch += o.stall_branch;
+    return *this;
+  }
+};
+
+struct BankStats {
+  u64 grants = 0;
+  u64 conflict_cycles = 0;  // cumulative grant-queue wait observed by requests
+};
+
+}  // namespace tsim::uarch

@@ -1,0 +1,219 @@
+// Tests for the extension subsystems: NR OFDM numerology / TTI deadline
+// analysis, per-operator DUT profiling, soft-output demapping, and the ISS
+// trace hook.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "iss/machine.h"
+#include "kernels/mmse_program.h"
+#include "kernels/profile.h"
+#include "phy/ofdm.h"
+#include "phy/qam.h"
+#include "rv/disasm.h"
+#include "rvasm/textasm.h"
+#include "sim/report.h"
+#include "sim/cosim.h"
+#include "uarch/cluster_sim.h"
+
+namespace tsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OFDM numerology (paper Sec. V-A quotes NSC = 1638 at 50 MHz / 30 kHz).
+// ---------------------------------------------------------------------------
+
+TEST(Ofdm, PaperCarrierMatchesQuotedNumbers) {
+  const auto carrier = phy::CarrierConfig::paper_50mhz();
+  EXPECT_EQ(carrier.numerology.subcarrier_spacing_hz(), 30'000u);
+  EXPECT_EQ(carrier.num_subcarriers(), 1638u);
+  EXPECT_DOUBLE_EQ(carrier.numerology.slot_seconds(), 0.5e-3);  // 0.5 ms TTI
+  EXPECT_EQ(carrier.problems_per_tti(), 1638u * 14);
+}
+
+TEST(Ofdm, NumerologyScaling) {
+  phy::Numerology mu0{0}, mu2{2};
+  EXPECT_EQ(mu0.subcarrier_spacing_hz(), 15'000u);
+  EXPECT_EQ(mu2.subcarrier_spacing_hz(), 60'000u);
+  EXPECT_EQ(mu2.slots_per_subframe(), 4u);
+  EXPECT_DOUBLE_EQ(mu2.slot_seconds(), 0.25e-3);
+}
+
+TEST(Ofdm, DeadlineReportArithmetic) {
+  const auto carrier = phy::CarrierConfig::paper_50mhz();
+  // 5k cycles per 4x4 problem on 1024 cores at 1 GHz:
+  // ceil(22932/1024) = 23 rounds * 5 us = 115 us < 500 us.
+  const auto report = phy::tti_deadline(carrier, 5000, 1024);
+  EXPECT_TRUE(report.meets_deadline());
+  EXPECT_GT(report.headroom(), 1.0);
+  // One core alone cannot hold the deadline.
+  const auto serial = phy::tti_deadline(carrier, 5000, 1);
+  EXPECT_FALSE(serial.meets_deadline());
+}
+
+TEST(Ofdm, DeadlineRequiresCores) {
+  EXPECT_THROW(phy::tti_deadline(phy::CarrierConfig::paper_50mhz(), 1000, 0),
+               SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Per-operator DUT profiling via mcycle instrumentation.
+// ---------------------------------------------------------------------------
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  kern::MmseLayout layout(u32 n, kern::Precision prec) {
+    kern::MmseLayout lay;
+    lay.ntx = n;
+    lay.nrx = n;
+    lay.prec = prec;
+    lay.num_cores = 1;
+    lay.cluster = tera::TeraPoolConfig::tiny();
+    return lay;
+  }
+
+  kern::KernelProfile run_and_profile(const kern::MmseLayout& lay, u64 seed) {
+    iss::Machine machine(lay.cluster, iss::TimingConfig{}, 1);
+    machine.load_program(kern::build_mmse_program(lay));
+    Rng rng(seed);
+    phy::Channel ch(phy::ChannelType::kRayleigh, lay.nrx, lay.ntx);
+    phy::QamModulator qam(16);
+    const auto batch = sim::generate_batch(ch, qam, lay.ntx, 1, 12.0, rng);
+    sim::stage_problem(machine.memory(), lay, 0, 0, batch.problems[0]);
+    EXPECT_TRUE(machine.run().exited);
+    return kern::read_profile(machine.memory(), lay, 0);
+  }
+};
+
+TEST_F(ProfileTest, OperatorsAreTimedAndSumToTotal) {
+  const auto p = run_and_profile(layout(8, kern::Precision::k16CDotp), 31);
+  EXPECT_GT(p.gram, 0u);
+  EXPECT_GT(p.mvm, 0u);
+  EXPECT_GT(p.chol, 0u);
+  EXPECT_GT(p.fsolve, 0u);
+  EXPECT_GT(p.bsolve, 0u);
+  // Operators dominate the problem; the call glue is small.
+  EXPECT_LE(p.operator_sum(), p.total);
+  EXPECT_GT(p.operator_sum() * 10, p.total * 9);
+}
+
+TEST_F(ProfileTest, GramDominatesAtLargeSizes) {
+  // Gram is O(n^2 * nrx) vs O(n^2) solves: it must dominate at 16x16.
+  const auto p = run_and_profile(layout(16, kern::Precision::k16WDotp), 32);
+  EXPECT_GT(p.gram, p.fsolve);
+  EXPECT_GT(p.gram, p.bsolve);
+  EXPECT_GT(p.gram, p.mvm);
+}
+
+TEST_F(ProfileTest, HalfPrecisionGramIsSlowerThanCDotp) {
+  const auto ph = run_and_profile(layout(8, kern::Precision::k16Half), 33);
+  const auto pc = run_and_profile(layout(8, kern::Precision::k16CDotp), 33);
+  EXPECT_GT(ph.gram, pc.gram);  // 4 fmadd + 4 loads vs 1 cdotp + 2 loads
+}
+
+TEST_F(ProfileTest, UarchProfilesAreLargerThanIssEstimates) {
+  const auto lay = layout(8, kern::Precision::k16Half);
+  const auto program = kern::build_mmse_program(lay);
+  Rng rng(34);
+  phy::Channel ch(phy::ChannelType::kRayleigh, 8, 8);
+  phy::QamModulator qam(16);
+  const auto batch = sim::generate_batch(ch, qam, 8, 1, 12.0, rng);
+
+  iss::Machine machine(lay.cluster, iss::TimingConfig{}, 1);
+  machine.load_program(program);
+  sim::stage_problem(machine.memory(), lay, 0, 0, batch.problems[0]);
+  machine.run();
+  const auto est = kern::read_profile(machine.memory(), lay, 0);
+
+  uarch::ClusterSim rtl(lay.cluster, uarch::UarchConfig{}, 1);
+  rtl.load_program(program);
+  sim::stage_problem(rtl.memory(), lay, 0, 0, batch.problems[0]);
+  rtl.run();
+  const auto meas = kern::read_profile(rtl.memory(), lay, 0);
+
+  // Same binary, same operands: both profiles are populated and the ISS
+  // stays within the paper's first-order error band of the measurement.
+  EXPECT_GT(meas.total, 0u);
+  const double err = std::abs(static_cast<double>(est.total) -
+                              static_cast<double>(meas.total)) /
+                     meas.total;
+  EXPECT_LT(err, 0.35);
+}
+
+// ---------------------------------------------------------------------------
+// Soft-output demapping.
+// ---------------------------------------------------------------------------
+
+TEST(SoftDemap, SignsAgreeWithHardDecisions) {
+  phy::QamModulator qam(16);
+  Rng rng(35);
+  for (int t = 0; t < 200; ++t) {
+    const phy::cd y(rng.normal(), rng.normal());
+    std::vector<u8> hard(4);
+    qam.demap(y, hard);
+    std::vector<double> llrs(4);
+    qam.soft_demap(y, 0.1, llrs);
+    for (u32 b = 0; b < 4; ++b) {
+      // Positive LLR favours bit 0 under this convention.
+      EXPECT_EQ(hard[b], llrs[b] < 0 ? 1 : 0) << "bit " << b;
+    }
+  }
+}
+
+TEST(SoftDemap, ConfidenceGrowsWithSnr) {
+  phy::QamModulator qam(16);
+  std::vector<u8> bits = {0, 1, 1, 0};
+  const auto sym = qam.map(bits);
+  std::vector<double> low(4), high(4);
+  qam.soft_demap(sym, 1.0, low);
+  qam.soft_demap(sym, 0.01, high);
+  for (u32 b = 0; b < 4; ++b) EXPECT_GT(std::abs(high[b]), std::abs(low[b]));
+}
+
+TEST(SoftDemap, SymmetricPointHasMagnitudeOrdering) {
+  // A point on a decision boundary yields a near-zero LLR for that bit.
+  phy::QamModulator qam(4);
+  std::vector<double> llrs(2);
+  qam.soft_demap(phy::cd(0.0, 1.0 / std::sqrt(2.0)), 0.1, llrs);
+  EXPECT_NEAR(llrs[0], 0.0, 1e-9);     // I-axis boundary
+  EXPECT_GT(std::abs(llrs[1]), 1.0);   // Q-axis deep in a region
+}
+
+TEST(SoftDemap, RejectsNonPositiveNoise) {
+  phy::QamModulator qam(16);
+  std::vector<double> llrs(4);
+  EXPECT_THROW(qam.soft_demap(phy::cd(0, 0), 0.0, llrs), SimError);
+}
+
+// ---------------------------------------------------------------------------
+// ISS trace hook.
+// ---------------------------------------------------------------------------
+
+TEST(Trace, HookSeesEveryInstructionInOrder) {
+  iss::Machine m(tera::TeraPoolConfig::tiny(), {}, 1);
+  m.load_program(rvasm::assemble(R"(
+    _start:
+      li t0, 2
+      addi t0, t0, 3
+      ebreak
+  )"));
+  std::vector<std::string> lines;
+  m.set_trace([&](u32 hart, u32 pc, const rv::Decoded& d) {
+    lines.push_back(sim::strf("%u:%08x %s", hart, pc, rv::disassemble(d).c_str()));
+  });
+  m.run();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("addi t0, zero, 2"), std::string::npos);
+  EXPECT_NE(lines[1].find("addi t0, t0, 3"), std::string::npos);
+  EXPECT_NE(lines[2].find("ebreak"), std::string::npos);
+}
+
+TEST(Trace, UnsetHookCostsNothingFunctionally) {
+  iss::Machine m(tera::TeraPoolConfig::tiny(), {}, 1);
+  m.load_program(rvasm::assemble("_start:\n li t0, 7\n ebreak\n"));
+  m.run();
+  EXPECT_EQ(m.hart(0).state.x[5], 7u);
+}
+
+}  // namespace
+}  // namespace tsim

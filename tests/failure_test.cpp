@@ -1,0 +1,150 @@
+// Failure-injection tests: faults, misuse, and resource-limit behaviour of
+// both engines and the co-simulation stack.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iss/machine.h"
+#include "kernels/mmse_program.h"
+#include "rvasm/textasm.h"
+#include "sim/cosim.h"
+#include "uarch/cluster_sim.h"
+
+namespace tsim {
+namespace {
+
+rvasm::Program prog(const std::string& text) { return rvasm::assemble(text); }
+
+TEST(FaultIss, JumpOutsideProgramTraps) {
+  iss::Machine m(tera::TeraPoolConfig::tiny(), {}, 1);
+  m.load_program(prog("_start:\n li t0, 0x90000000\n jalr zero, 0(t0)\n"));
+  m.run();
+  EXPECT_TRUE(m.hart(0).state.trapped);
+}
+
+TEST(FaultIss, StoreToUnmappedAddressTraps) {
+  iss::Machine m(tera::TeraPoolConfig::tiny(), {}, 1);
+  m.load_program(prog("_start:\n li t0, 0x70000000\n sw t0, 0(t0)\n ebreak\n"));
+  m.run();
+  EXPECT_TRUE(m.hart(0).state.trapped);
+}
+
+TEST(FaultIss, MisalignedLoadTraps) {
+  iss::Machine m(tera::TeraPoolConfig::tiny(), {}, 1);
+  m.load_program(prog("_start:\n li t0, 0x101\n lw t1, 0(t0)\n ebreak\n"));
+  m.run();
+  EXPECT_TRUE(m.hart(0).state.trapped);
+}
+
+TEST(FaultIss, TrapHaltsOnlyTheFaultingHart) {
+  // Hart 0 faults immediately; hart 1 still completes and exits. (Hart 0
+  // runs first in the round-robin, so its fault must not take the machine
+  // down before hart 1 gets to execute.)
+  iss::Machine m(tera::TeraPoolConfig::tiny(), {}, 2);
+  m.load_program(prog(R"(
+    _start:
+      csrr t0, mhartid
+      beqz t0, bad
+      li t1, 0x40000000
+      sw zero, 0(t1)
+    bad:
+      li t2, 0x70000000
+      lw t3, 0(t2)
+  )"));
+  const auto r = m.run();
+  EXPECT_TRUE(r.exited);
+  EXPECT_TRUE(m.hart(0).state.trapped);
+  EXPECT_FALSE(m.hart(1).state.trapped);
+}
+
+TEST(FaultUarch, TrapsMatchIssBehaviour) {
+  const auto p = prog("_start:\n li t0, 0x101\n lw t1, 0(t0)\n ebreak\n");
+  uarch::ClusterSim rtl(tera::TeraPoolConfig::tiny(), {}, 1);
+  rtl.load_program(p);
+  const auto r = rtl.run();
+  EXPECT_FALSE(r.exited);
+  EXPECT_TRUE(rtl.hart_state(0).trapped);
+}
+
+TEST(FaultUarch, MaxCyclesBoundsRunaway) {
+  uarch::UarchConfig cfg;
+  cfg.max_cycles = 5000;
+  uarch::ClusterSim rtl(tera::TeraPoolConfig::tiny(), cfg, 1);
+  rtl.load_program(prog("_start:\n j _start\n"));
+  const auto r = rtl.run();
+  EXPECT_FALSE(r.exited);
+  EXPECT_LE(r.cycles, 5001u);
+}
+
+TEST(FaultUarch, LongStallsHopAcrossTheTimingWheel) {
+  // An I$-miss storm with an enormous refill latency forces waits longer
+  // than the wheel horizon; completion must still be exact.
+  uarch::UarchConfig cfg;
+  cfg.l2_latency = 20000;  // > kWheelSize
+  uarch::ClusterSim rtl(tera::TeraPoolConfig::tiny(), cfg, 1);
+  rtl.load_program(prog("_start:\n li t0, 0x40000000\n sw zero, 0(t0)\n"));
+  const auto r = rtl.run();
+  EXPECT_TRUE(r.exited);
+  EXPECT_GT(r.cycles, 20000u);
+}
+
+TEST(FaultLayout, MisconfiguredLayoutsThrow) {
+  kern::MmseLayout lay;
+  lay.cluster = tera::TeraPoolConfig::tiny();
+  lay.ntx = 3;  // unsupported odd size
+  lay.nrx = 3;
+  EXPECT_THROW(lay.validate(), SimError);
+  lay.ntx = 8;
+  lay.nrx = 4;  // NRX < NTX: under-determined
+  EXPECT_THROW(lay.validate(), SimError);
+}
+
+TEST(FaultStage, ShapeMismatchesAreRejected) {
+  kern::MmseLayout lay;
+  lay.ntx = 4;
+  lay.nrx = 4;
+  lay.cluster = tera::TeraPoolConfig::tiny();
+  tera::ClusterMemory mem(lay.cluster);
+  sim::MimoProblem p;
+  p.h = phy::CMat(2, 2);  // wrong shape
+  p.y.resize(4);
+  EXPECT_THROW(sim::stage_problem(mem, lay, 0, 0, p), SimError);
+}
+
+TEST(FaultKernelGen, BadUnrollIsRejected) {
+  kern::MmseLayout lay;
+  lay.ntx = 4;
+  lay.nrx = 4;
+  lay.cluster = tera::TeraPoolConfig::tiny();
+  // 4 elements per dot product; unroll 3 does not divide the step count.
+  EXPECT_THROW(kern::build_mmse_program(lay, {.gram_unroll = 3}), SimError);
+}
+
+TEST(FaultMachine, HartCountBeyondClusterStillConstructs) {
+  // active_harts = 0 means "all cores"; explicit counts are honored as-is.
+  iss::Machine m(tera::TeraPoolConfig::tiny(), {}, 0);
+  EXPECT_EQ(m.num_harts(), tera::TeraPoolConfig::tiny().num_cores());
+}
+
+TEST(FaultBarrier, WrongParticipantCountDeadlocks) {
+  // A 4-hart barrier executed by only 2 harts must be caught as deadlock
+  // rather than hanging the host.
+  iss::Machine m(tera::TeraPoolConfig::tiny(), {}, 2);
+  m.load_program(prog(R"(
+    _start:
+      li t3, 0x80
+      li t4, 1
+      amoadd.w t5, t4, (t3)
+      li t6, 3
+      beq t5, t6, last
+      wfi
+    last:
+      wfi
+      j _start
+  )"));
+  const auto r = m.run();
+  EXPECT_TRUE(r.deadlock);
+}
+
+}  // namespace
+}  // namespace tsim

@@ -1,0 +1,294 @@
+// Fast ISS tests: program execution, timing model (static latencies + RAW
+// scoreboard), multi-hart scheduling, barriers, wfi/wake, determinism, and
+// single- vs multi-thread equivalence.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iss/machine.h"
+#include "rvasm/textasm.h"
+#include "tera/addr_map.h"
+
+namespace tsim::iss {
+namespace {
+
+rvasm::Program prog(const std::string& text) { return rvasm::assemble(text); }
+
+/// Convenience: machine with N harts on the tiny cluster. (Machine holds
+/// atomics, so it is neither movable nor copyable - heap-allocate it.)
+std::unique_ptr<Machine> make_machine(const std::string& text, u32 harts = 1,
+                                      TimingConfig t = {}) {
+  auto m = std::make_unique<Machine>(tera::TeraPoolConfig::tiny(), t, harts);
+  m->load_program(prog(text));
+  return m;
+}
+
+TEST(Iss, RunsToExitStore) {
+  auto m = make_machine(R"(
+    _start:
+      li t0, 0x40000000   # exit MMIO
+      li t1, 5
+      sw t1, 0(t0)
+  )");
+  const auto r = m->run();
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 5u);
+}
+
+TEST(Iss, CountsInstructionsAndLoop) {
+  auto m = make_machine(R"(
+    _start:
+      li t0, 10
+      li t1, 0
+    loop:
+      addi t1, t1, 1
+      addi t0, t0, -1
+      bnez t0, loop
+      li t2, 0x40000000
+      sw t1, 0(t2)
+  )");
+  const auto r = m->run();
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 10u);
+  // 2 + 10*3 + 2 (li t2 is li+nothing; sw) = 34-ish; exact: 2 + 30 + 1 + 1.
+  EXPECT_EQ(m->hart(0).instructions(), 34u);
+}
+
+TEST(Iss, EbreakHaltsHart) {
+  auto m = make_machine("_start:\n nop\n ebreak\n");
+  const auto r = m->run();
+  EXPECT_FALSE(r.exited);
+  EXPECT_TRUE(m->hart(0).state.halted);
+  EXPECT_FALSE(m->hart(0).state.trapped);
+}
+
+TEST(Iss, InvalidInstructionTraps) {
+  auto m = make_machine("_start:\n .word 0xFFFFFFFF\n");
+  m->run();
+  EXPECT_TRUE(m->hart(0).state.trapped);
+}
+
+TEST(Iss, PutcharConsole) {
+  auto m = make_machine(R"(
+    _start:
+      li t0, 0x40000004
+      li t1, 72        # 'H'
+      sw t1, 0(t0)
+      li t1, 105       # 'i'
+      sw t1, 0(t0)
+      ebreak
+  )");
+  m->run();
+  EXPECT_EQ(m->memory().console(), "Hi");
+}
+
+// ----- timing model -----
+
+TEST(IssTiming, RawStallOnLoadUse) {
+  // Immediate use of a load result stalls for the static memory latency.
+  auto strict = make_machine(R"(
+    _start:
+      li t0, 0x100
+      lw t1, 0(t0)
+      addi t1, t1, 1    # immediate consumer
+      ebreak
+  )");
+  strict->run();
+  const u64 with_use = strict->hart(0).cycles();
+
+  auto relaxed = make_machine(R"(
+    _start:
+      li t0, 0x100
+      lw t1, 0(t0)
+      addi t2, zero, 1  # independent instruction
+      ebreak
+  )");
+  relaxed->run();
+  const u64 without_use = relaxed->hart(0).cycles();
+  EXPECT_GT(with_use, without_use);
+  EXPECT_GT(strict->hart(0).raw_stall_cycles, 0u);
+  EXPECT_EQ(relaxed->hart(0).raw_stall_cycles, 0u);
+}
+
+TEST(IssTiming, ScoreboardOffRemovesStalls) {
+  TimingConfig t;
+  t.scoreboard = false;
+  auto m = make_machine(R"(
+    _start:
+      li t0, 0x100
+      lw t1, 0(t0)
+      addi t1, t1, 1
+      ebreak
+  )", 1, t);
+  m->run();
+  EXPECT_EQ(m->hart(0).raw_stall_cycles, 0u);
+}
+
+TEST(IssTiming, StaticMemoryLatencyIsConfigurable) {
+  const auto body = R"(
+    _start:
+      li t0, 0x100
+      lw t1, 0(t0)
+      addi t1, t1, 1
+      ebreak
+  )";
+  TimingConfig t9;  // default 9
+  auto m9 = make_machine(body, 1, t9);
+  m9->run();
+  TimingConfig t1;
+  t1.static_mem_latency = 1;
+  auto m1 = make_machine(body, 1, t1);
+  m1->run();
+  EXPECT_GT(m9->hart(0).cycles(), m1->hart(0).cycles());
+}
+
+TEST(IssTiming, TakenBranchCostsMore) {
+  auto taken = make_machine(R"(
+    _start:
+      li t0, 1
+      bnez t0, skip
+      nop
+    skip:
+      ebreak
+  )");
+  taken->run();
+  auto fallthrough = make_machine(R"(
+    _start:
+      li t0, 0
+      bnez t0, skip
+      nop
+    skip:
+      ebreak
+  )");
+  fallthrough->run();
+  // Same instruction count +-1; the taken branch pays the flush penalty.
+  EXPECT_GT(taken->hart(0).cycles() + 1, fallthrough->hart(0).cycles());
+}
+
+TEST(IssTiming, MixHistogramIsPopulated) {
+  auto m = make_machine(R"(
+    _start:
+      li t0, 0x100
+      lw t1, 0(t0)
+      sw t1, 4(t0)
+      mul t2, t1, t1
+      fadd.h t3, t1, t2
+      ebreak
+  )");
+  m->run();
+  const auto& mix = m->hart(0).mix;
+  EXPECT_GT(mix[static_cast<size_t>(rv::Mix::kLoad)], 0u);
+  EXPECT_GT(mix[static_cast<size_t>(rv::Mix::kStore)], 0u);
+  EXPECT_GT(mix[static_cast<size_t>(rv::Mix::kMul)], 0u);
+  EXPECT_GT(mix[static_cast<size_t>(rv::Mix::kFp)], 0u);
+  EXPECT_GT(mix[static_cast<size_t>(rv::Mix::kAlu)], 0u);
+}
+
+// ----- multi-hart -----
+
+const char* kParallelSum = R"(
+    # Each hart adds hartid+1 into a shared accumulator with amoadd, then
+    # hart 0 exits after a software barrier (amoadd counter + wfi/wake).
+    _start:
+      csrr t0, mhartid
+      addi t1, t0, 1
+      li t2, 0x200          # accumulator
+      amoadd.w zero, t1, (t2)
+      # barrier
+      li t3, 0x80           # barrier counter
+      li t4, 1
+      amoadd.w t5, t4, (t3)
+      li t6, 3              # nharts-1
+      beq t5, t6, last
+      wfi
+      j after
+    last:
+      sw zero, 0(t3)
+      li s2, 0x40000008     # wake MMIO
+      li s3, -1
+      sw s3, 0(s2)
+    after:
+      csrr t0, mhartid
+      bnez t0, park
+      li s4, 0x200
+      lw s5, 0(s4)
+      li s6, 0x40000000
+      sw s5, 0(s6)          # exit with the sum
+    park:
+      wfi
+      j park
+)";
+
+TEST(IssMultiHart, BarrierAndSharedMemory) {
+  Machine m(tera::TeraPoolConfig::tiny(), TimingConfig{}, 4);
+  m.load_program(prog(kParallelSum));
+  const auto r = m.run();
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 1u + 2 + 3 + 4);
+}
+
+TEST(IssMultiHart, MultiThreadMatchesSingleThread) {
+  Machine single(tera::TeraPoolConfig::tiny(), TimingConfig{}, 4);
+  single.load_program(prog(kParallelSum));
+  const auto r1 = single.run();
+
+  Machine multi(tera::TeraPoolConfig::tiny(), TimingConfig{}, 4);
+  multi.load_program(prog(kParallelSum));
+  const auto r2 = multi.run_threads(2);
+
+  EXPECT_TRUE(r2.exited);
+  EXPECT_EQ(r1.exit_code, r2.exit_code);
+  // The shared-memory result is schedule-independent. (Per-hart instruction
+  // counts of the post-exit park loops are not: the exit store races with
+  // other harts' parking, exactly as on the real hardware.)
+  EXPECT_EQ(single.memory().host_read_word(0x200),
+            multi.memory().host_read_word(0x200));
+}
+
+TEST(IssMultiHart, RerunAfterResetIsDeterministic) {
+  Machine m(tera::TeraPoolConfig::tiny(), TimingConfig{}, 4);
+  m.load_program(prog(kParallelSum));
+  const auto r1 = m.run();
+  const u64 c1 = m.estimated_cycles();
+  const std::vector<u32> zero_word = {0};
+  m.memory().host_write_words(0x200, zero_word);  // clear accumulator
+  m.reset_harts();
+  const auto r2 = m.run();
+  EXPECT_EQ(r1.exit_code, r2.exit_code);
+  EXPECT_EQ(c1, m.estimated_cycles());
+}
+
+TEST(IssMultiHart, DeadlockIsDetected) {
+  auto m = make_machine("_start:\n wfi\n j _start\n", 2);
+  const auto r = m->run();
+  EXPECT_TRUE(r.deadlock);
+}
+
+TEST(IssMultiHart, WfiStallCyclesAccounted) {
+  Machine m(tera::TeraPoolConfig::tiny(), TimingConfig{}, 4);
+  m.load_program(prog(kParallelSum));
+  m.run();
+  // At least one non-last hart must have slept at the barrier.
+  u64 total_wfi = 0;
+  for (u32 i = 0; i < 4; ++i) total_wfi += m.hart(i).wfi_stall_cycles;
+  EXPECT_GT(total_wfi, 0u);
+}
+
+TEST(Iss, MaxInstructionBudgetStopsRunaway) {
+  auto m = make_machine("_start:\n j _start\n");
+  const auto r = m->run(1000);
+  EXPECT_EQ(r.instructions, 1000u);
+  EXPECT_FALSE(r.exited);
+}
+
+TEST(Iss, TranslationCacheCoversProgram) {
+  const auto p = prog("_start:\n nop\n ebreak\n");
+  TranslationCache tc(p);
+  EXPECT_EQ(tc.size(), p.words.size());
+  EXPECT_NE(tc.lookup(p.base), nullptr);
+  EXPECT_EQ(tc.lookup(p.base + 1), nullptr);        // misaligned
+  EXPECT_EQ(tc.lookup(p.base + 0x10000), nullptr);  // out of range
+}
+
+}  // namespace
+}  // namespace tsim::iss

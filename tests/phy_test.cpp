@@ -1,0 +1,225 @@
+// PHY layer tests: linear algebra identities, QAM gray mapping, channel
+// statistics, golden MMSE behaviour, and BER sanity under known SNR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/ber.h"
+#include "phy/channel.h"
+#include "phy/mmse.h"
+#include "phy/qam.h"
+#include "phy/quantize.h"
+
+namespace tsim::phy {
+namespace {
+
+CMat random_matrix(u32 rows, u32 cols, Rng& rng) {
+  CMat m(rows, cols);
+  for (auto& v : m.data()) v = cd(rng.normal(), rng.normal());
+  return m;
+}
+
+TEST(Linalg, HermitianTransposes) {
+  Rng rng(1);
+  const CMat a = random_matrix(3, 5, rng);
+  const CMat ah = hermitian(a);
+  EXPECT_EQ(ah.rows(), 5u);
+  EXPECT_EQ(ah.cols(), 3u);
+  EXPECT_EQ(ah.at(2, 1), std::conj(a.at(1, 2)));
+}
+
+TEST(Linalg, MatmulIdentity) {
+  Rng rng(2);
+  const CMat a = random_matrix(4, 4, rng);
+  const CMat i = CMat::identity(4);
+  const CMat ai = matmul(a, i);
+  for (u32 r = 0; r < 4; ++r)
+    for (u32 c = 0; c < 4; ++c) EXPECT_NEAR(std::abs(ai.at(r, c) - a.at(r, c)), 0, 1e-12);
+}
+
+TEST(Linalg, GramMatchesExplicitProduct) {
+  Rng rng(3);
+  const CMat h = random_matrix(6, 4, rng);
+  const CMat g1 = gram(h, 0.25);
+  CMat g2 = matmul(hermitian(h), h);
+  for (u32 i = 0; i < 4; ++i) g2.at(i, i) += 0.25;
+  for (u32 r = 0; r < 4; ++r)
+    for (u32 c = 0; c < 4; ++c)
+      EXPECT_NEAR(std::abs(g1.at(r, c) - g2.at(r, c)), 0.0, 1e-10);
+}
+
+TEST(Linalg, CholeskyReconstructs) {
+  Rng rng(4);
+  const CMat h = random_matrix(8, 4, rng);
+  const CMat g = gram(h, 0.5);
+  const CMat l = cholesky(g);
+  const CMat rebuilt = matmul(l, hermitian(l));
+  for (u32 r = 0; r < 4; ++r) {
+    EXPECT_GT(l.at(r, r).real(), 0.0);
+    EXPECT_NEAR(l.at(r, r).imag(), 0.0, 1e-12);
+    for (u32 c = 0; c < 4; ++c)
+      EXPECT_NEAR(std::abs(rebuilt.at(r, c) - g.at(r, c)), 0.0, 1e-9);
+  }
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite) {
+  CMat g = CMat::identity(2);
+  g.at(1, 1) = -1.0;
+  EXPECT_THROW(cholesky(g), SimError);
+}
+
+TEST(Linalg, TriangularSolvesInvert) {
+  Rng rng(5);
+  const CMat h = random_matrix(8, 5, rng);
+  const CMat g = gram(h, 0.3);
+  const CMat l = cholesky(g);
+  std::vector<cd> b(5);
+  for (auto& v : b) v = cd(rng.normal(), rng.normal());
+  // Solve G x = b via the two triangular systems and check the residual.
+  const auto w = forward_solve(l, b);
+  const auto x = backward_solve(l, w);
+  const auto gx = matvec(g, x);
+  for (u32 i = 0; i < 5; ++i) EXPECT_NEAR(std::abs(gx[i] - b[i]), 0.0, 1e-9);
+}
+
+TEST(Qam, MapDemapRoundTripsAllSymbols) {
+  for (const u32 order : {4u, 16u, 64u, 256u}) {
+    QamModulator qam(order);
+    const u32 k = qam.bits_per_symbol();
+    for (u32 sym = 0; sym < order; ++sym) {
+      std::vector<u8> bits(k);
+      for (u32 b = 0; b < k; ++b) bits[b] = (sym >> (k - 1 - b)) & 1;
+      const auto point = qam.map(bits);
+      std::vector<u8> back(k);
+      qam.demap(point, back);
+      EXPECT_EQ(back, bits) << "order " << order << " sym " << sym;
+    }
+  }
+}
+
+TEST(Qam, UnitAverageEnergy) {
+  for (const u32 order : {4u, 16u, 64u}) {
+    QamModulator qam(order);
+    const u32 k = qam.bits_per_symbol();
+    double energy = 0.0;
+    for (u32 sym = 0; sym < order; ++sym) {
+      std::vector<u8> bits(k);
+      for (u32 b = 0; b < k; ++b) bits[b] = (sym >> (k - 1 - b)) & 1;
+      energy += std::norm(qam.map(bits));
+    }
+    EXPECT_NEAR(energy / order, 1.0, 1e-12);
+  }
+}
+
+TEST(Qam, GrayNeighborsDifferByOneBit) {
+  // Adjacent I-axis constellation points must differ in exactly one bit.
+  QamModulator qam(16);
+  std::vector<u8> a(4), b(4);
+  for (double lvl = -3; lvl < 3; lvl += 2) {
+    const double s = 1.0 / std::sqrt(10.0);
+    qam.demap(cd(lvl * s, s), a);
+    qam.demap(cd((lvl + 2) * s, s), b);
+    int diff = 0;
+    for (u32 i = 0; i < 4; ++i) diff += (a[i] != b[i]) ? 1 : 0;
+    EXPECT_EQ(diff, 1);
+  }
+}
+
+TEST(Qam, RejectsUnsupportedOrder) { EXPECT_THROW(QamModulator(32), SimError); }
+
+TEST(Channel, AwgnIsIdentityCoupling) {
+  Rng rng(6);
+  Channel ch(ChannelType::kAwgn, 4, 4);
+  const CMat h = ch.realize(rng);
+  for (u32 r = 0; r < 4; ++r)
+    for (u32 c = 0; c < 4; ++c)
+      EXPECT_EQ(h.at(r, c), (r == c) ? cd(1.0) : cd(0.0));
+}
+
+TEST(Channel, RayleighHasUnitRowPower) {
+  Rng rng(7);
+  Channel ch(ChannelType::kRayleigh, 8, 8);
+  double power = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    const CMat h = ch.realize(rng);
+    for (u32 c = 0; c < 8; ++c) power += std::norm(h.at(0, c));
+  }
+  // Sum over NTX entries of one receive row ~ 1 under the 1/NTX scaling.
+  EXPECT_NEAR(power / trials, 1.0, 0.1);
+}
+
+TEST(Channel, NoisePowerMatchesSigma) {
+  Rng rng(8);
+  Channel ch(ChannelType::kAwgn, 4, 4);
+  const CMat h = ch.realize(rng);
+  const std::vector<cd> x(4, cd(0.0));
+  const double sigma2 = 0.5;
+  double measured = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const auto y = ch.transmit(h, x, sigma2, rng);
+    for (const auto& v : y) measured += std::norm(v);
+  }
+  EXPECT_NEAR(measured / (trials * 4), sigma2, 0.05);
+}
+
+TEST(Mmse, PerfectRecoveryWithoutNoise) {
+  Rng rng(9);
+  Channel ch(ChannelType::kRayleigh, 8, 4);
+  const CMat h = ch.realize(rng);
+  std::vector<cd> x = {cd(1, 0), cd(0, -1), cd(-1, 0), cd(0, 1)};
+  const auto y = matvec(h, x);
+  const auto xhat = mmse_detect(h, y, 1e-9);
+  for (u32 i = 0; i < 4; ++i) EXPECT_NEAR(std::abs(xhat[i] - x[i]), 0.0, 1e-3);
+}
+
+TEST(Mmse, ShrinksTowardZeroAtLowSnr) {
+  Rng rng(10);
+  Channel ch(ChannelType::kRayleigh, 4, 4);
+  const CMat h = ch.realize(rng);
+  std::vector<cd> x = {cd(1, 0), cd(1, 0), cd(1, 0), cd(1, 0)};
+  const auto y = matvec(h, x);
+  const auto strong = mmse_detect(h, y, 1e-6);
+  const auto weak = mmse_detect(h, y, 100.0);
+  double n_strong = 0, n_weak = 0;
+  for (u32 i = 0; i < 4; ++i) {
+    n_strong += std::abs(strong[i]);
+    n_weak += std::abs(weak[i]);
+  }
+  EXPECT_LT(n_weak, n_strong);  // heavy regularization shrinks the estimate
+}
+
+TEST(Ber, CounterAccumulates) {
+  BerCounter ber;
+  const std::vector<u8> a = {0, 1, 1, 0, 1};
+  const std::vector<u8> b = {0, 1, 0, 0, 0};
+  ber.add(a, b);
+  EXPECT_EQ(ber.errors(), 2u);
+  EXPECT_EQ(ber.bits(), 5u);
+  EXPECT_DOUBLE_EQ(ber.ber(), 0.4);
+}
+
+TEST(Quantize, Fp16RoundTripAccuracy) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const cd v(rng.normal(), rng.normal());
+    const cd q = quantize_cf16(v);
+    EXPECT_NEAR(q.real(), v.real(), std::abs(v.real()) * 6e-4 + 1e-6);
+    EXPECT_NEAR(q.imag(), v.imag(), std::abs(v.imag()) * 6e-4 + 1e-6);
+  }
+}
+
+TEST(Quantize, Fp8IsMuchCoarser) {
+  Rng rng(12);
+  double err16 = 0, err8 = 0;
+  for (int i = 0; i < 500; ++i) {
+    const cd v(rng.normal(), rng.normal());
+    err16 += std::abs(quantize_cf16(v) - v);
+    err8 += std::abs(quantize_cf8(v) - v);
+  }
+  EXPECT_GT(err8, 10.0 * err16);
+}
+
+}  // namespace
+}  // namespace tsim::phy

@@ -1,0 +1,198 @@
+// Property-based tests: invariants that must hold over randomized inputs,
+// exercised with parameterized sweeps (gtest TEST_P / typed tests).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "phy/qam.h"
+#include "rv/decode.h"
+#include "rv/encoding.h"
+#include "rv/disasm.h"
+#include "rvasm/textasm.h"
+#include "softfloat/minifloat.h"
+
+namespace tsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Soft-float properties over all three FP8 formats plus binary16.
+// ---------------------------------------------------------------------------
+
+template <typename Fmt>
+class FormatProps : public ::testing::Test {};
+
+using AllFormats =
+    ::testing::Types<sf::F16, sf::F8E4M3, sf::F8E5M2, sf::F8E4M2>;
+TYPED_TEST_SUITE(FormatProps, AllFormats);
+
+TYPED_TEST(FormatProps, RoundingIsMonotonic) {
+  // a <= b implies round(a) <= round(b): encode a rising ramp and check the
+  // decoded sequence never decreases.
+  using Fmt = TypeParam;
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double v = -20.0; v <= 20.0; v += 0.0137) {
+    const double q = Fmt::to_double(Fmt::from_double(v));
+    EXPECT_GE(q, prev) << "at v=" << v;
+    prev = q;
+  }
+}
+
+TYPED_TEST(FormatProps, EncodingIsIdempotent) {
+  using Fmt = TypeParam;
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const u32 once = Fmt::from_double(rng.normal() * 4.0);
+    const u32 twice = Fmt::from_double(Fmt::to_double(once));
+    EXPECT_EQ(once, twice);
+  }
+}
+
+TYPED_TEST(FormatProps, AddIsCommutative) {
+  using Fmt = TypeParam;
+  Rng rng(18);
+  for (int i = 0; i < 1000; ++i) {
+    const u32 a = Fmt::from_double(rng.normal());
+    const u32 b = Fmt::from_double(rng.normal());
+    EXPECT_EQ((sf::add<Fmt>(a, b)), (sf::add<Fmt>(b, a)));
+    EXPECT_EQ((sf::mul<Fmt>(a, b)), (sf::mul<Fmt>(b, a)));
+  }
+}
+
+TYPED_TEST(FormatProps, NegationIsExact) {
+  using Fmt = TypeParam;
+  Rng rng(19);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal();
+    EXPECT_EQ(Fmt::from_double(-v), Fmt::from_double(v) ^ Fmt::kSignBit);
+  }
+}
+
+TYPED_TEST(FormatProps, AddZeroIsIdentity) {
+  using Fmt = TypeParam;
+  for (u32 enc = 0; enc < (1u << Fmt::kBits); ++enc) {
+    if (Fmt::is_nan(enc) || Fmt::is_inf(enc)) continue;
+    const u32 z = Fmt::from_double(0.0);
+    const u32 sum = sf::add<Fmt>(enc, z);
+    EXPECT_DOUBLE_EQ(Fmt::to_double(sum), Fmt::to_double(enc)) << enc;
+  }
+}
+
+TYPED_TEST(FormatProps, FmaMatchesExactArithmeticWithinOneRounding) {
+  using Fmt = TypeParam;
+  Rng rng(20);
+  for (int i = 0; i < 1000; ++i) {
+    const u32 a = Fmt::from_double(rng.normal());
+    const u32 b = Fmt::from_double(rng.normal());
+    const u32 c = Fmt::from_double(rng.normal());
+    const double exact =
+        Fmt::to_double(a) * Fmt::to_double(b) + Fmt::to_double(c);
+    EXPECT_EQ((sf::fma<Fmt>(a, b, c)), Fmt::from_double(exact));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QAM properties.
+// ---------------------------------------------------------------------------
+
+class QamProps : public ::testing::TestWithParam<u32> {};
+
+TEST_P(QamProps, DemapIsRobustToSubThresholdNoise) {
+  // Hard decisions survive any perturbation smaller than half the minimum
+  // constellation distance.
+  phy::QamModulator qam(GetParam());
+  const double dmin_half = 1.0 / std::sqrt(2.0 * (GetParam() - 1) / 3.0) * 0.98;
+  Rng rng(21);
+  const u32 k = qam.bits_per_symbol();
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<u8> bits(k);
+    for (auto& b : bits) b = rng.bit();
+    const auto sym = qam.map(bits);
+    const double angle = rng.uniform() * 2 * M_PI;
+    const auto noisy = sym + std::polar(dmin_half * rng.uniform(), angle);
+    std::vector<u8> back(k);
+    qam.demap(noisy, back);
+    EXPECT_EQ(back, bits);
+  }
+}
+
+TEST_P(QamProps, MapIsInjective) {
+  phy::QamModulator qam(GetParam());
+  const u32 k = qam.bits_per_symbol();
+  std::vector<std::complex<double>> points;
+  for (u32 sym = 0; sym < GetParam(); ++sym) {
+    std::vector<u8> bits(k);
+    for (u32 b = 0; b < k; ++b) bits[b] = (sym >> (k - 1 - b)) & 1;
+    points.push_back(qam.map(bits));
+  }
+  for (size_t i = 0; i < points.size(); ++i)
+    for (size_t j = i + 1; j < points.size(); ++j)
+      EXPECT_GT(std::abs(points[i] - points[j]), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, QamProps, ::testing::Values(4u, 16u, 64u, 256u));
+
+// ---------------------------------------------------------------------------
+// ISA properties: text round trip through the disassembler.
+// ---------------------------------------------------------------------------
+
+TEST(IsaProps, DisasmOutputReassemblesForEveryNonBranchInstruction) {
+  // For every instruction whose disassembly does not reference a code label
+  // (branches/jumps print numeric offsets), the printed text must assemble
+  // back to the identical word.
+  for (const auto& def : rv::isa_table()) {
+    if (def.op == rv::Op::kInvalid) continue;
+    if (def.fmt == rv::Fmt::kB || def.fmt == rv::Fmt::kJ) continue;
+    rv::Decoded d;
+    d.op = def.op;
+    d.rd = 10;
+    d.rs1 = 11;
+    d.rs2 = 12;
+    d.rs3 = 13;
+    switch (def.fmt) {
+      case rv::Fmt::kI:
+      case rv::Fmt::kILoad:
+      case rv::Fmt::kS:
+        d.imm = -44;
+        break;
+      case rv::Fmt::kIShift:
+      case rv::Fmt::kPLanes:
+        d.imm = 1;
+        break;
+      case rv::Fmt::kU:
+        d.imm = static_cast<i32>(0x12345u << 12);
+        break;
+      case rv::Fmt::kCsr:
+      case rv::Fmt::kCsrI:
+        d.imm = 0xF14;
+        break;
+      default:
+        d.imm = 0;
+        break;
+    }
+    if (def.fmt == rv::Fmt::kNullary) d = rv::Decoded{.op = def.op};
+    if (def.fmt == rv::Fmt::kCsrI) d.rs1 = 7;  // uimm5
+    if (def.op == rv::Op::kLrW) d.rs2 = 0;
+
+    const u32 word = rv::encode(d);
+    const std::string text = rv::disassemble_word(word);
+    SCOPED_TRACE(text);
+    const auto prog = rvasm::assemble(text);
+    ASSERT_EQ(prog.words.size(), 1u);
+    EXPECT_EQ(prog.words[0], word);
+  }
+}
+
+TEST(IsaProps, DecodeNeverMatchesTwoInstructions) {
+  // Every (match, mask) pair must be unambiguous: no other table entry may
+  // accept another entry's match word.
+  for (const auto& a : rv::isa_table()) {
+    if (a.op == rv::Op::kInvalid) continue;
+    const auto d = rv::decode(a.match);
+    EXPECT_EQ(d.op, a.op) << a.mnemonic << " decoded as "
+                          << rv::def_of(d.op).mnemonic;
+  }
+}
+
+}  // namespace
+}  // namespace tsim

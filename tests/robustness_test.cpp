@@ -1,0 +1,162 @@
+// Robustness and determinism sweeps: engine reproducibility, numerically
+// hard inputs, and a parameterized accuracy matrix over (size, precision).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "iss/machine.h"
+#include "kernels/mmse_program.h"
+#include "phy/mmse.h"
+#include "sim/cosim.h"
+#include "uarch/cluster_sim.h"
+
+namespace tsim {
+namespace {
+
+using kern::MmseLayout;
+using kern::Precision;
+
+MmseLayout tiny_layout(u32 n, Precision prec, u32 cores = 1) {
+  MmseLayout lay;
+  lay.ntx = n;
+  lay.nrx = n;
+  lay.prec = prec;
+  lay.num_cores = cores;
+  lay.cluster = tera::TeraPoolConfig::tiny();
+  lay.validate();
+  return lay;
+}
+
+sim::MimoProblem rayleigh_problem(u32 n, double snr_db, u64 seed) {
+  Rng rng(seed);
+  phy::Channel ch(phy::ChannelType::kRayleigh, n, n);
+  phy::QamModulator qam(16);
+  const auto batch = sim::generate_batch(ch, qam, n, 1, snr_db, rng);
+  return batch.problems[0];
+}
+
+TEST(Robustness, UarchRerunIsCycleExact) {
+  const auto lay = tiny_layout(8, Precision::k16WDotp, 4);
+  const auto program = kern::build_mmse_program(lay);
+  u64 cycles[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    uarch::ClusterSim rtl(lay.cluster, uarch::UarchConfig{}, 4);
+    rtl.load_program(program);
+    for (u32 c = 0; c < 4; ++c)
+      sim::stage_problem(rtl.memory(), lay, c, 0, rayleigh_problem(8, 12.0, 100 + c));
+    const auto res = rtl.run();
+    ASSERT_TRUE(res.exited);
+    cycles[pass] = res.cycles;
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+}
+
+TEST(Robustness, UarchResetReusesTheSameInstance) {
+  const auto lay = tiny_layout(4, Precision::k16CDotp, 2);
+  uarch::ClusterSim rtl(lay.cluster, uarch::UarchConfig{}, 2);
+  rtl.load_program(kern::build_mmse_program(lay));
+  u64 first = 0;
+  for (int pass = 0; pass < 3; ++pass) {
+    rtl.reset();
+    rtl.memory().reset_l1();
+    for (u32 c = 0; c < 2; ++c)
+      sim::stage_problem(rtl.memory(), lay, c, 0, rayleigh_problem(4, 10.0, 7 + c));
+    const auto res = rtl.run();
+    ASSERT_TRUE(res.exited);
+    if (pass == 0) {
+      first = res.cycles;
+    } else {
+      EXPECT_EQ(res.cycles, first);
+    }
+  }
+}
+
+TEST(Robustness, NearSingularProblemStaysFinite) {
+  // Two identical user channels make G rank-deficient up to the sigma^2
+  // regularization; the fp16 Cholesky must still produce finite output.
+  sim::MimoProblem p;
+  p.h = phy::CMat(4, 4);
+  for (u32 r = 0; r < 4; ++r) {
+    p.h.at(r, 0) = phy::cd(0.5, -0.25);
+    p.h.at(r, 1) = p.h.at(r, 0);  // duplicated column
+    p.h.at(r, 2) = phy::cd(-0.3, 0.4);
+    p.h.at(r, 3) = phy::cd(0.1, r * 0.1);
+  }
+  p.y = {phy::cd(1, 0), phy::cd(0, 1), phy::cd(-1, 0), phy::cd(0, -1)};
+  p.sigma2 = 0.05;
+
+  const auto lay = tiny_layout(4, Precision::k16WDotp);
+  iss::Machine machine(lay.cluster, iss::TimingConfig{}, 1);
+  machine.load_program(kern::build_mmse_program(lay));
+  sim::stage_problem(machine.memory(), lay, 0, 0, p);
+  ASSERT_TRUE(machine.run().exited);
+  const auto xhat = sim::read_xhat(machine.memory(), lay, 0, 0);
+  for (u32 i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::isfinite(xhat[i].real()) && std::isfinite(xhat[i].imag()))
+        << "element " << i;
+  }
+  // And it should still be a sensible regularized solution.
+  const auto golden = phy::mmse_detect(p.h, p.y, p.sigma2);
+  for (u32 i = 0; i < 4; ++i) EXPECT_LT(std::abs(xhat[i] - golden[i]), 0.2);
+}
+
+TEST(Robustness, ZeroReceivedVectorGivesZeroEstimate) {
+  sim::MimoProblem p = rayleigh_problem(4, 10.0, 55);
+  std::fill(p.y.begin(), p.y.end(), phy::cd(0, 0));
+  const auto lay = tiny_layout(4, Precision::k16CDotp);
+  iss::Machine machine(lay.cluster, iss::TimingConfig{}, 1);
+  machine.load_program(kern::build_mmse_program(lay));
+  sim::stage_problem(machine.memory(), lay, 0, 0, p);
+  ASSERT_TRUE(machine.run().exited);
+  const auto xhat = sim::read_xhat(machine.memory(), lay, 0, 0);
+  for (u32 i = 0; i < 4; ++i) EXPECT_EQ(xhat[i], phy::cd(0, 0));
+}
+
+TEST(Robustness, HighNoiseShrinksDutEstimateLikeGolden) {
+  sim::MimoProblem p = rayleigh_problem(4, 10.0, 66);
+  p.sigma2 = 16.0;  // heavy regularization
+  const auto lay = tiny_layout(4, Precision::k16WDotp);
+  iss::Machine machine(lay.cluster, iss::TimingConfig{}, 1);
+  machine.load_program(kern::build_mmse_program(lay));
+  sim::stage_problem(machine.memory(), lay, 0, 0, p);
+  ASSERT_TRUE(machine.run().exited);
+  const auto xhat = sim::read_xhat(machine.memory(), lay, 0, 0);
+  for (u32 i = 0; i < 4; ++i) EXPECT_LT(std::abs(xhat[i]), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Accuracy matrix: (MIMO size x 16-bit precision) against the golden model.
+// ---------------------------------------------------------------------------
+
+using SweepParam = std::tuple<u32, Precision>;
+
+class AccuracySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AccuracySweep, TracksGoldenOnRayleigh) {
+  const auto [n, prec] = GetParam();
+  const auto lay = tiny_layout(n, prec);
+  const auto p = rayleigh_problem(n, 13.0, 1000 + n);
+  iss::Machine machine(lay.cluster, iss::TimingConfig{}, 1);
+  machine.load_program(kern::build_mmse_program(lay));
+  sim::stage_problem(machine.memory(), lay, 0, 0, p);
+  ASSERT_TRUE(machine.run().exited);
+  const auto xhat = sim::read_xhat(machine.memory(), lay, 0, 0);
+  const auto golden = phy::mmse_detect(p.h, p.y, p.sigma2);
+  double worst = 0;
+  for (u32 i = 0; i < n; ++i) worst = std::max(worst, std::abs(xhat[i] - golden[i]));
+  // fp16 absolute error grows mildly with the accumulation length.
+  EXPECT_LT(worst, n <= 8 ? 0.08 : 0.3) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndPrecisions, AccuracySweep,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u),
+                       ::testing::Values(Precision::k16Half, Precision::k16WDotp,
+                                         Precision::k16CDotp)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_" +
+             std::string(kern::name_of(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace tsim

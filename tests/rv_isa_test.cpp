@@ -1,0 +1,484 @@
+// ISA table integrity, encode/decode round trips, and instruction
+// semantics tests (executing single decoded instructions on a hart).
+#include <gtest/gtest.h>
+
+#include "rv/decode.h"
+#include "rv/disasm.h"
+#include "rv/encoding.h"
+#include "rv/reg.h"
+#include "rv/exec.h"
+#include "rv/fp_formats.h"
+#include "softfloat/minifloat.h"
+#include "softfloat/packed.h"
+#include "tera/memory.h"
+
+namespace tsim::rv {
+namespace {
+
+TEST(IsaTable, EveryOpIsDefinedExactlyOnce) {
+  const auto table = isa_table();
+  for (size_t i = 1; i < kNumOps; ++i) {
+    const auto& def = table[i];
+    EXPECT_EQ(static_cast<size_t>(def.op), i) << "op index " << i;
+    EXPECT_FALSE(def.mnemonic.empty());
+    EXPECT_GE(def.issue_cycles, 1);
+    EXPECT_GE(def.result_latency, 1);
+  }
+}
+
+TEST(IsaTable, MatchBitsAreWithinMask) {
+  for (const auto& def : isa_table()) {
+    if (def.op == Op::kInvalid) continue;
+    EXPECT_EQ(def.match & ~def.mask, 0u) << def.mnemonic;
+  }
+}
+
+TEST(IsaTable, MnemonicLookupIsExhaustive) {
+  for (const auto& def : isa_table()) {
+    if (def.op == Op::kInvalid) continue;
+    const InstrDef* found = find_mnemonic(def.mnemonic);
+    ASSERT_NE(found, nullptr) << def.mnemonic;
+    EXPECT_EQ(found->op, def.op);
+  }
+  EXPECT_EQ(find_mnemonic("bogus.instr"), nullptr);
+}
+
+/// Encode/decode round trip over every instruction with pseudo-random
+/// operand patterns: the single-table design must guarantee agreement.
+TEST(EncodeDecode, RoundTripsEveryInstruction) {
+  for (const auto& def : isa_table()) {
+    if (def.op == Op::kInvalid) continue;
+    for (u32 pattern = 0; pattern < 8; ++pattern) {
+      Decoded d;
+      d.op = def.op;
+      d.rd = static_cast<u8>((pattern * 7 + 3) % 32);
+      d.rs1 = static_cast<u8>((pattern * 5 + 1) % 32);
+      d.rs2 = static_cast<u8>((pattern * 11 + 2) % 32);
+      d.rs3 = static_cast<u8>((pattern * 13 + 4) % 32);
+      switch (def.fmt) {
+        case Fmt::kI:
+        case Fmt::kILoad:
+          d.imm = static_cast<i32>(pattern * 321) - 1024;
+          break;
+        case Fmt::kS:
+          d.imm = static_cast<i32>(pattern * 217) - 700;
+          break;
+        case Fmt::kB:
+          d.imm = (static_cast<i32>(pattern * 100) - 400) & ~1;
+          break;
+        case Fmt::kU:
+          d.imm = static_cast<i32>((pattern * 0x1234u) << 12);
+          break;
+        case Fmt::kJ:
+          d.imm = (static_cast<i32>(pattern * 5000) - 20000) & ~1;
+          break;
+        case Fmt::kIShift:
+        case Fmt::kPLanes:
+          d.imm = static_cast<i32>(pattern % 32);
+          break;
+        case Fmt::kCsr:
+        case Fmt::kCsrI:
+          d.imm = 0xF14;
+          break;
+        default:
+          d.imm = 0;
+          break;
+      }
+      // Format-specific operand fields that the encoding doesn't carry.
+      if (def.fmt == Fmt::kNullary) d = Decoded{.op = def.op};
+      if (def.fmt == Fmt::kR2) d.rs2 = 0, d.rs3 = 0, d.imm = 0;
+      if (def.fmt == Fmt::kR) d.rs3 = 0, d.imm = 0;
+      if (def.fmt == Fmt::kU || def.fmt == Fmt::kJ) d.rs1 = d.rs2 = d.rs3 = 0;
+      if (def.fmt == Fmt::kB || def.fmt == Fmt::kS) d.rd = 0, d.rs3 = 0;
+      if (def.fmt == Fmt::kAmo || def.fmt == Fmt::kLrSc) d.rs3 = 0, d.imm = 0;
+      if (def.op == Op::kLrW) d.rs2 = 0;
+      if (def.fmt == Fmt::kI || def.fmt == Fmt::kILoad || def.fmt == Fmt::kIShift ||
+          def.fmt == Fmt::kCsr || def.fmt == Fmt::kCsrI || def.fmt == Fmt::kPLanes)
+        d.rs2 = 0, d.rs3 = 0;
+
+      const u32 word = encode(d);
+      const Decoded back = decode(word);
+      ASSERT_EQ(back.op, d.op) << def.mnemonic << " word=0x" << std::hex << word;
+      EXPECT_EQ(back.rd, d.rd) << def.mnemonic;
+      EXPECT_EQ(back.rs1, d.rs1) << def.mnemonic;
+      EXPECT_EQ(back.rs2, d.rs2) << def.mnemonic;
+      EXPECT_EQ(back.rs3, d.rs3) << def.mnemonic;
+      EXPECT_EQ(back.imm, d.imm) << def.mnemonic;
+    }
+  }
+}
+
+TEST(Decode, StandardEncodings) {
+  // Cross-checked against the RISC-V spec: addi x1, x2, 42.
+  EXPECT_EQ(decode(0x02A10093).op, Op::kAddi);
+  EXPECT_EQ(decode(0x02A10093).rd, 1);
+  EXPECT_EQ(decode(0x02A10093).rs1, 2);
+  EXPECT_EQ(decode(0x02A10093).imm, 42);
+  // lui a0, 0x12345.
+  EXPECT_EQ(decode(0x12345537).op, Op::kLui);
+  // ecall / ebreak / wfi.
+  EXPECT_EQ(decode(0x00000073).op, Op::kEcall);
+  EXPECT_EQ(decode(0x00100073).op, Op::kEbreak);
+  EXPECT_EQ(decode(0x10500073).op, Op::kWfi);
+  // mul a0, a1, a2.
+  EXPECT_EQ(decode(0x02C58533).op, Op::kMul);
+  // amoadd.w a0, a1, (a2).
+  EXPECT_EQ(decode(0x00B6252F).op, Op::kAmoaddW);
+  // Garbage.
+  EXPECT_EQ(decode(0xFFFFFFFF).op, Op::kInvalid);
+  EXPECT_EQ(decode(0x00000000).op, Op::kInvalid);
+}
+
+TEST(Disasm, RendersReadableText) {
+  EXPECT_EQ(disassemble_word(0x02A10093), "addi ra, sp, 42");
+  EXPECT_EQ(disassemble_word(0xFFFFFFFF), ".word 0xffffffff");
+  Decoded d{.op = Op::kPLw, .rd = 10, .rs1 = 11, .imm = 4};
+  EXPECT_EQ(disassemble(d), "p.lw a0, 4(a1!)");
+}
+
+TEST(Regs, NamesAndParsing) {
+  EXPECT_EQ(reg_name(0), "zero");
+  EXPECT_EQ(reg_name(2), "sp");
+  EXPECT_EQ(parse_reg("a0").value(), 10u);
+  EXPECT_EQ(parse_reg("x31").value(), 31u);
+  EXPECT_EQ(parse_reg("fp").value(), 8u);
+  EXPECT_FALSE(parse_reg("x32").has_value());
+  EXPECT_FALSE(parse_reg("q7").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Semantics: execute single instructions against a small memory.
+// ---------------------------------------------------------------------------
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() : mem_(tera::TeraPoolConfig::tiny()) {}
+
+  StepInfo exec(const Decoded& d) { return execute(d, hart_, mem_); }
+
+  u32 run_r(Op op, u32 a, u32 b) {
+    hart_.x[5] = a;
+    hart_.x[6] = b;
+    exec({.op = op, .rd = 7, .rs1 = 5, .rs2 = 6});
+    return hart_.x[7];
+  }
+
+  u32 run_r4(Op op, u32 a, u32 b, u32 c) {
+    hart_.x[5] = a;
+    hart_.x[6] = b;
+    hart_.x[28] = c;
+    exec({.op = op, .rd = 7, .rs1 = 5, .rs2 = 6, .rs3 = 28});
+    return hart_.x[7];
+  }
+
+  HartState hart_;
+  tera::ClusterMemory mem_;
+};
+
+TEST_F(ExecTest, IntegerAluBasics) {
+  EXPECT_EQ(run_r(Op::kAdd, 3, 4), 7u);
+  EXPECT_EQ(run_r(Op::kSub, 3, 4), 0xFFFFFFFFu);
+  EXPECT_EQ(run_r(Op::kXor, 0xFF00, 0x0FF0), 0xF0F0u);
+  EXPECT_EQ(run_r(Op::kSltu, 1, 2), 1u);
+  EXPECT_EQ(run_r(Op::kSlt, 0xFFFFFFFF, 0), 1u);  // -1 < 0
+  EXPECT_EQ(run_r(Op::kSra, 0x80000000, 4), 0xF8000000u);
+  EXPECT_EQ(run_r(Op::kSrl, 0x80000000, 4), 0x08000000u);
+}
+
+TEST_F(ExecTest, X0IsHardwiredToZero) {
+  hart_.x[5] = 100;
+  exec({.op = Op::kAdd, .rd = 0, .rs1 = 5, .rs2 = 5});
+  EXPECT_EQ(hart_.x[0], 0u);
+}
+
+TEST_F(ExecTest, MulDivEdgeCases) {
+  EXPECT_EQ(run_r(Op::kMul, 7, 6), 42u);
+  EXPECT_EQ(run_r(Op::kMulh, 0x80000000, 0x80000000), 0x40000000u);
+  EXPECT_EQ(run_r(Op::kMulhu, 0xFFFFFFFF, 0xFFFFFFFF), 0xFFFFFFFEu);
+  EXPECT_EQ(run_r(Op::kDiv, 7, 2), 3u);
+  EXPECT_EQ(run_r(Op::kDiv, 7, 0), 0xFFFFFFFFu);             // div by zero
+  EXPECT_EQ(run_r(Op::kDiv, 0x80000000, 0xFFFFFFFF), 0x80000000u);  // overflow
+  EXPECT_EQ(run_r(Op::kRem, 7, 0), 7u);
+  EXPECT_EQ(run_r(Op::kRemu, 7, 3), 1u);
+}
+
+TEST_F(ExecTest, BranchesUpdatePc) {
+  hart_.pc = 0x100;
+  hart_.x[5] = 1;
+  hart_.x[6] = 1;
+  const auto info = exec({.op = Op::kBeq, .rs1 = 5, .rs2 = 6, .imm = 64});
+  EXPECT_TRUE(info.branch_taken);
+  EXPECT_EQ(hart_.pc, 0x140u);
+  const auto info2 = exec({.op = Op::kBne, .rs1 = 5, .rs2 = 6, .imm = 64});
+  EXPECT_FALSE(info2.branch_taken);
+  EXPECT_EQ(hart_.pc, 0x144u);
+}
+
+TEST_F(ExecTest, JalLinksAndJumps) {
+  hart_.pc = 0x200;
+  exec({.op = Op::kJal, .rd = 1, .imm = 0x100});
+  EXPECT_EQ(hart_.x[1], 0x204u);
+  EXPECT_EQ(hart_.pc, 0x300u);
+  hart_.x[5] = 0x500;
+  exec({.op = Op::kJalr, .rd = 1, .rs1 = 5, .imm = 4});
+  EXPECT_EQ(hart_.x[1], 0x304u);
+  EXPECT_EQ(hart_.pc, 0x504u);
+}
+
+TEST_F(ExecTest, LoadStoreRoundTrip) {
+  hart_.x[5] = 0x1000;
+  hart_.x[6] = 0xDEADBEEF;
+  exec({.op = Op::kSw, .rs1 = 5, .rs2 = 6, .imm = 0});
+  exec({.op = Op::kLw, .rd = 7, .rs1 = 5, .imm = 0});
+  EXPECT_EQ(hart_.x[7], 0xDEADBEEFu);
+  exec({.op = Op::kLhu, .rd = 7, .rs1 = 5, .imm = 0});
+  EXPECT_EQ(hart_.x[7], 0xBEEFu);
+  exec({.op = Op::kLh, .rd = 7, .rs1 = 5, .imm = 0});
+  EXPECT_EQ(hart_.x[7], 0xFFFFBEEFu);  // sign-extended
+  exec({.op = Op::kLbu, .rd = 7, .rs1 = 5, .imm = 3});
+  EXPECT_EQ(hart_.x[7], 0xDEu);
+}
+
+TEST_F(ExecTest, MisalignedAccessFaults) {
+  hart_.x[5] = 0x1001;
+  const auto info = exec({.op = Op::kLw, .rd = 7, .rs1 = 5, .imm = 0});
+  EXPECT_TRUE(info.halted);
+  EXPECT_TRUE(hart_.trapped);
+}
+
+TEST_F(ExecTest, PostIncrementLoadUpdatesBase) {
+  hart_.x[5] = 0x1000;
+  hart_.x[6] = 0x12345678;
+  exec({.op = Op::kSw, .rs1 = 5, .rs2 = 6, .imm = 0});
+  exec({.op = Op::kPLw, .rd = 7, .rs1 = 5, .imm = 8});
+  EXPECT_EQ(hart_.x[7], 0x12345678u);
+  EXPECT_EQ(hart_.x[5], 0x1008u);  // post-incremented
+}
+
+TEST_F(ExecTest, PostIncrementStoreUpdatesBase) {
+  hart_.x[5] = 0x1000;
+  hart_.x[6] = 0xCAFE;
+  exec({.op = Op::kPSw, .rs1 = 5, .rs2 = 6, .imm = 4});
+  EXPECT_EQ(hart_.x[5], 0x1004u);  // post-incremented
+  hart_.x[8] = 0x1000;
+  exec({.op = Op::kLw, .rd = 7, .rs1 = 8, .imm = 0});
+  EXPECT_EQ(hart_.x[7], 0xCAFEu);  // stored at the pre-increment address
+}
+
+TEST_F(ExecTest, AmoAddReturnsOldValue) {
+  hart_.x[5] = 0x2000;
+  hart_.x[6] = 5;
+  exec({.op = Op::kSw, .rs1 = 5, .rs2 = 6, .imm = 0});
+  hart_.x[7] = 3;
+  exec({.op = Op::kAmoaddW, .rd = 8, .rs1 = 5, .rs2 = 7});
+  EXPECT_EQ(hart_.x[8], 5u);
+  exec({.op = Op::kLw, .rd = 9, .rs1 = 5, .imm = 0});
+  EXPECT_EQ(hart_.x[9], 8u);
+}
+
+TEST_F(ExecTest, LrScSequence) {
+  hart_.x[5] = 0x3000;
+  hart_.x[6] = 77;
+  exec({.op = Op::kSw, .rs1 = 5, .rs2 = 6, .imm = 0});
+  exec({.op = Op::kLrW, .rd = 7, .rs1 = 5});
+  EXPECT_EQ(hart_.x[7], 77u);
+  hart_.x[8] = 88;
+  exec({.op = Op::kScW, .rd = 9, .rs1 = 5, .rs2 = 8});
+  EXPECT_EQ(hart_.x[9], 0u);  // success
+  exec({.op = Op::kLw, .rd = 10, .rs1 = 5, .imm = 0});
+  EXPECT_EQ(hart_.x[10], 88u);
+  // Second sc without reservation fails.
+  exec({.op = Op::kScW, .rd = 9, .rs1 = 5, .rs2 = 8});
+  EXPECT_EQ(hart_.x[9], 1u);
+}
+
+TEST_F(ExecTest, CsrReadsHartidAndCounters) {
+  hart_.hartid = 42;
+  hart_.cycle = 0x1234;
+  exec({.op = Op::kCsrrs, .rd = 7, .rs1 = 0, .imm = 0xF14});
+  EXPECT_EQ(hart_.x[7], 42u);
+  exec({.op = Op::kCsrrs, .rd = 7, .rs1 = 0, .imm = 0xB00});
+  EXPECT_EQ(hart_.x[7], 0x1234u);
+}
+
+TEST_F(ExecTest, WfiSetsSleepState) {
+  const auto info = exec({.op = Op::kWfi});
+  EXPECT_TRUE(info.entered_wfi);
+  EXPECT_TRUE(hart_.in_wfi);
+}
+
+// ----- fp16 scalar (Zhinx) -----
+
+u32 h(double v) { return sf::F16::from_double(v); }
+
+TEST_F(ExecTest, HalfPrecisionArithmetic) {
+  EXPECT_EQ(run_r(Op::kFaddH, h(1.5), h(2.0)) & 0xFFFF, h(3.5));
+  EXPECT_EQ(run_r(Op::kFsubH, h(1.0), h(0.5)) & 0xFFFF, h(0.5));
+  EXPECT_EQ(run_r(Op::kFmulH, h(3.0), h(0.5)) & 0xFFFF, h(1.5));
+  EXPECT_EQ(run_r(Op::kFdivH, h(1.0), h(4.0)) & 0xFFFF, h(0.25));
+}
+
+TEST_F(ExecTest, HalfFusedMultiplyAddFamily) {
+  EXPECT_EQ(run_r4(Op::kFmaddH, h(2.0), h(3.0), h(1.0)) & 0xFFFF, h(7.0));
+  EXPECT_EQ(run_r4(Op::kFmsubH, h(2.0), h(3.0), h(1.0)) & 0xFFFF, h(5.0));
+  EXPECT_EQ(run_r4(Op::kFnmsubH, h(2.0), h(3.0), h(1.0)) & 0xFFFF, h(-5.0));
+  EXPECT_EQ(run_r4(Op::kFnmaddH, h(2.0), h(3.0), h(1.0)) & 0xFFFF, h(-7.0));
+}
+
+TEST_F(ExecTest, HalfSqrtAndCompare) {
+  hart_.x[5] = h(9.0);
+  exec({.op = Op::kFsqrtH, .rd = 7, .rs1 = 5});
+  EXPECT_EQ(hart_.x[7] & 0xFFFF, h(3.0));
+  EXPECT_EQ(run_r(Op::kFltH, h(1.0), h(2.0)), 1u);
+  EXPECT_EQ(run_r(Op::kFeqH, h(2.0), h(2.0)), 1u);
+  EXPECT_EQ(run_r(Op::kFleH, h(3.0), h(2.0)), 0u);
+}
+
+TEST_F(ExecTest, HalfConversions) {
+  hart_.x[5] = h(2.5);
+  exec({.op = Op::kFcvtSH, .rd = 7, .rs1 = 5});
+  EXPECT_EQ(std::bit_cast<float>(hart_.x[7]), 2.5f);
+  hart_.x[5] = std::bit_cast<u32>(0.75f);
+  exec({.op = Op::kFcvtHS, .rd = 7, .rs1 = 5});
+  EXPECT_EQ(hart_.x[7] & 0xFFFF, h(0.75));
+  hart_.x[5] = h(-7.9);
+  exec({.op = Op::kFcvtWH, .rd = 7, .rs1 = 5});
+  EXPECT_EQ(static_cast<i32>(hart_.x[7]), -7);  // truncation
+  hart_.x[5] = static_cast<u32>(-3);
+  exec({.op = Op::kFcvtHW, .rd = 7, .rs1 = 5});
+  EXPECT_EQ(hart_.x[7] & 0xFFFF, h(-3.0));
+}
+
+// ----- packed SIMD -----
+
+TEST_F(ExecTest, PvAddSubHalfwords) {
+  EXPECT_EQ(run_r(Op::kPvAddH, sf::pack16(1, 2), sf::pack16(10, 20)), sf::pack16(11, 22));
+  EXPECT_EQ(run_r(Op::kPvSubH, sf::pack16(10, 5), sf::pack16(1, 7)),
+            sf::pack16(9, 0xFFFE));
+  EXPECT_EQ(run_r(Op::kPvAddB, sf::pack8(1, 2, 3, 255), sf::pack8(1, 1, 1, 1)),
+            sf::pack8(2, 3, 4, 0));
+}
+
+TEST_F(ExecTest, PvShuffleSelectsLanes) {
+  const u32 v = sf::pack16(0xAAAA, 0xBBBB);
+  EXPECT_EQ(run_r(Op::kPvShuffleH, v, sf::pack16(1, 0)), sf::pack16(0xBBBB, 0xAAAA));
+  const u32 b = sf::pack8(1, 2, 3, 4);
+  EXPECT_EQ(run_r(Op::kPvShuffleB, b, sf::pack8(3, 2, 1, 0)), sf::pack8(4, 3, 2, 1));
+}
+
+TEST_F(ExecTest, PvShuffle2ReadsBothSources) {
+  hart_.x[7] = sf::pack16(0xCCCC, 0xDDDD);  // old rd
+  hart_.x[5] = sf::pack16(0xAAAA, 0xBBBB);
+  hart_.x[6] = sf::pack16(2, 1);  // lane0 <- rd.lane0, lane1 <- rs1.lane1
+  exec({.op = Op::kPvShuffle2H, .rd = 7, .rs1 = 5, .rs2 = 6});
+  EXPECT_EQ(hart_.x[7], sf::pack16(0xCCCC, 0xBBBB));
+}
+
+TEST_F(ExecTest, PvPackExtractInsert) {
+  EXPECT_EQ(run_r(Op::kPvPackH, sf::pack16(0x1111, 0x9999), sf::pack16(0x2222, 0x8888)),
+            sf::pack16(0x1111, 0x2222));
+  hart_.x[5] = sf::pack16(0x7FFF, 0x8001);
+  exec({.op = Op::kPvExtractH, .rd = 7, .rs1 = 5, .imm = 1});
+  EXPECT_EQ(hart_.x[7], 0xFFFF8001u);  // sign-extended lane
+  hart_.x[7] = 0;
+  hart_.x[5] = 0xABCD;
+  exec({.op = Op::kPvInsertH, .rd = 7, .rs1 = 5, .imm = 1});
+  EXPECT_EQ(hart_.x[7], 0xABCD0000u);
+}
+
+TEST_F(ExecTest, PMacAccumulates) {
+  hart_.x[7] = 100;
+  hart_.x[5] = 6;
+  hart_.x[6] = 7;
+  exec({.op = Op::kPMac, .rd = 7, .rs1 = 5, .rs2 = 6});
+  EXPECT_EQ(hart_.x[7], 142u);
+  exec({.op = Op::kPMsu, .rd = 7, .rs1 = 5, .rs2 = 6});
+  EXPECT_EQ(hart_.x[7], 100u);
+}
+
+// ----- SmallFloat / MiniFloat vector ops -----
+
+TEST_F(ExecTest, VfaddHalfLanes) {
+  const u32 a = sf::pack16(h(1.0), h(2.0));
+  const u32 b = sf::pack16(h(0.5), h(0.25));
+  EXPECT_EQ(run_r(Op::kVfaddH, a, b), sf::pack16(h(1.5), h(2.25)));
+  EXPECT_EQ(run_r(Op::kVfmulH, a, b), sf::pack16(h(0.5), h(0.5)));
+}
+
+TEST_F(ExecTest, VfmacFusesPerLane) {
+  hart_.x[7] = sf::pack16(h(1.0), h(-1.0));
+  hart_.x[5] = sf::pack16(h(2.0), h(3.0));
+  hart_.x[6] = sf::pack16(h(0.5), h(2.0));
+  exec({.op = Op::kVfmacH, .rd = 7, .rs1 = 5, .rs2 = 6});
+  EXPECT_EQ(hart_.x[7], sf::pack16(h(2.0), h(5.0)));
+}
+
+TEST_F(ExecTest, VfdotpexSHAccumulatesInF32) {
+  hart_.x[7] = std::bit_cast<u32>(10.0f);
+  hart_.x[5] = sf::pack16(h(1.5), h(2.0));
+  hart_.x[6] = sf::pack16(h(2.0), h(-0.5));
+  exec({.op = Op::kVfdotpexSH, .rd = 7, .rs1 = 5, .rs2 = 6});
+  EXPECT_EQ(std::bit_cast<float>(hart_.x[7]), 12.0f);  // 10 + 3 - 1
+}
+
+TEST_F(ExecTest, VfcdotpComplexMac) {
+  // acc += (1+2i) * (3+4i) = (3-8) + (4+6)i = -5 + 10i.
+  hart_.x[7] = 0;
+  hart_.x[5] = sf::pack16(h(1.0), h(2.0));
+  hart_.x[6] = sf::pack16(h(3.0), h(4.0));
+  exec({.op = Op::kVfcdotpH, .rd = 7, .rs1 = 5, .rs2 = 6});
+  EXPECT_EQ(hart_.x[7], sf::pack16(h(-5.0), h(10.0)));
+}
+
+TEST_F(ExecTest, VfccdotpConjugatesFirstOperand) {
+  // acc += conj(1+2i) * (3+4i) = (3+8) + (4-6)i = 11 - 2i.
+  hart_.x[7] = 0;
+  hart_.x[5] = sf::pack16(h(1.0), h(2.0));
+  hart_.x[6] = sf::pack16(h(3.0), h(4.0));
+  exec({.op = Op::kVfccdotpH, .rd = 7, .rs1 = 5, .rs2 = 6});
+  EXPECT_EQ(hart_.x[7], sf::pack16(h(11.0), h(-2.0)));
+}
+
+u32 q(double v) { return Fp8::from_double(v); }
+
+TEST_F(ExecTest, VfaddByteLanes) {
+  const u32 a = sf::pack8(static_cast<u8>(q(1.0)), static_cast<u8>(q(2.0)),
+                          static_cast<u8>(q(-1.0)), static_cast<u8>(q(0.5)));
+  const u32 b = sf::pack8(static_cast<u8>(q(1.0)), static_cast<u8>(q(1.0)),
+                          static_cast<u8>(q(1.0)), static_cast<u8>(q(0.5)));
+  const u32 r = run_r(Op::kVfaddB, a, b);
+  EXPECT_EQ(sf::lane8(r, 0), q(2.0));
+  EXPECT_EQ(sf::lane8(r, 1), q(3.0));
+  EXPECT_EQ(sf::lane8(r, 2), q(0.0));
+  EXPECT_EQ(sf::lane8(r, 3), q(1.0));
+}
+
+TEST_F(ExecTest, VfdotpexHBWidensToF16) {
+  // acc(fp16) += 1*2 + 2*2 + 0.5*4 + (-1)*1 = 7.
+  hart_.x[7] = h(1.0);
+  hart_.x[5] = sf::pack8(static_cast<u8>(q(1.0)), static_cast<u8>(q(2.0)),
+                         static_cast<u8>(q(0.5)), static_cast<u8>(q(-1.0)));
+  hart_.x[6] = sf::pack8(static_cast<u8>(q(2.0)), static_cast<u8>(q(2.0)),
+                         static_cast<u8>(q(4.0)), static_cast<u8>(q(1.0)));
+  exec({.op = Op::kVfdotpexHB, .rd = 7, .rs1 = 5, .rs2 = 6});
+  EXPECT_EQ(hart_.x[7] & 0xFFFF, h(8.0));
+}
+
+TEST_F(ExecTest, VfcvtBetweenFp8AndFp16) {
+  hart_.x[5] = sf::pack8(static_cast<u8>(q(1.5)), static_cast<u8>(q(-2.0)), 0, 0);
+  exec({.op = Op::kVfcvtHB, .rd = 7, .rs1 = 5});
+  EXPECT_EQ(hart_.x[7], sf::pack16(h(1.5), h(-2.0)));
+  hart_.x[5] = sf::pack16(h(0.25), h(3.0));
+  exec({.op = Op::kVfcvtBH, .rd = 7, .rs1 = 5});
+  EXPECT_EQ(sf::lane8(hart_.x[7], 0), q(0.25));
+  EXPECT_EQ(sf::lane8(hart_.x[7], 1), q(3.0));
+}
+
+TEST_F(ExecTest, InvalidInstructionHalts) {
+  const auto info = exec(Decoded{});
+  EXPECT_TRUE(info.halted);
+  EXPECT_TRUE(hart_.trapped);
+}
+
+}  // namespace
+}  // namespace tsim::rv

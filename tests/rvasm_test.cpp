@@ -1,0 +1,195 @@
+// Assembler tests: builder API, label fixups, pseudo-instructions, and the
+// text assembler (including round-trips through the disassembler).
+#include <gtest/gtest.h>
+
+#include "rv/decode.h"
+#include "rv/disasm.h"
+#include "rvasm/builder.h"
+#include "rvasm/textasm.h"
+
+namespace tsim::rvasm {
+namespace {
+
+using rv::Op;
+using rv::Reg;
+
+TEST(Builder, EmitsAndLinksForwardBranch) {
+  Asm a(0x80000000);
+  a.li(Reg::t0, 5);
+  a.label("loop");
+  a.addi(Reg::t0, Reg::t0, -1);
+  a.bnez(Reg::t0, "loop");
+  a.ebreak();
+  const Program p = a.link();
+  ASSERT_EQ(p.words.size(), 4u);
+  const auto d = rv::decode(p.words[2]);
+  EXPECT_EQ(d.op, Op::kBne);
+  EXPECT_EQ(d.imm, -4);  // back to "loop"
+}
+
+TEST(Builder, LiSplitsLargeConstants) {
+  Asm a;
+  a.li(Reg::t0, 0x12345678);
+  const Program p = a.link();
+  ASSERT_EQ(p.words.size(), 2u);
+  EXPECT_EQ(rv::decode(p.words[0]).op, Op::kLui);
+  EXPECT_EQ(rv::decode(p.words[1]).op, Op::kAddi);
+  // Verify the combination reconstructs the constant.
+  const i32 hi = rv::decode(p.words[0]).imm;
+  const i32 lo = rv::decode(p.words[1]).imm;
+  EXPECT_EQ(static_cast<u32>(hi) + static_cast<u32>(lo), 0x12345678u);
+}
+
+TEST(Builder, LiSmallConstantsAreOneInstruction) {
+  Asm a;
+  a.li(Reg::t0, -7);
+  EXPECT_EQ(a.link().words.size(), 1u);
+}
+
+TEST(Builder, LiHandlesNegativeLowPart) {
+  // 0x12345FFF has low 12 bits that are negative as an I-immediate.
+  Asm a;
+  a.li(Reg::t0, 0x12345FFF);
+  const Program p = a.link();
+  const i32 hi = rv::decode(p.words[0]).imm;
+  const i32 lo = rv::decode(p.words[1]).imm;
+  EXPECT_EQ(static_cast<u32>(hi + lo), 0x12345FFFu);
+}
+
+TEST(Builder, LaResolvesSymbolAddress) {
+  Asm a(0x80000000);
+  a.la(Reg::a0, "data");
+  a.ebreak();
+  a.label("data");
+  a.word(0xCAFEBABE);
+  const Program p = a.link();
+  EXPECT_EQ(p.symbol("data"), 0x8000000Cu);
+  const i32 hi = rv::decode(p.words[0]).imm;
+  const i32 lo = rv::decode(p.words[1]).imm;
+  EXPECT_EQ(static_cast<u32>(hi) + static_cast<u32>(lo), 0x8000000Cu);
+}
+
+TEST(Builder, DuplicateLabelThrows) {
+  Asm a;
+  a.label("x");
+  EXPECT_THROW(a.label("x"), SimError);
+}
+
+TEST(Builder, UndefinedLabelThrowsAtLink) {
+  Asm a;
+  a.j("nowhere");
+  EXPECT_THROW(a.link(), SimError);
+}
+
+TEST(Builder, BranchRangeChecked) {
+  Asm a;
+  a.bnez(Reg::t0, "far");
+  for (int i = 0; i < 3000; ++i) a.nop();
+  a.label("far");
+  EXPECT_THROW(a.link(), SimError);
+}
+
+TEST(Builder, ImmediateRangeChecked) {
+  Asm a;
+  EXPECT_THROW(a.addi(Reg::t0, Reg::t0, 5000), SimError);
+  EXPECT_THROW(a.lw(Reg::t0, -3000, Reg::t1), SimError);
+}
+
+TEST(TextAsm, AssemblesBasicProgram) {
+  const Program p = assemble(R"(
+    # a tiny counting loop
+    start:
+      li   t0, 3
+      li   t1, 0
+    loop:
+      addi t1, t1, 1
+      addi t0, t0, -1
+      bnez t0, loop
+      ebreak
+  )");
+  EXPECT_EQ(p.symbol("start"), 0x80000000u);
+  EXPECT_EQ(rv::decode(p.words.back()).op, Op::kEbreak);
+}
+
+TEST(TextAsm, ParsesMemoryOperands) {
+  const Program p = assemble(R"(
+    lw a0, 8(a1)
+    sw a0, -4(sp)
+    p.lw a2, 4(a3!)
+    p.sh a2, 2(a4!)
+  )");
+  EXPECT_EQ(rv::decode(p.words[0]).op, Op::kLw);
+  EXPECT_EQ(rv::decode(p.words[0]).imm, 8);
+  EXPECT_EQ(rv::decode(p.words[1]).imm, -4);
+  EXPECT_EQ(rv::decode(p.words[2]).op, Op::kPLw);
+  EXPECT_EQ(rv::decode(p.words[3]).op, Op::kPSh);
+}
+
+TEST(TextAsm, ParsesCsrAndAmoAndFp) {
+  const Program p = assemble(R"(
+    csrr t0, mhartid
+    csrrs t1, 0xB00, zero
+    amoadd.w t2, t3, (t4)
+    lr.w t5, (t6)
+    sc.w t5, t6, (a0)
+    fmadd.h a1, a2, a3, a4
+    vfdotpex.s.h a5, a6, a7
+    fcvt.h.s s2, s3
+    pv.extract.h s4, s5, 1
+  )");
+  EXPECT_EQ(rv::decode(p.words[0]).op, Op::kCsrrs);
+  EXPECT_EQ(rv::decode(p.words[0]).imm, 0xF14);
+  EXPECT_EQ(rv::decode(p.words[2]).op, Op::kAmoaddW);
+  EXPECT_EQ(rv::decode(p.words[3]).op, Op::kLrW);
+  EXPECT_EQ(rv::decode(p.words[4]).op, Op::kScW);
+  EXPECT_EQ(rv::decode(p.words[5]).op, Op::kFmaddH);
+  EXPECT_EQ(rv::decode(p.words[6]).op, Op::kVfdotpexSH);
+  EXPECT_EQ(rv::decode(p.words[7]).op, Op::kFcvtHS);
+  EXPECT_EQ(rv::decode(p.words[8]).op, Op::kPvExtractH);
+  EXPECT_EQ(rv::decode(p.words[8]).imm, 1);
+}
+
+TEST(TextAsm, WordDirectiveAndComments) {
+  const Program p = assemble(R"(
+    .word 0xDEADBEEF   // trailing comment
+    .space 8
+  )");
+  ASSERT_EQ(p.words.size(), 3u);
+  EXPECT_EQ(p.words[0], 0xDEADBEEFu);
+  EXPECT_EQ(p.words[1], 0u);
+}
+
+TEST(TextAsm, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus t0, t1\n");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TextAsm, RejectsBadRegister) {
+  EXPECT_THROW(assemble("addi q0, t0, 1"), SimError);
+  EXPECT_THROW(assemble("addi t0, t0, 99999"), SimError);
+}
+
+/// Round-trip: disassemble every instruction the builder can emit and
+/// reassemble it, expecting identical words (for formats whose disasm
+/// output is valid assembler input).
+TEST(TextAsm, DisasmRoundTripSimpleFormats) {
+  Asm a;
+  a.r(Op::kAdd, Reg::a0, Reg::a1, Reg::a2);
+  a.i(Op::kAddi, Reg::t0, Reg::t1, -42);
+  a.load(Op::kLw, Reg::s2, 16, Reg::sp);
+  a.store(Op::kSw, Reg::s3, -8, Reg::sp);
+  a.r(Op::kVfcdotpH, Reg::a3, Reg::a4, Reg::a5);
+  a.r4(Op::kFmaddS, Reg::t0, Reg::t1, Reg::t2, Reg::t3);
+  const Program p = a.link();
+  std::string text;
+  for (const u32 w : p.words) text += rv::disassemble_word(w) + "\n";
+  const Program p2 = assemble(text);
+  EXPECT_EQ(p.words, p2.words);
+}
+
+}  // namespace
+}  // namespace tsim::rvasm

@@ -1,0 +1,183 @@
+// Bit-true mini-float format tests: encode/decode round trips, rounding,
+// special values, and arithmetic identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "softfloat/minifloat.h"
+#include "softfloat/packed.h"
+
+namespace tsim::sf {
+namespace {
+
+TEST(F16, EncodesKnownConstants) {
+  EXPECT_EQ(F16::from_double(0.0), 0x0000u);
+  EXPECT_EQ(F16::from_double(-0.0), 0x8000u);
+  EXPECT_EQ(F16::from_double(1.0), 0x3C00u);
+  EXPECT_EQ(F16::from_double(-1.0), 0xBC00u);
+  EXPECT_EQ(F16::from_double(2.0), 0x4000u);
+  EXPECT_EQ(F16::from_double(0.5), 0x3800u);
+  EXPECT_EQ(F16::from_double(65504.0), 0x7BFFu);             // max normal
+  EXPECT_EQ(F16::from_double(std::ldexp(1.0, -24)), 0x0001u);  // min subnormal
+  EXPECT_EQ(F16::from_double(std::ldexp(1.0, -26)), 0x0000u);  // below half of it
+}
+
+TEST(F16, DecodesKnownConstants) {
+  EXPECT_DOUBLE_EQ(F16::to_double(0x3C00), 1.0);
+  EXPECT_DOUBLE_EQ(F16::to_double(0x4000), 2.0);
+  EXPECT_DOUBLE_EQ(F16::to_double(0x3555), 0.333251953125);
+  EXPECT_DOUBLE_EQ(F16::to_double(0x0001), std::ldexp(1.0, -24));  // min subnormal
+  EXPECT_DOUBLE_EQ(F16::to_double(0x0400), std::ldexp(1.0, -14));  // min normal
+}
+
+TEST(F16, RoundTripsAllFiniteEncodings) {
+  for (u32 enc = 0; enc < 0x10000; ++enc) {
+    if (F16::is_nan(enc)) continue;
+    const double d = F16::to_double(enc);
+    const u32 back = F16::from_double(d);
+    // -0 and +0 both decode to 0.0 but encode preserving the sign we gave.
+    if (enc == 0x8000) {
+      EXPECT_EQ(back, 0x8000u);
+    } else {
+      EXPECT_EQ(back, enc) << "enc=0x" << std::hex << enc;
+    }
+  }
+}
+
+TEST(F16, RoundsToNearestEven) {
+  // 1.0 + 1ulp/2 rounds to even (stays 1.0).
+  const double one_plus_half_ulp = 1.0 + std::ldexp(1.0, -11);
+  EXPECT_EQ(F16::from_double(one_plus_half_ulp), 0x3C00u);
+  // The next representable tie rounds up to even.
+  const double odd_tie = F16::to_double(0x3C01) + std::ldexp(1.0, -11);
+  EXPECT_EQ(F16::from_double(odd_tie), 0x3C02u);
+  // Slightly above the tie rounds up.
+  EXPECT_EQ(F16::from_double(one_plus_half_ulp + 1e-8), 0x3C01u);
+}
+
+TEST(F16, OverflowGoesToInfinity) {
+  EXPECT_EQ(F16::from_double(1e6), F16::kPosInfBits);
+  EXPECT_EQ(F16::from_double(-1e6), F16::kSignBit | F16::kPosInfBits);
+  EXPECT_EQ(F16::from_double(65520.0), F16::kPosInfBits);  // above max+ulp/2 tie
+}
+
+TEST(F16, SubnormalsRoundCorrectly) {
+  const double min_sub = std::ldexp(1.0, -24);
+  EXPECT_EQ(F16::from_double(min_sub), 0x0001u);
+  EXPECT_EQ(F16::from_double(min_sub * 0.5), 0x0000u);       // tie to even -> 0
+  EXPECT_EQ(F16::from_double(min_sub * 0.75), 0x0001u);      // rounds up
+  EXPECT_EQ(F16::from_double(min_sub * 1.5), 0x0002u);       // tie to even -> 2
+}
+
+TEST(F16, NanAndInfHandling) {
+  EXPECT_TRUE(F16::is_nan(F16::from_double(std::nan(""))));
+  EXPECT_TRUE(F16::is_inf(F16::from_double(INFINITY)));
+  EXPECT_TRUE(std::isnan(F16::to_double(F16::kQuietNanBits)));
+  EXPECT_TRUE(std::isinf(F16::to_double(F16::kPosInfBits)));
+}
+
+TEST(F16, ArithmeticMatchesDoubleWithSingleRounding) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const u32 a = F16::from_double(rng.normal());
+    const u32 b = F16::from_double(rng.normal());
+    EXPECT_EQ(add<F16>(a, b), F16::from_double(F16::to_double(a) + F16::to_double(b)));
+    EXPECT_EQ(mul<F16>(a, b), F16::from_double(F16::to_double(a) * F16::to_double(b)));
+  }
+}
+
+TEST(F16, FmaIsFused) {
+  // Choose a case where fused and unfused differ: a*b slightly above a tie.
+  const u32 a = F16::from_double(1.0 + 1.0 / 1024);
+  const u32 b = F16::from_double(1.0 + 1.0 / 1024);
+  const u32 c = F16::from_double(std::ldexp(1.0, -20));
+  const double exact = F16::to_double(a) * F16::to_double(b) + F16::to_double(c);
+  EXPECT_EQ(fma<F16>(a, b, c), F16::from_double(exact));
+}
+
+TEST(F16, MinMaxIeeeSemantics) {
+  const u32 one = F16::from_double(1.0);
+  const u32 neg = F16::from_double(-2.0);
+  EXPECT_EQ(min<F16>(one, neg), neg);
+  EXPECT_EQ(max<F16>(one, neg), one);
+  EXPECT_EQ(min<F16>(F16::kQuietNanBits, one), one);   // NaN loses
+  EXPECT_EQ(max<F16>(one, F16::kQuietNanBits), one);
+  EXPECT_EQ(min<F16>(0x8000u, 0x0000u), 0x8000u);      // -0 < +0
+}
+
+TEST(F16, Comparisons) {
+  const u32 a = F16::from_double(1.5), b = F16::from_double(2.5);
+  EXPECT_TRUE(lt<F16>(a, b));
+  EXPECT_TRUE(le<F16>(a, a));
+  EXPECT_TRUE(eq<F16>(b, b));
+  EXPECT_FALSE(eq<F16>(F16::kQuietNanBits, F16::kQuietNanBits));
+  EXPECT_FALSE(lt<F16>(F16::kQuietNanBits, a));
+}
+
+TEST(F16, Classify) {
+  EXPECT_EQ(F16::classify(0x3C00), static_cast<u32>(FpClass::kPosNormal));
+  EXPECT_EQ(F16::classify(0xBC00), static_cast<u32>(FpClass::kNegNormal));
+  EXPECT_EQ(F16::classify(0x0000), static_cast<u32>(FpClass::kPosZero));
+  EXPECT_EQ(F16::classify(0x8000), static_cast<u32>(FpClass::kNegZero));
+  EXPECT_EQ(F16::classify(0x0001), static_cast<u32>(FpClass::kPosSubnormal));
+  EXPECT_EQ(F16::classify(0x7C00), static_cast<u32>(FpClass::kPosInf));
+  EXPECT_EQ(F16::classify(0x7E00), static_cast<u32>(FpClass::kQuietNan));
+  EXPECT_EQ(F16::classify(0x7D00), static_cast<u32>(FpClass::kSignalingNan));
+}
+
+template <typename Fmt>
+class MiniFormatTest : public ::testing::Test {};
+
+using Formats = ::testing::Types<F8E4M3, F8E5M2, F8E4M2>;
+TYPED_TEST_SUITE(MiniFormatTest, Formats);
+
+TYPED_TEST(MiniFormatTest, RoundTripsAllFiniteEncodings) {
+  using Fmt = TypeParam;
+  for (u32 enc = 0; enc < (1u << Fmt::kBits); ++enc) {
+    if (Fmt::is_nan(enc)) continue;
+    const double d = Fmt::to_double(enc);
+    const u32 back = Fmt::from_double(d);
+    if (Fmt::is_zero(enc) && Fmt::sign_of(enc)) {
+      EXPECT_EQ(back, enc);
+    } else {
+      EXPECT_EQ(back, enc) << "enc=" << enc;
+    }
+  }
+}
+
+TYPED_TEST(MiniFormatTest, OneIsExact) {
+  using Fmt = TypeParam;
+  EXPECT_DOUBLE_EQ(Fmt::to_double(Fmt::from_double(1.0)), 1.0);
+}
+
+TYPED_TEST(MiniFormatTest, QuantizationErrorIsBounded) {
+  using Fmt = TypeParam;
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform() * 2.0 + 0.25;  // stay in normal range
+    const double q = Fmt::to_double(Fmt::from_double(v));
+    const double max_rel = 0.5 / ((Fmt::kMantMask + 1));  // half ulp at 1.x
+    EXPECT_LE(std::abs(q - v) / v, max_rel + 1e-12);
+  }
+}
+
+TEST(Packed, LaneHelpers) {
+  const u32 r = pack16(0x1234, 0xABCD);
+  EXPECT_EQ(lane16(r, 0), 0x1234);
+  EXPECT_EQ(lane16(r, 1), 0xABCD);
+  EXPECT_EQ(insert16(r, 0, 0xFFFF), 0xABCDFFFFu);
+  const u32 b = pack8(1, 2, 3, 4);
+  EXPECT_EQ(lane8(b, 0), 1);
+  EXPECT_EQ(lane8(b, 3), 4);
+  EXPECT_EQ(insert8(b, 2, 9), pack8(1, 2, 9, 4));
+}
+
+TEST(F32Classify, Basics) {
+  EXPECT_EQ(classify_f32(f32_to_bits(1.0f)), static_cast<u32>(FpClass::kPosNormal));
+  EXPECT_EQ(classify_f32(f32_to_bits(-0.0f)), static_cast<u32>(FpClass::kNegZero));
+  EXPECT_EQ(classify_f32(0x7FC00000u), static_cast<u32>(FpClass::kQuietNan));
+}
+
+}  // namespace
+}  // namespace tsim::sf
