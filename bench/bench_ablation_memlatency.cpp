@@ -51,7 +51,7 @@ void run(const BenchOptions& opt) {
   numa.numa_latency = true;
   add("NUMA-distance latency", numa);
   table.print();
-  opt.maybe_csv(table, "ablation_memlatency");
+  opt.maybe_write(table, "ablation_memlatency");
 }
 
 }  // namespace

@@ -63,7 +63,7 @@ void run(const BenchOptions& opt) {
     }
   }
   table.print();
-  opt.maybe_csv(table, "ablation_scoreboard");
+  opt.maybe_write(table, "ablation_scoreboard");
 }
 
 }  // namespace

@@ -48,7 +48,7 @@ void run(const BenchOptions& opt) {
     }
   }
   table.print();
-  opt.maybe_csv(table, "ablation_unroll");
+  opt.maybe_write(table, "ablation_unroll");
 }
 
 }  // namespace

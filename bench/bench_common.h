@@ -4,6 +4,8 @@
 //   --full        paper-scale parameters (slow; default is a laptop-scale
 //                 "quick" configuration that preserves the figure's shape)
 //   --csv DIR     also write each table as CSV into DIR
+//   --json DIR    also write each table as JSON rows into DIR (for recording
+//                 BENCH_*.json performance trajectories across commits)
 // and prints the rows/series of its paper figure via sim::Table.
 #pragma once
 
@@ -24,18 +26,21 @@ namespace tsim::bench {
 struct BenchOptions {
   bool full = false;
   std::string csv_dir;
+  std::string json_dir;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opt;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--full") == 0) opt.full = true;
       if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) opt.csv_dir = argv[++i];
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) opt.json_dir = argv[++i];
     }
     return opt;
   }
 
-  void maybe_csv(const sim::Table& table, const std::string& name) const {
+  void maybe_write(const sim::Table& table, const std::string& name) const {
     if (!csv_dir.empty()) table.write_csv(csv_dir + "/" + name + ".csv");
+    if (!json_dir.empty()) table.write_json(json_dir + "/" + name + ".json");
   }
 };
 

@@ -56,7 +56,7 @@ void run(const BenchOptions& opt) {
     }
   }
   table.print();
-  opt.maybe_csv(table, "fig5_parallel_speedup");
+  opt.maybe_write(table, "fig5_parallel_speedup");
 }
 
 }  // namespace

@@ -68,7 +68,7 @@ void run(const BenchOptions& opt) {
     }
   }
   table.print();
-  opt.maybe_csv(table, "fig6_mc_runtime");
+  opt.maybe_write(table, "fig6_mc_runtime");
 }
 
 }  // namespace

@@ -80,7 +80,7 @@ void run(const BenchOptions& opt) {
     }
   }
   table.print();
-  opt.maybe_csv(table, "fig7_cycle_error");
+  opt.maybe_write(table, "fig7_cycle_error");
 }
 
 }  // namespace

@@ -42,7 +42,7 @@ void run(const BenchOptions& opt) {
     }
   }
   table.print();
-  opt.maybe_csv(table, "fig8_stall_breakdown");
+  opt.maybe_write(table, "fig8_stall_breakdown");
 }
 
 }  // namespace

@@ -41,7 +41,7 @@ void run_subfigure(const BenchOptions& opt, u32 n, u32 qam_order,
     table.add_row(row);
   }
   table.print();
-  opt.maybe_csv(table, sim::strf("fig9_ber_awgn_%ux%u_%uqam", n, n, qam_order));
+  opt.maybe_write(table, sim::strf("fig9_ber_awgn_%ux%u_%uqam", n, n, qam_order));
 }
 
 void run(const BenchOptions& opt) {

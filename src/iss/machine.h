@@ -7,8 +7,11 @@
 //                     through the DUT program's own atomics and wfi/wake.
 //
 // Per-hart cycle estimates depend only on that hart's instruction stream
-// plus barrier wake times, so functional results and cycle estimates are
-// independent of the host scheduling (verified by test).
+// plus barrier wake times. Functional results are independent of the host
+// scheduling (verified by test); cycle estimates agree up to a few cycles of
+// barrier-wake jitter, because which hart's amoadd arrives last - and hence
+// whose cycle timestamps the wake - is resolved by the physical race, as on
+// the real hardware.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,106 @@
+// TTI deadline accounting (paper Sec. II: "the BS processes a Transmission
+// Time Interval (TTI) with 14 OFDM-symbols in < 1 ms"; at mu = 1 numerology
+// one slot is 0.5 ms).
+//
+// The scheduler reports work in simulated DUT cycles; this header converts
+// those to wall-clock latency at a configurable cluster frequency, checks the
+// slot deadline, and renders the per-TTI summary (latency, margin, throughput
+// in Mb/s, per-cluster utilization) as a sim::Table.
+#pragma once
+
+#include "phy/ofdm.h"
+#include "ran/scheduler.h"
+#include "sim/report.h"
+
+namespace tsim::ran {
+
+/// Latency of one processed slot at a given DUT clock.
+struct SlotTiming {
+  u64 slot_cycles = 0;      // critical-path cycles (max over clusters)
+  double clock_hz = 1e9;    // assumed cluster frequency
+  double tti_seconds = 5e-4;
+
+  double latency_seconds() const {
+    return static_cast<double>(slot_cycles) / clock_hz;
+  }
+  bool meets_deadline() const { return latency_seconds() <= tti_seconds; }
+  /// Positive = headroom, negative = overrun.
+  double margin_seconds() const { return tti_seconds - latency_seconds(); }
+  /// Fraction of the TTI left over (1 = idle, 0 = exactly at the deadline).
+  double margin_fraction() const { return margin_seconds() / tti_seconds; }
+};
+
+inline SlotTiming slot_timing(const SlotResult& result,
+                              const phy::CarrierConfig& carrier,
+                              double clock_hz = 1e9) {
+  SlotTiming t;
+  t.slot_cycles = result.slot_cycles;
+  t.clock_hz = clock_hz;
+  t.tti_seconds = carrier.numerology.slot_seconds();
+  return t;
+}
+
+/// Payload bits over an interval, in Mb/s.
+inline double throughput_mbps(u64 bits, double seconds) {
+  return seconds <= 0.0 ? 0.0 : static_cast<double>(bits) / seconds / 1e6;
+}
+
+/// Fraction of the slot's critical path during which cluster `c` was busy.
+inline double cluster_utilization(const SlotResult& result, u32 c) {
+  if (result.slot_cycles == 0) return 0.0;
+  return static_cast<double>(result.cluster_busy_cycles[c]) /
+         static_cast<double>(result.slot_cycles);
+}
+
+/// One row per TTI: latency vs deadline, throughput and BER.
+inline sim::Table slot_report_header() {
+  return sim::Table({"tti", "problems", "bits", "ber", "latency_us", "deadline_us",
+                     "margin_%", "met", "offered_mbps", "processed_mbps"});
+}
+
+inline void add_slot_row(sim::Table& table, const SlotResult& result,
+                         const SlotTiming& timing) {
+  table.add_row({
+      sim::strf("%llu", static_cast<unsigned long long>(result.tti)),
+      sim::strf("%llu", static_cast<unsigned long long>(result.problems)),
+      sim::strf("%llu", static_cast<unsigned long long>(result.bits)),
+      sim::strf("%.3g", result.ber()),
+      sim::strf("%.1f", timing.latency_seconds() * 1e6),
+      sim::strf("%.1f", timing.tti_seconds * 1e6),
+      sim::strf("%+.1f", timing.margin_fraction() * 100.0),
+      timing.meets_deadline() ? "yes" : "NO",
+      sim::strf("%.1f", throughput_mbps(result.bits, timing.tti_seconds)),
+      sim::strf("%.1f", throughput_mbps(result.bits, timing.latency_seconds())),
+  });
+}
+
+/// One row per cluster: batches run, busy cycles, utilization.
+inline sim::Table cluster_report(const SlotResult& result) {
+  sim::Table table({"cluster", "batches", "busy_cycles", "utilization_%"});
+  for (u32 c = 0; c < result.cluster_busy_cycles.size(); ++c) {
+    table.add_row({
+        sim::strf("%u", c),
+        sim::strf("%u", result.cluster_batches[c]),
+        sim::strf("%llu",
+                  static_cast<unsigned long long>(result.cluster_busy_cycles[c])),
+        sim::strf("%.1f", cluster_utilization(result, c) * 100.0),
+    });
+  }
+  return table;
+}
+
+/// One row per OFDM symbol: critical-path cycles and latency share.
+inline sim::Table symbol_report(const SlotResult& result, const SlotTiming& timing) {
+  sim::Table table({"symbol", "cycles", "latency_us"});
+  for (u32 s = 0; s < result.symbol_cycles.size(); ++s) {
+    table.add_row({
+        sim::strf("%u", s),
+        sim::strf("%llu", static_cast<unsigned long long>(result.symbol_cycles[s])),
+        sim::strf("%.2f", static_cast<double>(result.symbol_cycles[s]) /
+                              timing.clock_hz * 1e6),
+    });
+  }
+  return table;
+}
+
+}  // namespace tsim::ran

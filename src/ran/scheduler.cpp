@@ -1,0 +1,267 @@
+#include "ran/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+
+namespace tsim::ran {
+
+void ClusterPoolConfig::validate() const {
+  check(num_clusters >= 1, "ClusterPoolConfig: need at least one cluster");
+  check(host_threads >= 1, "ClusterPoolConfig: need at least one host thread");
+  check(threads_per_cluster >= 1, "ClusterPoolConfig: threads_per_cluster >= 1");
+  check(problems_per_core >= 1, "ClusterPoolConfig: problems_per_core >= 1");
+  cluster.validate();
+}
+
+SlotScheduler::SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> groups)
+    : cfg_(cfg), groups_(std::move(groups)) {
+  cfg_.validate();
+  check(!groups_.empty(), "SlotScheduler: need at least one UE group");
+
+  mods_.reserve(groups_.size());
+  group_geometry_.reserve(groups_.size());
+  for (const auto& g : groups_) {
+    mods_.emplace_back(g.qam_order);
+    group_geometry_.push_back(geometry_for(g.ntx, g.nrx));
+  }
+
+  // All geometries share one hart count so a cluster can switch geometry by
+  // reloading its program without re-sizing the machine: the common count is
+  // the smallest per-geometry L1 fit (optionally capped by batch_cores).
+  u32 common_cores = cfg_.cluster.num_cores();
+  if (cfg_.batch_cores != 0) common_cores = std::min(common_cores, cfg_.batch_cores);
+  for (const auto& geo : geometries_) {
+    const u32 fit = kern::MmseLayout::max_parallel_cores(cfg_.cluster, geo.ntx,
+                                                         geo.nrx, cfg_.prec);
+    common_cores =
+        std::min(common_cores, std::max(1u, fit / cfg_.problems_per_core));
+  }
+  for (auto& geo : geometries_) {
+    geo.layout.num_cores = common_cores;
+    geo.layout.validate();
+    geo.program = kern::build_mmse_program(geo.layout);
+  }
+
+  clusters_.resize(cfg_.num_clusters);
+  for (auto& c : clusters_) {
+    c.machine = std::make_unique<iss::Machine>(cfg_.cluster, iss::TimingConfig{},
+                                               common_cores);
+  }
+}
+
+u32 SlotScheduler::geometry_for(u32 ntx, u32 nrx) {
+  for (u32 i = 0; i < geometries_.size(); ++i) {
+    if (geometries_[i].ntx == ntx && geometries_[i].nrx == nrx) return i;
+  }
+  GeometryContext geo;
+  geo.ntx = ntx;
+  geo.nrx = nrx;
+  geo.layout.ntx = ntx;
+  geo.layout.nrx = nrx;
+  geo.layout.prec = cfg_.prec;
+  geo.layout.problems_per_core = cfg_.problems_per_core;
+  geo.layout.cluster = cfg_.cluster;
+  geometries_.push_back(std::move(geo));  // num_cores/program set by constructor
+  return static_cast<u32>(geometries_.size() - 1);
+}
+
+const kern::MmseLayout& SlotScheduler::layout_for_group(u32 g) const {
+  check(g < groups_.size(), "layout_for_group: group out of range");
+  return geometries_[group_geometry_[g]].layout;
+}
+
+void SlotScheduler::run_batch(Cluster& cluster, const BatchTask& task,
+                              const SlotWorkload& slot, SlotResult& result,
+                              u32 batch_index) {
+  const GeometryContext& geo = geometries_[task.geometry];
+  const kern::MmseLayout& lay = geo.layout;
+  iss::Machine& machine = *cluster.machine;
+  const Allocation& alloc = slot.allocations[task.allocation];
+  const u32 capacity = lay.num_cores * lay.problems_per_core;
+
+  if (cluster.loaded_geometry != static_cast<i64>(task.geometry)) {
+    machine.load_program(geo.program);
+    cluster.loaded_geometry = static_cast<i64>(task.geometry);
+  }
+
+  // Stage the batch; unused tail slots repeat real problems so every core
+  // computes well-defined data (results of padded slots are never read).
+  for (u32 i = 0; i < capacity; ++i) {
+    const u32 p = task.offset + (i < task.count ? i : i % task.count);
+    sim::stage_problem(machine.memory(), lay, i / lay.problems_per_core,
+                       i % lay.problems_per_core, alloc.batch.problems[p]);
+  }
+
+  machine.reset_harts();
+  const iss::RunResult run = (cfg_.threads_per_cluster > 1)
+                                 ? machine.run_threads(cfg_.threads_per_cluster)
+                                 : machine.run();
+  check(run.exited && !run.deadlock, "SlotScheduler: batch run did not complete");
+  const u64 cycles = machine.estimated_cycles();
+
+  // Read back detections and count errors against the transmitted bits.
+  const phy::QamModulator& qam = mods_[alloc.group];
+  const u32 bits_per_problem = lay.ntx * qam.bits_per_symbol();
+  std::vector<u8>& det = result.detected_bits[task.allocation];
+  u64 errors = 0;
+  for (u32 i = 0; i < task.count; ++i) {
+    const auto xhat = sim::read_xhat(machine.memory(), lay,
+                                     i / lay.problems_per_core,
+                                     i % lay.problems_per_core);
+    const auto rx_bits = qam.demap_sequence(xhat);
+    const size_t base = static_cast<size_t>(task.offset + i) * bits_per_problem;
+    for (u32 b = 0; b < bits_per_problem; ++b) {
+      det[base + b] = rx_bits[b];
+      errors += (rx_bits[b] != alloc.batch.tx_bits[base + b]) ? 1 : 0;
+    }
+  }
+
+  // trace.cluster was assigned when the schedule was built; errors are folded
+  // into the result after all workers join (deterministic order).
+  BatchTrace& trace = result.trace[batch_index];
+  trace.allocation = task.allocation;
+  trace.offset = task.offset;
+  trace.count = task.count;
+  trace.cycles = cycles;
+  batch_errors_scratch_[batch_index] = errors;
+}
+
+SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
+  SlotResult result;
+  result.tti = slot.tti;
+  result.problems = slot.num_problems();
+  result.bits = slot.num_bits();
+  result.cluster_busy_cycles.assign(cfg_.num_clusters, 0);
+  result.cluster_batches.assign(cfg_.num_clusters, 0);
+
+  u32 symbols = 0;
+  result.detected_bits.resize(slot.allocations.size());
+  for (size_t a = 0; a < slot.allocations.size(); ++a) {
+    result.detected_bits[a].assign(slot.allocations[a].batch.tx_bits.size(), 0);
+    symbols = std::max(symbols, slot.allocations[a].symbol + 1);
+  }
+
+  // ---- build the batch schedule: chop allocations into cluster batches ----
+  std::vector<BatchTask> tasks;
+  for (u32 a = 0; a < static_cast<u32>(slot.allocations.size()); ++a) {
+    const Allocation& alloc = slot.allocations[a];
+    check(alloc.group < groups_.size(),
+          "run_slot: workload references a UE group this scheduler was not built for");
+    const u32 geometry = group_geometry_[alloc.group];
+    const kern::MmseLayout& lay = geometries_[geometry].layout;
+    const u32 capacity = lay.num_cores * lay.problems_per_core;
+    for (u32 off = 0; off < alloc.num_problems(); off += capacity) {
+      BatchTask t;
+      t.allocation = a;
+      t.offset = off;
+      t.count = std::min(capacity, alloc.num_problems() - off);
+      t.geometry = geometry;
+      tasks.push_back(t);
+    }
+  }
+
+  // Static round-robin assignment: batch i runs on cluster i % num_clusters.
+  result.trace.resize(tasks.size());
+  batch_errors_scratch_.assign(tasks.size(), 0);
+  std::vector<std::vector<u32>> queue(cfg_.num_clusters);
+  for (u32 i = 0; i < tasks.size(); ++i) {
+    const u32 c = i % cfg_.num_clusters;
+    result.trace[i].cluster = c;
+    queue[c].push_back(i);
+  }
+
+  // ---- work-stealing pool: idle threads claim any cluster with work ----
+  const u32 n_workers =
+      std::min<u32>(cfg_.host_threads, std::max<u32>(1, cfg_.num_clusters));
+  std::vector<std::atomic<u32>> pos(cfg_.num_clusters);
+  std::vector<std::atomic<bool>> busy(cfg_.num_clusters);
+  for (u32 c = 0; c < cfg_.num_clusters; ++c) {
+    pos[c].store(0, std::memory_order_relaxed);
+    busy[c].store(false, std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> abort{false};
+  const auto worker = [&](u32 home) {
+    for (;;) {
+      if (abort.load(std::memory_order_acquire)) return;
+      bool all_done = true;
+      bool did_work = false;
+      for (u32 k = 0; k < cfg_.num_clusters; ++k) {
+        const u32 c = (home + k) % cfg_.num_clusters;
+        if (pos[c].load(std::memory_order_acquire) >= queue[c].size()) continue;
+        all_done = false;
+        bool expected = false;
+        if (!busy[c].compare_exchange_strong(expected, true,
+                                             std::memory_order_acquire))
+          continue;
+        const u32 qi = pos[c].load(std::memory_order_relaxed);
+        if (qi < queue[c].size()) {
+          const u32 batch_index = queue[c][qi];
+          run_batch(clusters_[c], tasks[batch_index], slot, result, batch_index);
+          pos[c].store(qi + 1, std::memory_order_release);
+          did_work = true;
+        }
+        busy[c].store(false, std::memory_order_release);
+      }
+      if (all_done) return;
+      // Nothing claimable right now: a peer owns every pending cluster. A
+      // short sleep (small vs any batch runtime) keeps idle workers off the
+      // CPU without measurably delaying the next claim.
+      if (!did_work) std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+
+  if (n_workers == 1) {
+    worker(0);
+  } else {
+    // A SimError from run_batch must not escape a worker thread (that would
+    // std::terminate); stash the first one and rethrow after the join.
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    const auto guarded = [&](u32 home) {
+      try {
+        worker(home);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_release);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(n_workers);
+    for (u32 t = 0; t < n_workers; ++t) threads.emplace_back(guarded, t);
+    for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // ---- deterministic reduction over the trace (batch order) ----
+  std::vector<std::vector<u64>> symbol_cycles(cfg_.num_clusters,
+                                              std::vector<u64>(symbols, 0));
+  for (u32 i = 0; i < result.trace.size(); ++i) {
+    const BatchTrace& t = result.trace[i];
+    result.errors += batch_errors_scratch_[i];
+    result.cluster_busy_cycles[t.cluster] += t.cycles;
+    result.cluster_batches[t.cluster] += 1;
+    symbol_cycles[t.cluster][slot.allocations[t.allocation].symbol] += t.cycles;
+  }
+  result.symbol_cycles.assign(symbols, 0);
+  for (u32 s = 0; s < symbols; ++s) {
+    for (u32 c = 0; c < cfg_.num_clusters; ++c) {
+      result.symbol_cycles[s] = std::max(result.symbol_cycles[s], symbol_cycles[c][s]);
+    }
+  }
+  for (const u64 cycles : result.cluster_busy_cycles) {
+    result.slot_cycles = std::max(result.slot_cycles, cycles);
+  }
+  return result;
+}
+
+}  // namespace tsim::ran

@@ -1,0 +1,117 @@
+// Multi-cluster slot scheduler: packs a SlotWorkload's subcarrier problems
+// into cluster-sized batches and dispatches them to a pool of emulated
+// TeraPool clusters (iss::Machine instances) over a work-stealing host
+// thread pool.
+//
+// Batch-to-cluster assignment is static round-robin in batch order, so the
+// per-cluster cycle accounting (and hence latency/utilization reports) is
+// deterministic and independent of how many host threads drive the pool;
+// work stealing only decides *which host thread* services a cluster next.
+// Within one batch run, Machine::run_threads(threads_per_cluster) may shard
+// the cluster's harts over further host threads: functional results stay
+// bit-identical to run(), cycle estimates agree up to the barrier-wake
+// jitter (see machine.h).
+//
+// Heterogeneous UE groups are supported by caching one generated MMSE
+// program per distinct (ntx, nrx) geometry; a cluster reloads its program
+// only when consecutive batches switch geometry.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "iss/machine.h"
+#include "kernels/layout.h"
+#include "kernels/mmse_program.h"
+#include "phy/qam.h"
+#include "ran/traffic.h"
+#include "rvasm/program.h"
+
+namespace tsim::ran {
+
+struct ClusterPoolConfig {
+  u32 num_clusters = 2;        // emulated DUT clusters processing in parallel
+  u32 host_threads = 2;        // host pool threads driving the clusters
+  u32 threads_per_cluster = 1; // Machine::run_threads shards within one batch
+  tera::TeraPoolConfig cluster = tera::TeraPoolConfig::tiny();
+  kern::Precision prec = kern::Precision::k16CDotp;
+  u32 problems_per_core = 4;
+  u32 batch_cores = 0;         // 0 = as many cores as fit in L1
+
+  void validate() const;
+};
+
+/// One batch execution record, in deterministic batch order.
+struct BatchTrace {
+  u32 cluster = 0;     // cluster that ran the batch
+  u32 allocation = 0;  // index into SlotWorkload::allocations
+  u32 offset = 0;      // first problem of the allocation in this batch
+  u32 count = 0;       // problems detected (padding excluded)
+  u64 cycles = 0;      // estimated DUT cycles of this run
+};
+
+/// Everything the scheduler measured and detected for one TTI.
+struct SlotResult {
+  u64 tti = 0;
+  u64 problems = 0;
+  u64 bits = 0;    // payload bits carried by the slot
+  u64 errors = 0;  // hard-decision bit errors vs the transmitted bits
+
+  /// Hard-decision detected bits, per allocation (same shape as tx_bits).
+  std::vector<std::vector<u8>> detected_bits;
+
+  std::vector<u64> cluster_busy_cycles;  // per cluster
+  std::vector<u32> cluster_batches;      // batches run per cluster
+  std::vector<u64> symbol_cycles;        // per-symbol critical path (max/cluster)
+  u64 slot_cycles = 0;                   // slot critical path (max over clusters)
+  std::vector<BatchTrace> trace;
+
+  double ber() const {
+    return bits == 0 ? 0.0 : static_cast<double>(errors) / static_cast<double>(bits);
+  }
+};
+
+class SlotScheduler {
+ public:
+  SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> groups);
+
+  /// Processes one slot's workload on the cluster pool and returns detections
+  /// plus deterministic per-cluster/per-symbol cycle accounting.
+  SlotResult run_slot(const SlotWorkload& slot);
+
+  const ClusterPoolConfig& config() const { return cfg_; }
+  /// The batch layout used for UE group `g`'s geometry.
+  const kern::MmseLayout& layout_for_group(u32 g) const;
+
+ private:
+  struct GeometryContext {
+    u32 ntx = 0;
+    u32 nrx = 0;
+    kern::MmseLayout layout;
+    rvasm::Program program;
+  };
+  struct Cluster {
+    std::unique_ptr<iss::Machine> machine;
+    i64 loaded_geometry = -1;  // index into geometries_, -1 = none
+  };
+  struct BatchTask {
+    u32 allocation = 0;
+    u32 offset = 0;
+    u32 count = 0;
+    u32 geometry = 0;
+  };
+
+  u32 geometry_for(u32 ntx, u32 nrx);  // builds layout+program on first use
+  void run_batch(Cluster& cluster, const BatchTask& task, const SlotWorkload& slot,
+                 SlotResult& result, u32 batch_index);
+
+  ClusterPoolConfig cfg_;
+  std::vector<UeGroup> groups_;
+  std::vector<phy::QamModulator> mods_;    // one per group
+  std::vector<u32> group_geometry_;        // group index -> geometry index
+  std::vector<GeometryContext> geometries_;
+  std::vector<Cluster> clusters_;
+  std::vector<u64> batch_errors_scratch_;  // per-batch error counts, one run_slot
+};
+
+}  // namespace tsim::ran

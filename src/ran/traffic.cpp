@@ -1,0 +1,109 @@
+#include "ran/traffic.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tsim::ran {
+
+void TrafficConfig::validate() const {
+  check(!groups.empty(), "TrafficConfig: need at least one UE group");
+  check(carrier.num_subcarriers() > 0, "TrafficConfig: carrier has no subcarriers");
+  check(carrier.symbols_per_slot > 0, "TrafficConfig: slot has no symbols");
+  double total_weight = 0.0;
+  for (const auto& g : groups) {
+    check(g.ntx >= 2 && g.nrx >= g.ntx, "TrafficConfig: unsupported MIMO size");
+    check(g.weight > 0.0, "TrafficConfig: group weights must be positive");
+    total_weight += g.weight;
+  }
+  check(total_weight > 0.0, "TrafficConfig: zero total weight");
+  check(offered_load >= 0.0 && offered_load <= 1.0,
+        "TrafficConfig: offered_load must be in [0, 1]");
+}
+
+u64 SlotWorkload::num_problems() const {
+  u64 n = 0;
+  for (const auto& a : allocations) n += a.num_problems();
+  return n;
+}
+
+u64 SlotWorkload::num_bits() const {
+  u64 n = 0;
+  for (const auto& a : allocations) n += a.batch.tx_bits.size();
+  return n;
+}
+
+u32 poisson_sample(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 32.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    double product = 1.0;
+    u32 k = 0;
+    do {
+      product *= rng.uniform();
+      ++k;
+    } while (product > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  const double draw = mean + std::sqrt(mean) * rng.normal() + 0.5;
+  return draw <= 0.0 ? 0u : static_cast<u32>(draw);
+}
+
+TrafficGenerator::TrafficGenerator(const TrafficConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  channels_.reserve(cfg_.groups.size());
+  mods_.reserve(cfg_.groups.size());
+  for (const auto& g : cfg_.groups) {
+    channels_.emplace_back(g.channel, g.nrx, g.ntx);
+    mods_.emplace_back(g.qam_order);
+  }
+}
+
+std::vector<u32> TrafficGenerator::split_subcarriers(u32 occupied) const {
+  double total_weight = 0.0;
+  for (const auto& g : cfg_.groups) total_weight += g.weight;
+  std::vector<u32> counts(cfg_.groups.size());
+  u32 assigned = 0;
+  for (size_t g = 0; g + 1 < cfg_.groups.size(); ++g) {
+    counts[g] = static_cast<u32>(occupied * (cfg_.groups[g].weight / total_weight));
+    assigned += counts[g];
+  }
+  counts.back() = occupied - assigned;  // remainder absorbs rounding
+  return counts;
+}
+
+SlotWorkload TrafficGenerator::slot(u64 tti) const {
+  const u32 nsc = cfg_.carrier.num_subcarriers();
+  SlotWorkload out;
+  out.tti = tti;
+
+  Rng slot_rng = Rng(cfg_.seed).split(tti);
+  for (u32 sym = 0; sym < cfg_.carrier.symbols_per_slot; ++sym) {
+    Rng sym_rng = slot_rng.split(sym);
+    u32 occupied = nsc;
+    if (cfg_.arrival == ArrivalModel::kPoisson) {
+      occupied = std::min(nsc, poisson_sample(sym_rng, cfg_.offered_load * nsc));
+    }
+    const std::vector<u32> counts = split_subcarriers(occupied);
+    u32 next_sc = 0;
+    for (size_t g = 0; g < cfg_.groups.size(); ++g) {
+      if (counts[g] == 0) continue;
+      Rng alloc_rng = sym_rng.split(g + 1);
+      Allocation a;
+      a.group = static_cast<u32>(g);
+      a.symbol = sym;
+      a.first_subcarrier = next_sc;
+      a.batch = sim::generate_batch(channels_[g], mods_[g], cfg_.groups[g].ntx,
+                                    counts[g], cfg_.groups[g].snr_db, alloc_rng);
+      next_sc += counts[g];
+      out.allocations.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+SlotWorkload TrafficGenerator::next_slot() { return slot(next_tti_++); }
+
+}  // namespace tsim::ran

@@ -1,0 +1,105 @@
+// Slot-level RAN traffic generation (paper Sec. II/V-A): expands a 5G NR
+// carrier (phy::CarrierConfig) into per-TTI PUSCH detection workloads.
+//
+// A TTI (= one slot, 14 OFDM symbols for normal CP) is modelled as a grid of
+// num_subcarriers() x symbols_per_slot subcarrier MIMO problems. Heterogeneous
+// UE groups partition each symbol's subcarriers: every group brings its own
+// MIMO order (ntx, nrx), QAM constellation, operating SNR and channel type,
+// mirroring the mixed-service traffic of the TeraPool-SDR / many-core uplink
+// papers (PAPERS.md). Two arrival models are supported:
+//  - kFullBuffer: every data subcarrier of every symbol carries a problem
+//    (the paper's worst-case "process a full TTI in < 1 ms" load), and
+//  - kPoisson:    per-symbol occupancy is Poisson-distributed around a
+//    configurable offered load, for latency/utilization studies below the
+//    deadline cliff.
+//
+// Generation is deterministic: the same TrafficConfig::seed reproduces the
+// same bits, channels and noise, TTI after TTI, regardless of host threading
+// (each allocation derives its own Rng sub-stream).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "phy/channel.h"
+#include "phy/ofdm.h"
+#include "phy/qam.h"
+#include "sim/cosim.h"
+
+namespace tsim::ran {
+
+/// One class of co-scheduled users: all allocations of this group share the
+/// same MIMO geometry, constellation and channel statistics.
+struct UeGroup {
+  std::string name = "ue";
+  u32 ntx = 4;                // spatially multiplexed layers
+  u32 nrx = 4;                // base-station antennas observing the group
+  u32 qam_order = 16;         // 4 / 16 / 64 / 256
+  double snr_db = 15.0;       // operating point of the group's link
+  phy::ChannelType channel = phy::ChannelType::kRayleigh;
+  double weight = 1.0;        // share of the carrier's subcarriers
+};
+
+enum class ArrivalModel : u8 {
+  kFullBuffer,  // all subcarriers occupied every symbol
+  kPoisson,     // per-symbol occupancy ~ Poisson(offered_load * num_subcarriers)
+};
+
+struct TrafficConfig {
+  phy::CarrierConfig carrier = phy::CarrierConfig::paper_50mhz();
+  std::vector<UeGroup> groups = {UeGroup{}};
+  ArrivalModel arrival = ArrivalModel::kFullBuffer;
+  double offered_load = 1.0;  // Poisson: mean fraction of subcarriers occupied
+  u64 seed = 0x7E11;
+
+  void validate() const;
+};
+
+/// A contiguous run of subcarriers of one OFDM symbol assigned to one UE
+/// group, with the generated transmissions (problems + ground-truth bits).
+struct Allocation {
+  u32 group = 0;             // index into TrafficConfig::groups
+  u32 symbol = 0;            // OFDM symbol within the slot [0, symbols_per_slot)
+  u32 first_subcarrier = 0;  // grid position of batch.problems[0]
+  sim::Batch batch;          // one MimoProblem per subcarrier in the run
+  u32 num_problems() const { return static_cast<u32>(batch.problems.size()); }
+};
+
+/// All detection work of one TTI.
+struct SlotWorkload {
+  u64 tti = 0;
+  std::vector<Allocation> allocations;
+
+  u64 num_problems() const;
+  /// Ground-truth payload bits carried by the slot (sum over allocations).
+  u64 num_bits() const;
+};
+
+/// Deterministic per-TTI workload source.
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(const TrafficConfig& cfg);
+
+  /// Generates the workload of TTI `next_tti_` and advances the counter.
+  SlotWorkload next_slot();
+  /// Generates the workload of an arbitrary TTI (does not advance).
+  SlotWorkload slot(u64 tti) const;
+
+  const TrafficConfig& config() const { return cfg_; }
+
+ private:
+  /// Occupied subcarriers of one symbol, split into per-group counts.
+  std::vector<u32> split_subcarriers(u32 occupied) const;
+
+  TrafficConfig cfg_;
+  std::vector<phy::Channel> channels_;      // one per group
+  std::vector<phy::QamModulator> mods_;     // one per group
+  u64 next_tti_ = 0;
+};
+
+/// Draws a Poisson(mean) variate from `rng` (Knuth below mean 32, normal
+/// approximation above; deterministic for a given stream).
+u32 poisson_sample(Rng& rng, double mean);
+
+}  // namespace tsim::ran

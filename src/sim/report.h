@@ -37,9 +37,33 @@ class Table {
 
   void write_csv(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return;
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
     write_csv_row(f, header_);
     for (const auto& row : rows_) write_csv_row(f, row);
+    std::fclose(f);
+  }
+
+  /// Machine-readable form: a JSON array with one object per row, keyed by
+  /// the header (all values as strings, exactly as rendered in the table).
+  void write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "  {");
+      for (size_t c = 0; c < rows_[r].size() && c < header_.size(); ++c) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", c == 0 ? "" : ", ",
+                     json_escape(header_[c]).c_str(), json_escape(rows_[r][c]).c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
     std::fclose(f);
   }
 
@@ -51,6 +75,23 @@ class Table {
       if (c + 1 < width.size()) std::fprintf(out, "|");
     }
     std::fprintf(out, "\n");
+  }
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(ch));
+        out += buf;
+      } else {
+        out += ch;
+      }
+    }
+    return out;
   }
   static void write_csv_row(std::FILE* f, const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c)

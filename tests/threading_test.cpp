@@ -1,0 +1,135 @@
+// Multi-threaded host path coverage: Machine::run_threads must be
+// functionally and cycle-wise bit-identical to the deterministic
+// single-thread round-robin run(), for any host thread count, and
+// McRunner(host_threads > 1) must reproduce the single-threaded BER points
+// exactly for the same seed (machine.h's host-scheduling-independence
+// contract).
+#include <gtest/gtest.h>
+
+#include "iss/machine.h"
+#include "kernels/mmse_program.h"
+#include "sim/cosim.h"
+#include "sim/mc.h"
+
+namespace tsim::sim {
+namespace {
+
+using kern::MmseLayout;
+using kern::Precision;
+
+MmseLayout eight_core_layout() {
+  MmseLayout lay;
+  lay.ntx = 4;
+  lay.nrx = 4;
+  lay.prec = Precision::k16CDotp;
+  lay.problems_per_core = 1;
+  lay.num_cores = 8;
+  lay.cluster = tera::TeraPoolConfig::tiny();
+  lay.validate();
+  return lay;
+}
+
+Batch staged_batch(iss::Machine& machine, const MmseLayout& lay, u64 seed) {
+  Rng rng(seed);
+  phy::Channel ch(phy::ChannelType::kRayleigh, lay.nrx, lay.ntx);
+  phy::QamModulator qam(16);
+  Batch batch = generate_batch(ch, qam, lay.ntx, lay.num_cores, 12.0, rng);
+  for (u32 c = 0; c < lay.num_cores; ++c) {
+    stage_problem(machine.memory(), lay, c, 0, batch.problems[c]);
+  }
+  return batch;
+}
+
+TEST(Threading, RunThreadsMatchesRunBitForBitAndCycleForCycle) {
+  const MmseLayout lay = eight_core_layout();
+  const auto program = kern::build_mmse_program(lay);
+
+  iss::Machine reference(lay.cluster, iss::TimingConfig{}, lay.num_cores);
+  reference.load_program(program);
+  staged_batch(reference, lay, 42);
+  ASSERT_TRUE(reference.run().exited);
+
+  for (const u32 threads : {2u, 3u, 8u}) {
+    iss::Machine machine(lay.cluster, iss::TimingConfig{}, lay.num_cores);
+    machine.load_program(program);
+    staged_batch(machine, lay, 42);
+    const auto result = machine.run_threads(threads);
+    ASSERT_TRUE(result.exited) << threads << " threads";
+    EXPECT_FALSE(result.deadlock);
+    // Architectural results match exactly.
+    for (u32 c = 0; c < lay.num_cores; ++c) {
+      EXPECT_EQ(read_xhat(machine.memory(), lay, c, 0),
+                read_xhat(reference.memory(), lay, c, 0))
+          << threads << " threads, core " << c;
+    }
+    // Per-hart cycle estimates agree up to the barrier-wake jitter (see
+    // machine.h): which hart timestamps the wake is resolved by the
+    // physical race, so allow a small relative tolerance.
+    for (u32 h = 0; h < machine.num_harts(); ++h) {
+      const double a = static_cast<double>(machine.hart(h).cycles());
+      const double b = static_cast<double>(reference.hart(h).cycles());
+      EXPECT_NEAR(a, b, 0.01 * b) << threads << " threads, hart " << h;
+    }
+    const double est = static_cast<double>(reference.estimated_cycles());
+    EXPECT_NEAR(static_cast<double>(machine.estimated_cycles()), est, 0.01 * est);
+  }
+}
+
+TEST(Threading, RunThreadsClampsThreadCountAboveHartCount) {
+  const MmseLayout lay = eight_core_layout();
+  iss::Machine machine(lay.cluster, iss::TimingConfig{}, lay.num_cores);
+  machine.load_program(kern::build_mmse_program(lay));
+  staged_batch(machine, lay, 7);
+  const auto result = machine.run_threads(1000);  // clamped to num_harts
+  EXPECT_TRUE(result.exited);
+  EXPECT_FALSE(result.deadlock);
+}
+
+TEST(Threading, McRunnerHostThreadsProduceBitIdenticalBerPoints) {
+  McConfig cfg;
+  cfg.ntx = 4;
+  cfg.nrx = 4;
+  cfg.qam_order = 16;
+  cfg.channel = phy::ChannelType::kRayleigh;
+  cfg.target_errors = 50;
+  cfg.max_bits = 60'000;
+  cfg.problems_per_core = 2;
+
+  McRunner single(cfg);
+  const BerPoint ref = single.dut_point(Precision::k16CDotp, 10.0);
+  ASSERT_GT(ref.bits, 0u);
+
+  for (const u32 threads : {2u, 4u}) {
+    McConfig threaded_cfg = cfg;
+    threaded_cfg.host_threads = threads;
+    McRunner threaded(threaded_cfg);
+    const BerPoint p = threaded.dut_point(Precision::k16CDotp, 10.0);
+    EXPECT_EQ(p.bits, ref.bits) << threads << " host threads";
+    EXPECT_EQ(p.errors, ref.errors) << threads << " host threads";
+    EXPECT_DOUBLE_EQ(p.ber, ref.ber) << threads << " host threads";
+  }
+}
+
+TEST(Threading, McRunnerMultiThreadSweepIsDeterministic) {
+  McConfig cfg;
+  cfg.ntx = 4;
+  cfg.nrx = 4;
+  cfg.qam_order = 16;
+  cfg.channel = phy::ChannelType::kAwgn;
+  cfg.target_errors = 30;
+  cfg.max_bits = 30'000;
+  cfg.host_threads = 4;
+
+  McRunner a(cfg);
+  McRunner b(cfg);
+  const auto sweep_a = a.dut_sweep(Precision::k16WDotp, {8.0, 12.0});
+  const auto sweep_b = b.dut_sweep(Precision::k16WDotp, {8.0, 12.0});
+  ASSERT_EQ(sweep_a.size(), sweep_b.size());
+  for (size_t i = 0; i < sweep_a.size(); ++i) {
+    EXPECT_EQ(sweep_a[i].errors, sweep_b[i].errors);
+    EXPECT_EQ(sweep_a[i].bits, sweep_b[i].bits);
+  }
+}
+
+}  // namespace
+}  // namespace tsim::sim
