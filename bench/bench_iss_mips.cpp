@@ -1,0 +1,95 @@
+// Simulated-MIPS trajectory bench for the fast ISS hot loop.
+//
+// Measures raw emulation throughput (millions of simulated instructions per
+// wall-clock second) of Machine::run / Machine::run_threads on the parallel
+// MMSE workload, sweeping the hart count up to the largest configuration
+// that fits the full TeraPool's L1. Unlike bench_table1_sim_speed this
+// binary has no google-benchmark dependency, so it always builds, and its
+// --json output is the stable record of the hot-loop speed across commits
+// (BENCH_*.json trajectories).
+//
+// Rows: one per (cores, host threads) point, plus a barrier-heavy variant
+// that re-runs the same DUT binary many times back to back (reset_harts +
+// run), which is exactly the slot scheduler's batch pattern.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "iss/machine.h"
+
+namespace tsim::bench {
+namespace {
+
+struct Point {
+  u32 cores;
+  u32 threads;
+  u32 repeats;
+  double seconds;
+  u64 instructions;
+  double mips() const { return static_cast<double>(instructions) / seconds / 1e6; }
+};
+
+Point measure(const tera::TeraPoolConfig& cluster, u32 cores, u32 threads,
+              double min_seconds) {
+  const kern::MmseLayout lay =
+      parallel_layout(cluster, 4, kern::Precision::k16CDotp, cores);
+  iss::Machine machine(cluster, iss::TimingConfig{}, lay.num_cores);
+  machine.load_program(kern::build_mmse_program(lay));
+  stage_random_problems(machine.memory(), lay, 12.0, 21);
+
+  // Warm-up run (first touch of memory, page faults, translation).
+  machine.reset_harts();
+  const auto warm = threads > 1 ? machine.run_threads(threads) : machine.run();
+  check(warm.exited && !warm.deadlock, "bench_iss_mips: warm-up run failed");
+
+  // Repeat whole batch runs (the slot scheduler's pattern) until the
+  // measurement window is long enough to be stable.
+  Point p{lay.num_cores, threads, 0, 0.0, 0};
+  const Stopwatch clock;
+  do {
+    machine.reset_harts();
+    const auto res = threads > 1 ? machine.run_threads(threads) : machine.run();
+    check(res.exited && !res.deadlock, "bench_iss_mips: run failed");
+    p.instructions += res.instructions;
+    ++p.repeats;
+    p.seconds = clock.seconds();
+  } while (p.seconds < min_seconds);
+  return p;
+}
+
+}  // namespace
+}  // namespace tsim::bench
+
+int main(int argc, char** argv) {
+  using namespace tsim;
+  using namespace tsim::bench;
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+
+  const auto cluster = tera::TeraPoolConfig::full();
+  const u32 max_fit = kern::MmseLayout::max_parallel_cores(
+      cluster, 4, 4, kern::Precision::k16CDotp);
+  std::vector<u32> core_counts = {16, 64, 256};
+  if (opt.full && max_fit > 256) core_counts.push_back(std::min(max_fit, 1024u));
+  std::vector<u32> thread_counts = {1};
+  if (host_threads() > 1) thread_counts.push_back(host_threads());
+
+  sim::Table table({"cores", "host_threads", "repeats", "instructions",
+                    "wall_s", "sim_MIPS"});
+  std::printf("bench_iss_mips | fast-ISS hot-loop throughput (parallel MMSE)\n\n");
+  const double min_seconds = opt.full ? 2.0 : 0.5;
+  for (const u32 cores : core_counts) {
+    for (const u32 threads : thread_counts) {
+      const Point p = measure(cluster, cores, threads, min_seconds);
+      table.add_row({
+          sim::strf("%u", p.cores),
+          sim::strf("%u", p.threads),
+          sim::strf("%u", p.repeats),
+          sim::strf("%llu", static_cast<unsigned long long>(p.instructions)),
+          sim::strf("%.3f", p.seconds),
+          sim::strf("%.2f", p.mips()),
+      });
+    }
+  }
+  table.print();
+  opt.maybe_write(table, "iss_mips");
+  return 0;
+}

@@ -8,36 +8,66 @@
 namespace tsim::iss {
 namespace {
 
-constexpr u32 kQuantum = 256;       // instructions per hart per scheduler turn
-constexpr u64 kSpinLimit = 200'000'000;  // idle passes before declaring deadlock
+constexpr u32 kQuantum = 256;  // instructions per hart per scheduler turn
 
-bool writes_rd(rv::Fmt fmt) {
-  switch (fmt) {
-    case rv::Fmt::kS:
-    case rv::Fmt::kB:
-    case rv::Fmt::kNullary:
-      return false;
-    default:
-      return true;
-  }
-}
+// Consecutive idle observations of the all-parked condition a run_threads
+// worker requires before declaring deadlock. The triple-read snapshot in
+// the worker loop is already sound on its own (see the comment there); the
+// confirmation margin is belt-and-braces against future protocol edits.
+constexpr u32 kIdleConfirm = 64;
 
 /// Cycle of the instruction currently executing on this host thread; read
 /// by the MMIO wake handler to timestamp barrier releases. Thread-local so
-/// concurrent shards never share a cache line.
+/// concurrent shards never share a cache line. Only stores can reach the
+/// wake register, so the fast path refreshes it on store-class instructions
+/// only (the traced reference path refreshes it every instruction, matching
+/// the historical behaviour; both are observationally identical).
 thread_local u64 t_current_cycle = 0;
 
-bool is_post_increment_load(rv::Op op) {
-  switch (op) {
-    case rv::Op::kPLb:
-    case rv::Op::kPLbu:
-    case rv::Op::kPLh:
-    case rv::Op::kPLhu:
-    case rv::Op::kPLw:
-      return true;
-    default:
-      return false;
+/// Scoreboard: earliest cycle the instruction can issue, charging RAW
+/// stalls to the hart.
+inline u64 compute_issue(Hart& h, const SbEntry& e, bool scoreboard) {
+  u64 issue = h.state.cycle;
+  if (scoreboard) {
+    u64 ready = std::max(h.ready[e.d.rs1], h.ready[e.d.rs2]);
+    if (e.flags & kSbReadsRs3) ready = std::max(ready, h.ready[e.d.rs3]);
+    if (e.flags & kSbReadsRdSrc) ready = std::max(ready, h.ready[e.d.rd]);
+    if (ready > issue) {
+      h.raw_stall_cycles += ready - issue;
+      issue = ready;
+    }
   }
+  return issue;
+}
+
+/// Static-latency accounting for one retired instruction: advances the hart
+/// clock and marks the destination busy until its result latency elapses.
+inline void retire_timing(Hart& h, const SbEntry& e, const rv::StepInfo& info,
+                          u64 issue, const TimingConfig& timing,
+                          const tera::TeraPoolConfig& cluster,
+                          const tera::ClusterMemory& mem) {
+  auto& st = h.state;
+  st.cycle = issue + e.issue_cycles;
+  if (info.branch_taken) st.cycle += timing.branch_taken_penalty;
+
+  u64 result_at = issue + e.result_latency;
+  if (info.is_load || info.is_amo) {
+    u32 mem_lat;
+    if (info.mem_addr >= tera::kL2Base) {
+      mem_lat = timing.l2_latency;
+    } else if (info.mem_addr >= tera::kMmioBase) {
+      mem_lat = 1;
+    } else if (timing.numa_latency) {
+      const auto route = mem.map().route(info.mem_addr);
+      const u32 tile = route ? route->tile : 0;
+      mem_lat = cluster.numa_latency(st.hartid, tile);
+    } else {
+      mem_lat = timing.static_mem_latency;
+    }
+    result_at += mem_lat;
+  }
+  if ((e.flags & kSbWritesRd) && e.d.rd != 0) h.ready[e.d.rd] = result_at;
+  if ((e.flags & kSbPostIncLoad) && e.d.rs1 != 0) h.ready[e.d.rs1] = issue + 1;
 }
 
 }  // namespace
@@ -81,7 +111,27 @@ void Machine::on_wake(u32 target, u64 waker_cycle) {
     harts_[i].wake_cycle = waker_cycle;
     auto& s = sleep_[i];
     u8 expected = static_cast<u8>(SleepState::kSleeping);
-    if (s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kAwake))) return;
+    if (s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kAwake))) {
+      // The hart was parked: hand it back to its scheduler's run list.
+      if (st_mode_) {
+        // Same host thread (wakes only happen inside a store instruction):
+        // insert in sorted position. Adjusting st_pos_ when the insertion
+        // lands at or before it reproduces the scan-all-harts visit order
+        // exactly: a hart woken "behind" the scan runs next pass, a hart
+        // woken "ahead" still runs this pass.
+        const auto it = std::lower_bound(st_awake_.begin(), st_awake_.end(), i);
+        const size_t idx = static_cast<size_t>(it - st_awake_.begin());
+        st_awake_.insert(it, i);
+        if (idx <= st_pos_) ++st_pos_;
+      } else if (mt_mode_) {
+        pending_wakes_.fetch_add(1, std::memory_order_release);
+        WakeInbox& box = inboxes_[i / shard_size_];
+        const std::lock_guard<std::mutex> lock(box.m);
+        box.ids.push_back(i);
+        box.count.fetch_add(1, std::memory_order_release);
+      }
+      return;
+    }
     expected = static_cast<u8>(SleepState::kAwake);
     s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kWakePending));
   };
@@ -92,197 +142,329 @@ void Machine::on_wake(u32 target, u64 waker_cycle) {
   }
 }
 
-bool Machine::step(u32 hart_index) {
+bool Machine::park_in_wfi(u32 hart_index) {
   Hart& h = harts_[hart_index];
-  auto& st = h.state;
-  const rv::Decoded* d = tcache_.lookup(st.pc);
-  if (d == nullptr || d->op == rv::Op::kInvalid) {
-    st.halted = true;
-    st.trapped = true;
+  auto& s = sleep_[hart_index];
+  u8 expected = static_cast<u8>(SleepState::kWakePending);
+  if (s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kAwake))) {
+    // A wake arrived between barrier arrival and wfi: consume it and keep going.
+    resume_from_wfi(hart_index);
     return false;
   }
-  const rv::InstrDef& def = isa_defs_[static_cast<size_t>(d->op)];
-
-  // --- RAW scoreboard: stall issue until all sources are ready ---
-  u64 issue = st.cycle;
-  if (timing_.scoreboard) {
-    u64 ready = std::max(h.ready[d->rs1], h.ready[d->rs2]);
-    if (def.fmt == rv::Fmt::kR4) ready = std::max(ready, h.ready[d->rs3]);
-    if (rv::reads_rd(d->op)) ready = std::max(ready, h.ready[d->rd]);
-    if (ready > issue) {
-      h.raw_stall_cycles += ready - issue;
-      issue = ready;
-    }
+  expected = static_cast<u8>(SleepState::kAwake);
+  if (s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kSleeping))) {
+    return true;  // now asleep; the scheduler resumes us after a wake
   }
-  st.cycle = issue;
-
-  t_current_cycle = issue;
-  if (trace_) trace_(hart_index, st.pc, *d);
-  const rv::StepInfo info = rv::execute(*d, st, *mem_);
-  h.mix[static_cast<size_t>(def.mix)]++;
-
-  // --- advance the hart clock ---
-  st.cycle = issue + def.issue_cycles;
-  if (info.branch_taken) st.cycle += timing_.branch_taken_penalty;
-
-  // --- mark destination busy until its static result latency elapses ---
-  u64 result_at = issue + def.result_latency;
-  if (info.is_load || info.is_amo) {
-    u32 mem_lat;
-    if (info.mem_addr >= tera::kL2Base) {
-      mem_lat = timing_.l2_latency;
-    } else if (info.mem_addr >= tera::kMmioBase) {
-      mem_lat = 1;
-    } else if (timing_.numa_latency) {
-      const auto route = mem_->map().route(info.mem_addr);
-      const u32 tile = route ? route->tile : 0;
-      const u32 core = st.hartid;
-      mem_lat = cluster_.numa_latency(core, tile);
-    } else {
-      mem_lat = timing_.static_mem_latency;
-    }
-    result_at += mem_lat;
-  }
-  if (writes_rd(def.fmt) && d->rd != 0) h.ready[d->rd] = result_at;
-  if (is_post_increment_load(d->op) && d->rs1 != 0) h.ready[d->rs1] = issue + 1;
-
-  if (st.halted) return false;
-
-  if (info.entered_wfi) {
-    auto& s = sleep_[hart_index];
-    u8 expected = static_cast<u8>(SleepState::kWakePending);
-    if (s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kAwake))) {
-      // A wake arrived between barrier arrival and wfi: consume it and keep going.
-      st.in_wfi = false;
-      const u64 resume = h.wake_cycle + timing_.barrier_wake_cost;
-      if (resume > st.cycle) {
-        h.wfi_stall_cycles += resume - st.cycle;
-        st.cycle = resume;
-      }
-      return true;
-    }
-    expected = static_cast<u8>(SleepState::kAwake);
-    if (s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kSleeping))) {
-      return false;  // now asleep; scheduler resumes us after a wake
-    }
-    // A wake raced in during the transition: consume it.
-    s.store(static_cast<u8>(SleepState::kAwake), std::memory_order_relaxed);
-    st.in_wfi = false;
-    return true;
-  }
-  return true;
+  // A wake raced in during the transition: consume it.
+  s.store(static_cast<u8>(SleepState::kAwake), std::memory_order_relaxed);
+  h.state.in_wfi = false;
+  return false;
 }
 
-bool Machine::all_asleep() const {
-  for (u32 i = 0; i < harts_.size(); ++i) {
-    if (harts_[i].state.halted) continue;
-    if (sleep_[i].load(std::memory_order_relaxed) !=
-        static_cast<u8>(SleepState::kSleeping))
-      return false;
+void Machine::resume_from_wfi(u32 hart_index) {
+  Hart& h = harts_[hart_index];
+  h.state.in_wfi = false;
+  const u64 resume = h.wake_cycle + timing_.barrier_wake_cost;
+  if (resume > h.state.cycle) {
+    h.wfi_stall_cycles += resume - h.state.cycle;
+    h.state.cycle = resume;
   }
-  return true;
+}
+
+u64 Machine::exec_quantum(u32 hart_index, u64 budget, TurnEnd& end) {
+  Hart& h = harts_[hart_index];
+  auto& st = h.state;
+  const bool scoreboard = timing_.scoreboard;
+  u64 executed = 0;
+  end = TurnEnd::kBudget;
+  while (budget != 0) {
+    const SbEntry* e = tcache_.entry(st.pc);
+    if (e == nullptr || e->d.op == rv::Op::kInvalid) {
+      st.halted = true;
+      st.trapped = true;
+      end = TurnEnd::kHalted;
+      return executed;
+    }
+    // Retire the whole straight-line run: only its last instruction can
+    // branch or enter wfi, so pc tracks the entry pointer implicitly. Any
+    // instruction may still fault, which shows up as st.halted.
+    const u32 n = static_cast<u32>(std::min<u64>(e->run_len, budget));
+    budget -= n;
+    for (u32 k = 0; k < n; ++k, ++e) {
+      const u64 issue = compute_issue(h, *e, scoreboard);
+      st.cycle = issue;
+      if (e->flags & kSbStore) t_current_cycle = issue;
+      const rv::StepInfo info = rv::execute(e->d, st, *mem_);
+      h.mix[e->mix]++;
+      retire_timing(h, *e, info, issue, timing_, cluster_, *mem_);
+      ++executed;
+      if (st.halted) {
+        end = TurnEnd::kHalted;
+        return executed;
+      }
+      if (stop_.load(std::memory_order_relaxed)) {
+        end = TurnEnd::kStopped;
+        return executed;
+      }
+    }
+    if (st.in_wfi && park_in_wfi(hart_index)) {
+      end = TurnEnd::kAsleep;
+      return executed;
+    }
+  }
+  return executed;
+}
+
+u64 Machine::exec_quantum_traced(u32 hart_index, u64 budget, TurnEnd& end) {
+  Hart& h = harts_[hart_index];
+  auto& st = h.state;
+  u64 executed = 0;
+  end = TurnEnd::kBudget;
+  while (budget != 0) {
+    const SbEntry* e = tcache_.entry(st.pc);
+    if (e == nullptr || e->d.op == rv::Op::kInvalid) {
+      st.halted = true;
+      st.trapped = true;
+      end = TurnEnd::kHalted;
+      return executed;
+    }
+    const u64 issue = compute_issue(h, *e, timing_.scoreboard);
+    st.cycle = issue;
+    t_current_cycle = issue;
+    if (trace_) trace_(hart_index, st.pc, e->d);
+    const rv::StepInfo info = rv::execute(e->d, st, *mem_);
+    h.mix[e->mix]++;
+    retire_timing(h, *e, info, issue, timing_, cluster_, *mem_);
+    ++executed;
+    --budget;
+    if (st.halted) {
+      end = TurnEnd::kHalted;
+      return executed;
+    }
+    if (st.in_wfi && park_in_wfi(hart_index)) {
+      end = TurnEnd::kAsleep;
+      return executed;
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      end = TurnEnd::kStopped;
+      return executed;
+    }
+  }
+  return executed;
 }
 
 RunResult Machine::run(u64 max_instructions) {
   RunResult res;
   u64 executed = 0;
-  while (!stop_.load(std::memory_order_acquire)) {
-    bool any_live = false;
-    bool progress = false;
-    for (u32 i = 0; i < harts_.size(); ++i) {
-      Hart& h = harts_[i];
-      if (h.state.halted) continue;
-      any_live = true;
-      if (h.state.in_wfi) {
-        if (sleep_[i].load(std::memory_order_acquire) !=
-            static_cast<u8>(SleepState::kAwake))
-          continue;  // still asleep
-        h.state.in_wfi = false;
-        const u64 resume = h.wake_cycle + timing_.barrier_wake_cost;
-        if (resume > h.state.cycle) {
-          h.wfi_stall_cycles += resume - h.state.cycle;
-          h.state.cycle = resume;
-        }
-      }
-      for (u32 q = 0; q < kQuantum; ++q) {
-        if (!step(i)) break;
-        ++executed;
-        progress = true;
-        if (max_instructions != 0 && executed >= max_instructions) {
-          res.instructions = executed;
-          return res;
-        }
-        if (stop_.load(std::memory_order_relaxed)) break;
-      }
-      if (!h.state.in_wfi && !h.state.halted) progress = true;
-    }
-    if (!any_live) break;  // everything halted
-    if (!progress && all_asleep()) {
-      res.deadlock = true;
-      break;
-    }
+
+  // Build the awake run list once; after this the scheduler never loads a
+  // sleep state - on_wake (same host thread) re-inserts woken harts.
+  st_awake_.clear();
+  for (u32 i = 0; i < num_harts(); ++i) {
+    if (harts_[i].state.halted) continue;
+    if (sleep_[i].load(std::memory_order_relaxed) ==
+        static_cast<u8>(SleepState::kSleeping))
+      continue;
+    st_awake_.push_back(i);
   }
+  st_pos_ = 0;
+  st_mode_ = true;
+
+  bool first_pass = true;
+  for (;;) {
+    if (first_pass || st_pos_ >= st_awake_.size()) {
+      // Pass boundary (the sorted list was scanned end to end). stop_ is
+      // only consulted here and after each retired instruction, mirroring
+      // the original scan-all-harts loop cycle for cycle.
+      first_pass = false;
+      st_pos_ = 0;
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (st_awake_.empty()) {
+        for (const Hart& h : harts_) {
+          if (!h.state.halted) {
+            res.deadlock = true;  // live harts asleep, nobody left to wake them
+            break;
+          }
+        }
+        break;
+      }
+    }
+    const u32 i = st_awake_[st_pos_];
+    if (harts_[i].state.in_wfi) resume_from_wfi(i);
+    u64 budget = kQuantum;
+    if (max_instructions != 0)
+      budget = std::min<u64>(budget, max_instructions - executed);
+    TurnEnd end;
+    executed += trace_ ? exec_quantum_traced(i, budget, end)
+                       : exec_quantum(i, budget, end);
+    if (end == TurnEnd::kAsleep || end == TurnEnd::kHalted) {
+      st_awake_.erase(st_awake_.begin() + static_cast<ptrdiff_t>(st_pos_));
+    } else {
+      ++st_pos_;
+    }
+    if (max_instructions != 0 && executed >= max_instructions) break;
+  }
+
+  st_mode_ = false;
   res.exited = exited_.load(std::memory_order_relaxed);
   res.exit_code = exit_code_.load(std::memory_order_relaxed);
   res.instructions = executed;
   return res;
 }
 
-RunResult Machine::run_threads(u32 n_threads) {
+RunResult Machine::run_threads(u32 n_threads, u64 max_instructions) {
   n_threads = std::max(1u, std::min<u32>(n_threads, num_harts()));
-  std::vector<std::thread> workers;
+  const u32 per = (num_harts() + n_threads - 1) / n_threads;
+  const u32 n_shards = (num_harts() + per - 1) / per;
+
+  shard_size_ = per;
+  inboxes_ = std::make_unique<WakeInbox[]>(n_shards);
+  u32 awake = 0;
+  for (u32 i = 0; i < num_harts(); ++i) {
+    if (harts_[i].state.halted) continue;
+    if (sleep_[i].load(std::memory_order_relaxed) !=
+        static_cast<u8>(SleepState::kSleeping))
+      ++awake;
+  }
+  awake_count_.store(awake, std::memory_order_relaxed);
+  pending_wakes_.store(0, std::memory_order_relaxed);
+  budget_left_.store(static_cast<i64>(max_instructions), std::memory_order_relaxed);
+  mt_mode_ = true;
+
   std::atomic<u64> executed{0};
   std::atomic<bool> deadlock{false};
-  const u32 per = (num_harts() + n_threads - 1) / n_threads;
+  // Claimed-but-unsettled budget quanta: a worker that cannot claim may only
+  // declare the budget exhausted once no peer still holds a claim (a peer
+  // that parks early returns its unused share to the pool).
+  std::atomic<u32> claims_in_flight{0};
+  std::vector<std::thread> workers;
+  workers.reserve(n_shards);
 
-  for (u32 t = 0; t < n_threads; ++t) {
+  for (u32 t = 0; t < n_shards; ++t) {
     const u32 lo = t * per;
     const u32 hi = std::min(num_harts(), lo + per);
-    if (lo >= hi) break;
-    workers.emplace_back([this, lo, hi, &executed, &deadlock] {
+    workers.emplace_back([this, t, lo, hi, max_instructions, &executed, &deadlock,
+                          &claims_in_flight] {
+      // Shard-local run list; cross-thread wakes arrive via our inbox.
+      std::vector<u32> awake_list;
+      u32 shard_live = 0;
+      for (u32 i = lo; i < hi; ++i) {
+        if (harts_[i].state.halted) continue;
+        ++shard_live;
+        if (sleep_[i].load(std::memory_order_relaxed) !=
+            static_cast<u8>(SleepState::kSleeping))
+          awake_list.push_back(i);
+      }
+      WakeInbox& inbox = inboxes_[t];
+      size_t pos = 0;
       u64 local_exec = 0;
-      u64 idle_passes = 0;
-      while (!stop_.load(std::memory_order_acquire)) {
-        bool any_live = false;
-        bool progress = false;
-        for (u32 i = lo; i < hi; ++i) {
-          Hart& h = harts_[i];
-          if (h.state.halted) continue;
-          any_live = true;
-          if (h.state.in_wfi) {
-            if (sleep_[i].load(std::memory_order_acquire) !=
-                static_cast<u8>(SleepState::kAwake))
-              continue;
-            h.state.in_wfi = false;
-            const u64 resume = h.wake_cycle + timing_.barrier_wake_cost;
-            if (resume > h.state.cycle) {
-              h.wfi_stall_cycles += resume - h.state.cycle;
-              h.state.cycle = resume;
-            }
-          }
-          for (u32 q = 0; q < kQuantum; ++q) {
-            if (!step(i)) break;
-            ++local_exec;
-            progress = true;
-            if (stop_.load(std::memory_order_relaxed)) break;
-          }
+      u32 idle_confirm = 0;
+      std::vector<u32> drained;
+
+      const auto drain_inbox = [&] {
+        {
+          const std::lock_guard<std::mutex> lock(inbox.m);
+          drained.swap(inbox.ids);
+          inbox.count.store(0, std::memory_order_release);
         }
-        if (!any_live) break;
-        if (!progress) {
-          if (++idle_passes > kSpinLimit) {
-            deadlock.store(true, std::memory_order_relaxed);
-            stop_.store(true, std::memory_order_release);
-            break;
+        for (const u32 i : drained) {
+          // Order matters for the deadlock snapshot: make the hart visible
+          // as awake before retiring its pending-wake token.
+          awake_count_.fetch_add(1, std::memory_order_release);
+          pending_wakes_.fetch_sub(1, std::memory_order_release);
+          const auto it = std::lower_bound(awake_list.begin(), awake_list.end(), i);
+          const size_t idx = static_cast<size_t>(it - awake_list.begin());
+          awake_list.insert(it, i);
+          if (idx <= pos) ++pos;
+        }
+        drained.clear();
+      };
+
+      for (;;) {
+        if (inbox.count.load(std::memory_order_acquire) != 0) drain_inbox();
+        if (pos >= awake_list.size()) {
+          pos = 0;
+          if (stop_.load(std::memory_order_acquire)) break;
+          if (shard_live == 0) break;  // every hart of this shard halted
+        }
+        if (awake_list.empty()) {
+          // All our live harts are parked. Wait for a wake; declare
+          // deadlock only on a triple-read (awake, pending, awake) snapshot
+          // of all zeros, which is sound under acquire/release:
+          //  - a running hart that later parks issues its wakes (pending++)
+          //    before its own awake--; observing awake==0 therefore makes
+          //    those pending++ visible to the subsequent pending read;
+          //  - a drain performs awake++ before pending--; observing
+          //    pending==0 after a drain therefore makes its awake++ visible
+          //    to the second awake read.
+          // So aw1==pw==aw2==0 implies no awake hart and no wake in flight.
+          const u32 aw1 = awake_count_.load(std::memory_order_acquire);
+          const u32 pw = pending_wakes_.load(std::memory_order_acquire);
+          const u32 aw2 = awake_count_.load(std::memory_order_acquire);
+          if (aw1 == 0 && pw == 0 && aw2 == 0) {
+            if (++idle_confirm > kIdleConfirm) {
+              deadlock.store(true, std::memory_order_relaxed);
+              stop_.store(true, std::memory_order_release);
+              break;
+            }
+          } else {
+            idle_confirm = 0;
           }
           std::this_thread::yield();
+          continue;
+        }
+        idle_confirm = 0;
+
+        const u32 i = awake_list[pos];
+        if (harts_[i].state.in_wfi) resume_from_wfi(i);
+        u64 budget = kQuantum;
+        if (max_instructions != 0) {
+          claims_in_flight.fetch_add(1, std::memory_order_acq_rel);
+          i64 cur = budget_left_.load(std::memory_order_acquire);
+          i64 claim;
+          do {
+            claim = std::min<i64>(kQuantum, cur);
+            if (claim <= 0) break;
+          } while (!budget_left_.compare_exchange_weak(cur, cur - claim,
+                                                       std::memory_order_acq_rel));
+          if (claim <= 0) {
+            claims_in_flight.fetch_sub(1, std::memory_order_acq_rel);
+            // Only call the budget exhausted when no peer holds unsettled
+            // budget (it might hand it back if its hart parks early).
+            if (claims_in_flight.load(std::memory_order_acquire) == 0 &&
+                budget_left_.load(std::memory_order_acquire) <= 0) {
+              stop_.store(true, std::memory_order_release);
+            }
+            if (stop_.load(std::memory_order_acquire)) break;
+            std::this_thread::yield();
+            continue;
+          }
+          budget = static_cast<u64>(claim);
+        }
+        TurnEnd end;
+        const u64 n = exec_quantum(i, budget, end);
+        local_exec += n;
+        if (max_instructions != 0) {
+          if (n < budget)
+            budget_left_.fetch_add(static_cast<i64>(budget - n),
+                                   std::memory_order_acq_rel);
+          claims_in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        if (end == TurnEnd::kAsleep || end == TurnEnd::kHalted) {
+          awake_list.erase(awake_list.begin() + static_cast<ptrdiff_t>(pos));
+          awake_count_.fetch_sub(1, std::memory_order_release);
+          if (end == TurnEnd::kHalted) --shard_live;
         } else {
-          idle_passes = 0;
+          ++pos;
         }
       }
       executed.fetch_add(local_exec, std::memory_order_relaxed);
     });
   }
   for (auto& w : workers) w.join();
+
+  mt_mode_ = false;
+  inboxes_.reset();
 
   RunResult res;
   res.exited = exited_.load(std::memory_order_relaxed);

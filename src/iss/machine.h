@@ -6,6 +6,15 @@
 //  - run_threads(n):  harts sharded over n host threads, synchronizing only
 //                     through the DUT program's own atomics and wfi/wake.
 //
+// Hot-loop design: both run modes schedule only *awake* harts. Each
+// scheduler keeps a run list of runnable hart ids; a hart leaves the list
+// when it halts or parks in wfi and is re-inserted by the MMIO wake handler
+// (run()) or a per-shard wake inbox (run_threads()), so a barrier-heavy
+// 1024-hart phase costs O(awake) per pass instead of O(num_harts).
+// Within a hart's turn, instructions are retired superblock-at-a-time from
+// the TranslationCache (see translation.h): one pc lookup per straight-line
+// run, with the ISA-table properties folded into the predecoded entries.
+//
 // Per-hart cycle estimates depend only on that hart's instruction stream
 // plus barrier wake times. Functional results are independent of the host
 // scheduling (verified by test); cycle estimates agree up to a few cycles of
@@ -17,6 +26,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "iss/hart.h"
@@ -50,10 +60,13 @@ class Machine {
   void reset_harts();
 
   /// Runs until exit, deadlock, or `max_instructions` (0 = unlimited).
+  /// Every field of the RunResult is populated on every return path.
   RunResult run(u64 max_instructions = 0);
 
-  /// Runs with harts sharded across `n_threads` host threads.
-  RunResult run_threads(u32 n_threads);
+  /// Runs with harts sharded across `n_threads` host threads, stopping after
+  /// `max_instructions` total retired instructions (0 = unlimited; the
+  /// budget is shared across shards and never overshoots).
+  RunResult run_threads(u32 n_threads, u64 max_instructions = 0);
 
   u32 num_harts() const { return static_cast<u32>(harts_.size()); }
   const Hart& hart(u32 i) const { return harts_[i]; }
@@ -61,8 +74,9 @@ class Machine {
 
   /// Per-instruction trace hook: called before each instruction executes
   /// with (hart id, pc, decoded instruction). Intended for debugging and
-  /// trace tooling; adds one predictable branch when unset. Only meaningful
-  /// with single-threaded run().
+  /// trace tooling; when set, execution takes the per-instruction reference
+  /// path instead of the superblock fast path (bit-identical results, see
+  /// translation.h). Only meaningful with single-threaded run().
   using TraceFn = std::function<void(u32 hart, u32 pc, const rv::Decoded&)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
@@ -76,18 +90,34 @@ class Machine {
  private:
   enum class SleepState : u8 { kAwake = 0, kSleeping = 1, kWakePending = 2 };
 
-  /// Executes one instruction on hart `h`. Returns false when the hart can
-  /// make no further progress now (halted or just went to sleep).
-  bool step(u32 hart_index);
+  /// Why a hart's scheduler turn ended.
+  enum class TurnEnd : u8 {
+    kBudget = 0,  // quantum/budget exhausted; still runnable
+    kAsleep,      // parked in wfi; re-inserted by a wake
+    kHalted,      // ebreak / trap; never runs again
+    kStopped,     // global stop_ observed (exit or external)
+  };
+
+  /// Runs hart `h` for up to `budget` instructions on the superblock fast
+  /// path. Returns instructions retired and sets `end`.
+  u64 exec_quantum(u32 hart_index, u64 budget, TurnEnd& end);
+  /// Per-instruction reference path (used when a trace hook is set; also the
+  /// bit-exactness oracle for the superblock path).
+  u64 exec_quantum_traced(u32 hart_index, u64 budget, TurnEnd& end);
+
+  /// Shared wfi bookkeeping after an instruction entered wfi. Returns true
+  /// if the hart is now asleep (turn over), false if a pending wake was
+  /// consumed and the hart keeps running.
+  bool park_in_wfi(u32 hart_index);
+  /// Applies the wake-to-resume cycle accounting when a woken hart is
+  /// scheduled again.
+  void resume_from_wfi(u32 hart_index);
 
   void on_exit(u32 code);
   void on_wake(u32 target, u64 waker_cycle);
-  /// True if every live hart is asleep (deadlock when nobody will wake them).
-  bool all_asleep() const;
 
   tera::TeraPoolConfig cluster_;
   TimingConfig timing_;
-  const rv::InstrDef* isa_defs_ = rv::isa_table().data();
   std::unique_ptr<tera::ClusterMemory> mem_;
   TranslationCache tcache_;
   u32 entry_pc_ = 0;
@@ -97,6 +127,32 @@ class Machine {
   std::atomic<u32> exit_code_{0};
   std::atomic<bool> exited_{false};
   TraceFn trace_;
+
+  // ---- single-threaded run() scheduler state ----
+  // The sorted awake-hart list; on_wake inserts woken harts directly (same
+  // host thread), preserving the exact visit order of a scan-all-harts
+  // round-robin, so cycle results are bit-identical to the previous
+  // implementation. No atomic sleep-state loads on this path.
+  bool st_mode_ = false;
+  std::vector<u32> st_awake_;
+  size_t st_pos_ = 0;
+
+  // ---- run_threads() scheduler state ----
+  // Each shard owns a run list; cross-thread wakes go through the target
+  // shard's mutex-protected inbox (wakes are rare: barrier releases).
+  // awake/pending counters give exact deadlock detection via the ordered
+  // triple-read snapshot in the worker loop (see machine.cpp).
+  struct WakeInbox {
+    std::mutex m;
+    std::vector<u32> ids;
+    std::atomic<u32> count{0};
+  };
+  bool mt_mode_ = false;
+  u32 shard_size_ = 1;
+  std::unique_ptr<WakeInbox[]> inboxes_;
+  std::atomic<u32> awake_count_{0};
+  std::atomic<u32> pending_wakes_{0};
+  std::atomic<i64> budget_left_{0};  // run_threads max_instructions pool
 };
 
 }  // namespace tsim::iss

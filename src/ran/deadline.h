@@ -46,6 +46,8 @@ inline double throughput_mbps(u64 bits, double seconds) {
 }
 
 /// Fraction of the slot's critical path during which cluster `c` was busy.
+/// The critical path is the symbol-serialized sum (see SlotResult), so with
+/// imbalanced symbol work even the busiest cluster can sit below 1.0.
 inline double cluster_utilization(const SlotResult& result, u32 c) {
   if (result.slot_cycles == 0) return 0.0;
   return static_cast<double>(result.cluster_busy_cycles[c]) /

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -186,10 +186,30 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
     busy[c].store(false, std::memory_order_relaxed);
   }
 
+  // Progress signalling: a worker that finds nothing claimable sleeps on
+  // the condition variable and is woken whenever a peer finishes a batch
+  // (or aborts). The epoch counter closes the classic lost-wakeup window: a
+  // worker re-checks the queues only if nothing progressed since its scan.
   std::atomic<bool> abort{false};
+  std::mutex progress_mutex;
+  std::condition_variable progress_cv;
+  u64 progress_epoch = 0;  // guarded by progress_mutex
+  const auto publish_progress = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      ++progress_epoch;
+    }
+    progress_cv.notify_all();
+  };
+
   const auto worker = [&](u32 home) {
     for (;;) {
       if (abort.load(std::memory_order_acquire)) return;
+      u64 seen_epoch;
+      {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        seen_epoch = progress_epoch;
+      }
       bool all_done = true;
       bool did_work = false;
       for (u32 k = 0; k < cfg_.num_clusters; ++k) {
@@ -201,19 +221,28 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
                                              std::memory_order_acquire))
           continue;
         const u32 qi = pos[c].load(std::memory_order_relaxed);
+        bool ran = false;
         if (qi < queue[c].size()) {
           const u32 batch_index = queue[c][qi];
           run_batch(clusters_[c], tasks[batch_index], slot, result, batch_index);
           pos[c].store(qi + 1, std::memory_order_release);
+          ran = true;
           did_work = true;
         }
         busy[c].store(false, std::memory_order_release);
+        if (ran) publish_progress();
       }
       if (all_done) return;
-      // Nothing claimable right now: a peer owns every pending cluster. A
-      // short sleep (small vs any batch runtime) keeps idle workers off the
-      // CPU without measurably delaying the next claim.
-      if (!did_work) std::this_thread::sleep_for(std::chrono::microseconds(50));
+      if (!did_work) {
+        // Nothing claimable right now: a peer owns every pending cluster.
+        // Wait for it to publish progress instead of burning host CPU in a
+        // polling sleep (single-batch-tail slots used to spin here).
+        std::unique_lock<std::mutex> lock(progress_mutex);
+        progress_cv.wait(lock, [&] {
+          return progress_epoch != seen_epoch ||
+                 abort.load(std::memory_order_relaxed);
+        });
+      }
     }
   };
 
@@ -233,6 +262,7 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
           if (!first_error) first_error = std::current_exception();
         }
         abort.store(true, std::memory_order_release);
+        publish_progress();  // release any peers waiting on the cv
       }
     };
     std::vector<std::thread> threads;
@@ -258,9 +288,15 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
       result.symbol_cycles[s] = std::max(result.symbol_cycles[s], symbol_cycles[c][s]);
     }
   }
-  for (const u64 cycles : result.cluster_busy_cycles) {
-    result.slot_cycles = std::max(result.slot_cycles, cycles);
-  }
+  // Slot critical path: OFDM symbols are data-serialized (symbol s+1's
+  // samples arrive after symbol s), so the slot latency is the sum over
+  // symbols of the per-symbol critical path - NOT the max of per-cluster
+  // totals, which under-reports latency whenever symbol work is imbalanced
+  // across clusters (the per-symbol maxima can sit on different clusters).
+  // This keeps slot_cycles == sum(symbol_cycles) by construction, so the
+  // slot and symbol reports in deadline.h stay consistent.
+  result.slot_cycles = 0;
+  for (const u64 cycles : result.symbol_cycles) result.slot_cycles += cycles;
   return result;
 }
 

@@ -63,7 +63,10 @@ struct SlotResult {
   std::vector<u64> cluster_busy_cycles;  // per cluster
   std::vector<u32> cluster_batches;      // batches run per cluster
   std::vector<u64> symbol_cycles;        // per-symbol critical path (max/cluster)
-  u64 slot_cycles = 0;                   // slot critical path (max over clusters)
+  /// Slot critical path. Symbols are data-serialized, so this is the sum of
+  /// the per-symbol critical paths (== sum(symbol_cycles)); with imbalanced
+  /// symbol work it can exceed every cluster's busy total.
+  u64 slot_cycles = 0;
   std::vector<BatchTrace> trace;
 
   double ber() const {

@@ -30,7 +30,7 @@ struct StepInfo {
 /// memory accesses through `mem`. Does NOT advance cycle counts (timing is
 /// engine-specific) but increments `instret`.
 template <typename Mem>
-StepInfo execute(const Decoded& d, HartState& h, Mem& mem);
+[[gnu::always_inline]] inline StepInfo execute(const Decoded& d, HartState& h, Mem& mem);
 
 }  // namespace tsim::rv
 

@@ -79,7 +79,7 @@ inline u32 cdotp_h(u32 acc, u32 a, u32 b, bool conj_a) {
 }  // namespace exec_detail
 
 template <typename Mem>
-StepInfo execute(const Decoded& d, HartState& h, Mem& mem) {
+[[gnu::always_inline]] inline StepInfo execute(const Decoded& d, HartState& h, Mem& mem) {
   using namespace exec_detail;  // fp helpers
   StepInfo info;
   const u32 pc = h.pc;

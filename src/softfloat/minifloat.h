@@ -12,6 +12,7 @@
 // paper's BER or timing experiments and is excluded from tests.
 #pragma once
 
+#include <array>
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -20,6 +21,28 @@
 #include "common/types.h"
 
 namespace tsim::sf {
+
+namespace detail {
+/// Exact powers of two for the decode fast path. Multiplying an integer-
+/// valued double by an exact power of two is exact (no rounding), so this
+/// is bit-identical to std::ldexp while staying inlinable - ldexp is an
+/// out-of-line libm call on the hottest path of the packed-FP emulation.
+constexpr int kPow2Min = -160;
+constexpr int kPow2Max = 160;
+inline constexpr std::array<double, kPow2Max - kPow2Min + 1> kPow2 = [] {
+  std::array<double, kPow2Max - kPow2Min + 1> t{};
+  for (int e = kPow2Min; e <= kPow2Max; ++e) {
+    // Assemble the double directly: 2^e has a zero mantissa and biased
+    // exponent e + 1023 (always normal in this range).
+    t[static_cast<size_t>(e - kPow2Min)] =
+        std::bit_cast<double>(static_cast<u64>(e + 1023) << 52);
+  }
+  return t;
+}();
+inline double exact_scale(double mant, int e) {
+  return mant * kPow2[static_cast<size_t>(e - kPow2Min)];
+}
+}  // namespace detail
 
 /// Result category for FCLASS-style classification.
 enum class FpClass : u32 {
@@ -65,10 +88,12 @@ struct MiniFormat {
       if (mant != 0) return std::numeric_limits<double>::quiet_NaN();
       mag = std::numeric_limits<double>::infinity();
     } else if (exp == 0) {
-      mag = std::ldexp(static_cast<double>(mant), 1 - kBias - kMantBits);
+      // Exponent range here is within [-136, 117] for every MiniFormat
+      // (static_asserts above), safely inside the exact_scale table.
+      mag = detail::exact_scale(static_cast<double>(mant), 1 - kBias - kMantBits);
     } else {
-      mag = std::ldexp(static_cast<double>(mant | (kMantMask + 1u)),
-                       static_cast<int>(exp) - kBias - kMantBits);
+      mag = detail::exact_scale(static_cast<double>(mant | (kMantMask + 1u)),
+                                static_cast<int>(exp) - kBias - kMantBits);
     }
     return sign ? -mag : mag;
   }

@@ -5,50 +5,10 @@
 #include "common/error.h"
 
 namespace tsim::tera {
-namespace {
-
-/// Relaxed atomic word view over plain storage. x86 codegen is a plain mov;
-/// the atomicity only matters when host threads shard harts.
-u32 atomic_load_word(const u32& slot) {
-  return std::atomic_ref<u32>(const_cast<u32&>(slot)).load(std::memory_order_relaxed);
-}
-void atomic_store_word(u32& slot, u32 v) {
-  std::atomic_ref<u32>(slot).store(v, std::memory_order_relaxed);
-}
-
-/// Merges `bytes` of `value` into `slot` at byte offset `off` atomically.
-void atomic_merge(u32& slot, u32 off, u32 value, u32 bytes) {
-  const u32 shift = off * 8;
-  const u32 mask = (bytes == 1 ? 0xFFu : 0xFFFFu) << shift;
-  std::atomic_ref<u32> ref(slot);
-  u32 old = ref.load(std::memory_order_relaxed);
-  const u32 insert = (value << shift) & mask;
-  while (!ref.compare_exchange_weak(old, (old & ~mask) | insert,
-                                    std::memory_order_relaxed)) {
-  }
-}
-
-}  // namespace
 
 ClusterMemory::ClusterMemory(const TeraPoolConfig& cfg)
     : map_(cfg), l1_(map_.l1_words(), 0), l2_(map_.l2_words(), 0), mmio_(0x1000 / 4, 0) {}
 
-u32 ClusterMemory::word_load(const Route& r) const {
-  switch (r.space) {
-    case Space::kL1: return atomic_load_word(l1_[r.phys_word]);
-    case Space::kL2: return atomic_load_word(l2_[r.phys_word]);
-    case Space::kMmio: return atomic_load_word(mmio_[r.phys_word]);
-  }
-  return 0;
-}
-
-void ClusterMemory::word_store(const Route& r, u32 value) {
-  switch (r.space) {
-    case Space::kL1: atomic_store_word(l1_[r.phys_word], value); break;
-    case Space::kL2: atomic_store_word(l2_[r.phys_word], value); break;
-    case Space::kMmio: mmio_store(r.phys_word, value); break;
-  }
-}
 
 void ClusterMemory::mmio_store(u32 word_index, u32 value) {
   const u32 addr = kMmioBase + word_index * 4;
@@ -68,34 +28,6 @@ void ClusterMemory::mmio_store(u32 word_index, u32 value) {
   }
 }
 
-rv::MemResult ClusterMemory::load(u32 addr, u32 bytes) {
-  const auto r = map_.route(addr);
-  if (!r) return {0, true};
-  const u32 word = word_load(*r);
-  const u32 shift = (addr & 3) * 8;
-  switch (bytes) {
-    case 1: return {(word >> shift) & 0xFF, false};
-    case 2: return {(word >> shift) & 0xFFFF, false};
-    default: return {word, false};
-  }
-}
-
-bool ClusterMemory::store(u32 addr, u32 value, u32 bytes) {
-  const auto r = map_.route(addr);
-  if (!r) return true;
-  if (bytes == 4) {
-    word_store(*r, value);
-    return false;
-  }
-  if (r->space == Space::kMmio) {
-    // Sub-word MMIO stores behave as word stores of the (masked) value.
-    mmio_store(r->phys_word, value);
-    return false;
-  }
-  u32& slot = (r->space == Space::kL1) ? l1_[r->phys_word] : l2_[r->phys_word];
-  atomic_merge(slot, addr & 3, value, bytes);
-  return false;
-}
 
 rv::MemResult ClusterMemory::amo(rv::AmoOp op, u32 addr, u32 value) {
   const auto r = map_.route(addr);

@@ -8,29 +8,14 @@
 namespace tsim::uarch {
 namespace {
 
-bool is_post_increment_load(rv::Op op) {
-  switch (op) {
-    case rv::Op::kPLb:
-    case rv::Op::kPLbu:
-    case rv::Op::kPLh:
-    case rv::Op::kPLhu:
-    case rv::Op::kPLw:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool writes_rd(rv::Fmt fmt) {
-  switch (fmt) {
-    case rv::Fmt::kS:
-    case rv::Fmt::kB:
-    case rv::Fmt::kNullary:
-      return false;
-    default:
-      return true;
-  }
-}
+// Format/op predicates shared with the fast ISS (single source of truth).
+using iss::TranslationCache;
+constexpr auto writes_rd = [](rv::Fmt fmt) {
+  return TranslationCache::format_writes_rd(fmt);
+};
+constexpr auto is_post_increment_load = [](rv::Op op) {
+  return TranslationCache::is_post_increment_load(op);
+};
 
 bool is_mem_mix(rv::Mix m) {
   return m == rv::Mix::kLoad || m == rv::Mix::kStore || m == rv::Mix::kAmo;

@@ -281,6 +281,40 @@ TEST(Iss, MaxInstructionBudgetStopsRunaway) {
   EXPECT_FALSE(r.exited);
 }
 
+TEST(Iss, ExitOnExactInstructionBudgetIsReported) {
+  // The exit store is the 3rd and last budgeted instruction: the RunResult
+  // must still carry the exit status (a budget-boundary exit used to be
+  // reported as not-exited because the early return skipped exited_).
+  const char* body = R"(
+    _start:
+      lui t0, 0x40000     # exit MMIO base
+      li t1, 5
+      sw t1, 0(t0)
+  )";
+  auto m = make_machine(body);
+  const auto r = m->run(3);
+  EXPECT_EQ(r.instructions, 3u);
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 5u);
+
+  // Same program under a multi-threaded run with the same budget.
+  auto mt = make_machine(body);
+  const auto rt = mt->run_threads(1, 3);
+  EXPECT_EQ(rt.instructions, 3u);
+  EXPECT_TRUE(rt.exited);
+  EXPECT_EQ(rt.exit_code, 5u);
+}
+
+TEST(Iss, RunThreadsHonoursMaxInstructions) {
+  // run_threads used to silently ignore the budget; now it is a shared pool
+  // claimed quantum-by-quantum and never overshoots.
+  auto m = make_machine("_start:\n j _start\n", 4);
+  const auto r = m->run_threads(2, 1000);
+  EXPECT_EQ(r.instructions, 1000u);
+  EXPECT_FALSE(r.exited);
+  EXPECT_FALSE(r.deadlock);
+}
+
 TEST(Iss, TranslationCacheCoversProgram) {
   const auto p = prog("_start:\n nop\n ebreak\n");
   TranslationCache tc(p);
@@ -288,6 +322,95 @@ TEST(Iss, TranslationCacheCoversProgram) {
   EXPECT_NE(tc.lookup(p.base), nullptr);
   EXPECT_EQ(tc.lookup(p.base + 1), nullptr);        // misaligned
   EXPECT_EQ(tc.lookup(p.base + 0x10000), nullptr);  // out of range
+}
+
+TEST(Iss, SuperblockRunLengthsStopAtBoundaries) {
+  // addi / addi / beq / addi / wfi / jal / .word garbage
+  const auto p = prog(R"(
+    _start:
+      addi t0, zero, 1
+      addi t1, zero, 2
+      beq t0, t1, _start
+      addi t2, zero, 3
+      wfi
+      j _start
+      .word 0xFFFFFFFF
+  )");
+  TranslationCache tc(p);
+  ASSERT_EQ(tc.size(), 7u);
+  const auto run_len = [&](u32 idx) { return tc.entry(p.base + idx * 4)->run_len; };
+  EXPECT_EQ(run_len(0), 3u);  // addi, addi, beq
+  EXPECT_EQ(run_len(1), 2u);
+  EXPECT_EQ(run_len(2), 1u);  // branch terminates its own run
+  EXPECT_EQ(run_len(3), 2u);  // addi, wfi
+  EXPECT_EQ(run_len(4), 1u);  // wfi
+  EXPECT_EQ(run_len(5), 1u);  // jal
+  EXPECT_EQ(run_len(6), 1u);  // invalid word heads its own run
+  EXPECT_EQ(tc.entry(p.base + 1), nullptr);  // misaligned
+  // Folded metadata matches the ISA table.
+  const SbEntry* e = tc.entry(p.base);
+  EXPECT_EQ(e->d.op, rv::Op::kAddi);
+  EXPECT_NE(e->flags & kSbWritesRd, 0);
+  EXPECT_EQ(e->flags & kSbStore, 0);
+}
+
+TEST(Iss, ScWakeTimestampsMatchTracedReference) {
+  // sc.w is classified kAmo but stores through the same path as sw, so it
+  // can hit the MMIO wake register; the fast path must refresh the wake
+  // timestamp for it exactly like the per-instruction reference path does,
+  // or the woken hart's wfi stall accounting diverges.
+  const char* body = R"(
+    _start:
+      csrr t0, mhartid
+      bnez t0, waker
+      wfi                  # hart 0 parks until the sc.w wake
+      li t2, 0x40000000
+      sw zero, 0(t2)       # exit
+    waker:
+      li t3, 0x40000008    # wake MMIO
+      lr.w t4, (t3)
+      sc.w t5, zero, (t3)  # store hart id 0 -> wakes hart 0
+    park:
+      wfi
+      j park
+  )";
+  auto fast = make_machine(body, 2);
+  const auto rf = fast->run();
+  auto ref = make_machine(body, 2);
+  ref->set_trace([](u32, u32, const rv::Decoded&) {});
+  const auto rr = ref->run();
+  ASSERT_TRUE(rf.exited);
+  ASSERT_TRUE(rr.exited);
+  for (u32 h = 0; h < 2; ++h) {
+    EXPECT_EQ(fast->hart(h).cycles(), ref->hart(h).cycles()) << "hart " << h;
+    EXPECT_EQ(fast->hart(h).wfi_stall_cycles, ref->hart(h).wfi_stall_cycles)
+        << "hart " << h;
+  }
+  EXPECT_GT(fast->hart(0).wfi_stall_cycles, 0u);
+}
+
+TEST(Iss, SuperblockFastPathMatchesTracedReferenceOnBarriers) {
+  // The wfi/wake-heavy barrier program, fast path vs the per-instruction
+  // reference path (forced by a no-op trace hook): registers, instruction
+  // counts, and cycle counts must be bit-identical.
+  Machine fast(tera::TeraPoolConfig::tiny(), TimingConfig{}, 4);
+  fast.load_program(prog(kParallelSum));
+  const auto rf = fast.run();
+
+  Machine ref(tera::TeraPoolConfig::tiny(), TimingConfig{}, 4);
+  ref.set_trace([](u32, u32, const rv::Decoded&) {});
+  ref.load_program(prog(kParallelSum));
+  const auto rr = ref.run();
+
+  EXPECT_TRUE(rf.exited);
+  EXPECT_TRUE(rr.exited);
+  EXPECT_EQ(rf.exit_code, rr.exit_code);
+  EXPECT_EQ(rf.instructions, rr.instructions);
+  for (u32 h = 0; h < 4; ++h) {
+    EXPECT_EQ(fast.hart(h).cycles(), ref.hart(h).cycles()) << "hart " << h;
+    EXPECT_EQ(fast.hart(h).instructions(), ref.hart(h).instructions()) << "hart " << h;
+    EXPECT_EQ(fast.hart(h).state.x, ref.hart(h).state.x) << "hart " << h;
+  }
 }
 
 }  // namespace

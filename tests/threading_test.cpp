@@ -85,6 +85,46 @@ TEST(Threading, RunThreadsClampsThreadCountAboveHartCount) {
   EXPECT_FALSE(result.deadlock);
 }
 
+// The superblock fast path (translation.h) must be bit- and cycle-identical
+// to the per-instruction reference path. Setting a (no-op) trace hook forces
+// the reference path, which performs one translation-cache lookup per
+// instruction and ignores the precomputed run lengths entirely, so this
+// exercises the superblock boundary computation end to end on a real
+// barrier-synchronized MMSE workload.
+TEST(Threading, SuperblockFastPathMatchesPerInstructionReference) {
+  const MmseLayout lay = eight_core_layout();
+  const auto program = kern::build_mmse_program(lay);
+
+  iss::Machine fast(lay.cluster, iss::TimingConfig{}, lay.num_cores);
+  fast.load_program(program);
+  staged_batch(fast, lay, 99);
+  const auto rf = fast.run();
+  ASSERT_TRUE(rf.exited);
+
+  iss::Machine ref(lay.cluster, iss::TimingConfig{}, lay.num_cores);
+  ref.set_trace([](u32, u32, const rv::Decoded&) {});
+  ref.load_program(program);
+  staged_batch(ref, lay, 99);
+  const auto rr = ref.run();
+  ASSERT_TRUE(rr.exited);
+
+  EXPECT_EQ(rf.exit_code, rr.exit_code);
+  EXPECT_EQ(rf.instructions, rr.instructions);
+  for (u32 c = 0; c < lay.num_cores; ++c) {
+    EXPECT_EQ(read_xhat(fast.memory(), lay, c, 0), read_xhat(ref.memory(), lay, c, 0))
+        << "core " << c;
+  }
+  for (u32 h = 0; h < fast.num_harts(); ++h) {
+    EXPECT_EQ(fast.hart(h).cycles(), ref.hart(h).cycles()) << "hart " << h;
+    EXPECT_EQ(fast.hart(h).instructions(), ref.hart(h).instructions()) << "hart " << h;
+    EXPECT_EQ(fast.hart(h).raw_stall_cycles, ref.hart(h).raw_stall_cycles)
+        << "hart " << h;
+    EXPECT_EQ(fast.hart(h).wfi_stall_cycles, ref.hart(h).wfi_stall_cycles)
+        << "hart " << h;
+  }
+  EXPECT_EQ(fast.estimated_cycles(), ref.estimated_cycles());
+}
+
 TEST(Threading, McRunnerHostThreadsProduceBitIdenticalBerPoints) {
   McConfig cfg;
   cfg.ntx = 4;
