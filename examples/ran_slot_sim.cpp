@@ -10,8 +10,12 @@
 //
 // Build & run:  ./ran_slot_sim [--clusters N] [--threads N] [--ttis N]
 //                              [--poisson LOAD] [--full] [--clock GHZ]
+//                              [--policy roundrobin|locality] [--json DIR]
 //   --full uses the 1024-core TeraPool per cluster (default: the 16-core
 //   tiny configuration, which visibly misses the deadline).
+//   --policy selects the batch-to-cluster assignment (default: locality;
+//   see scheduler.h); --json DIR writes the per-TTI table as JSON rows so
+//   the two policies can be diffed from the CLI.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -34,6 +38,8 @@ int run(int argc, char** argv) {
   double poisson_load = -1.0;  // < 0 = full buffer
   double clock_ghz = 1.0;
   bool full = false;
+  ran::AssignPolicy policy = ran::AssignPolicy::kLocality;
+  std::string json_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc)
       num_clusters = static_cast<u32>(std::atoi(argv[++i]));
@@ -47,6 +53,10 @@ int run(int argc, char** argv) {
       clock_ghz = std::atof(argv[++i]);
     else if (std::strcmp(argv[i], "--full") == 0)
       full = true;
+    else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc)
+      policy = ran::parse_policy(argv[++i]);
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_dir = argv[++i];
   }
   ttis = std::max(1u, ttis);
 
@@ -68,6 +78,7 @@ int run(int argc, char** argv) {
   pool.cluster = full ? tera::TeraPoolConfig::full() : tera::TeraPoolConfig::tiny();
   pool.prec = kern::Precision::k16CDotp;
   pool.problems_per_core = 4;
+  pool.policy = policy;
 
   ran::TrafficGenerator gen(traffic);
   ran::SlotScheduler sched(pool, traffic.groups);
@@ -79,9 +90,9 @@ int run(int argc, char** argv) {
       traffic.carrier.numerology.slot_seconds() * 1e6);
   std::printf(
       "pool: %u cluster(s) x %u cores/batch x %u problems/core, %u host thread(s), "
-      "%.1f GHz\n\n",
+      "%.1f GHz, %s assignment\n\n",
       pool.num_clusters, lay.num_cores, pool.problems_per_core, pool.host_threads,
-      clock_ghz);
+      clock_ghz, ran::policy_name(pool.policy));
 
   sim::Table slots = ran::slot_report_header();
   const auto wall_start = std::chrono::steady_clock::now();
@@ -101,6 +112,7 @@ int run(int argc, char** argv) {
           .count();
 
   slots.print();
+  if (!json_dir.empty()) slots.write_json(json_dir + "/ran_slot_sim.json");
   const ran::SlotTiming timing =
       ran::slot_timing(last, traffic.carrier, clock_ghz * 1e9);
   std::printf("\nper-cluster utilization (last TTI):\n");
@@ -109,10 +121,17 @@ int run(int argc, char** argv) {
   sim::Table symbols = ran::symbol_report(last, timing);
   symbols.print();
 
+  const ran::DeadlineReport report =
+      ran::deadline_report(last, traffic.carrier, clock_ghz * 1e9);
   std::printf("\n%s: latency %.1f us vs %.1f us deadline (margin %+.1f%%)\n",
               timing.meets_deadline() ? "DEADLINE MET" : "DEADLINE MISSED",
               timing.latency_seconds() * 1e6, timing.tti_seconds * 1e6,
               timing.margin_fraction() * 100.0);
+  std::printf("program reloads (last TTI): %llu switches, %llu cycles "
+              "(%.2f%% of cluster busy time)\n",
+              static_cast<unsigned long long>(report.reloads),
+              static_cast<unsigned long long>(report.reload_cycles),
+              report.reload_fraction() * 100.0);
   std::printf("host: simulated %u TTI(s), %llu subcarrier problems, in %.2f s "
               "wall clock (%.0f problems/s)\n",
               ttis, static_cast<unsigned long long>(total_problems), wall_s,

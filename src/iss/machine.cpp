@@ -24,6 +24,14 @@ constexpr u32 kIdleConfirm = 64;
 /// the historical behaviour; both are observationally identical).
 thread_local u64 t_current_cycle = 0;
 
+/// Placeholder translation table for a machine that has no program loaded
+/// yet: every lookup misses, so a premature run() halts the harts exactly
+/// like the pre-cache implementation did.
+const TranslationCache& empty_translation() {
+  static const TranslationCache empty;
+  return empty;
+}
+
 /// Scoreboard: earliest cycle the instruction can issue, charging RAW
 /// stalls to the hart.
 inline u64 compute_issue(Hart& h, const SbEntry& e, bool scoreboard) {
@@ -76,6 +84,7 @@ Machine::Machine(const tera::TeraPoolConfig& cluster, TimingConfig timing, u32 a
     : cluster_(cluster),
       timing_(timing),
       mem_(std::make_unique<tera::ClusterMemory>(cluster)),
+      tcache_(&empty_translation()),
       harts_(active_harts == 0 ? cluster.num_cores() : active_harts),
       sleep_(harts_.size()) {
   mem_->set_exit_handler([this](u32 code) { on_exit(code); });
@@ -83,11 +92,39 @@ Machine::Machine(const tera::TeraPoolConfig& cluster, TimingConfig timing, u32 a
   for (auto& s : sleep_) s.store(0, std::memory_order_relaxed);
 }
 
-void Machine::load_program(const rvasm::Program& prog) {
-  mem_->load_program(prog.base, prog.words);
-  tcache_ = TranslationCache(prog);
-  const auto it = prog.symbols.find("_start");
-  entry_pc_ = it != prog.symbols.end() ? it->second : prog.base;
+Machine::ProgramHandle Machine::load_program(const rvasm::Program& prog) {
+  const u64 key = program_fingerprint(prog);
+  const u32 entry = program_entry_pc(prog);
+  for (ProgramHandle h = 0; h < resident_.size(); ++h) {
+    const ResidentProgram& r = *resident_[h];
+    if (r.key == key && r.base == prog.base && r.entry_pc == entry &&
+        r.image == prog.words) {
+      select_program(h);  // cache hit: no retranslation
+      return h;
+    }
+  }
+  auto r = std::make_unique<ResidentProgram>();
+  r->key = key;
+  r->base = prog.base;
+  r->image = prog.words;
+  r->tcache = TranslationCache(prog);
+  r->entry_pc = entry;
+  resident_.push_back(std::move(r));
+  const ProgramHandle h = static_cast<ProgramHandle>(resident_.size() - 1);
+  select_program(h);
+  return h;
+}
+
+void Machine::select_program(ProgramHandle handle) {
+  check(handle < resident_.size(), "select_program: unknown program handle");
+  if (handle != active_) {
+    const ResidentProgram& r = *resident_[handle];
+    mem_->load_program(r.base, r.image);
+    tcache_ = &r.tcache;
+    entry_pc_ = r.entry_pc;
+    active_ = handle;
+    ++program_switches_;
+  }
   reset_harts();
 }
 
@@ -178,7 +215,7 @@ u64 Machine::exec_quantum(u32 hart_index, u64 budget, TurnEnd& end) {
   u64 executed = 0;
   end = TurnEnd::kBudget;
   while (budget != 0) {
-    const SbEntry* e = tcache_.entry(st.pc);
+    const SbEntry* e = tcache_->entry(st.pc);
     if (e == nullptr || e->d.op == rv::Op::kInvalid) {
       st.halted = true;
       st.trapped = true;
@@ -221,7 +258,7 @@ u64 Machine::exec_quantum_traced(u32 hart_index, u64 budget, TurnEnd& end) {
   u64 executed = 0;
   end = TurnEnd::kBudget;
   while (budget != 0) {
-    const SbEntry* e = tcache_.entry(st.pc);
+    const SbEntry* e = tcache_->entry(st.pc);
     if (e == nullptr || e->d.op == rv::Op::kInvalid) {
       st.halted = true;
       st.trapped = true;

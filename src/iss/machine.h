@@ -21,6 +21,19 @@
 // barrier-wake jitter, because which hart's amoadd arrives last - and hence
 // whose cycle timestamps the wake - is resolved by the physical race, as on
 // the real hardware.
+//
+// Resident-program cache: load_program() keys programs by content identity
+// (iss::program_fingerprint + full word compare) and keeps every program it
+// has ever translated resident - translation cache, initial memory image,
+// and entry point. Loading a program that is already resident degenerates to
+// select_program(): the active translation table is swapped and the image
+// rewritten (a memcpy-sized host cost), with NO retranslation; reloading the
+// program that is already active is a pure reset_harts(). This makes
+// cluster-level program ping-pong (the RAN scheduler switching UE
+// geometries between batches) nearly free on the host. Contract: resident
+// programs must not store into their own image range if they are to be
+// re-selected without an explicit reload - the kernel programs in this repo
+// keep all mutable data in L1, while images live in L2.
 #pragma once
 
 #include <atomic>
@@ -53,8 +66,28 @@ class Machine {
   tera::ClusterMemory& memory() { return *mem_; }
   const tera::ClusterMemory& memory() const { return *mem_; }
 
-  /// Loads and translates the program; harts reset to its "_start" symbol.
-  void load_program(const rvasm::Program& prog);
+  /// Handle to a resident program (index into this machine's cache).
+  using ProgramHandle = u32;
+  static constexpr ProgramHandle kNoProgram = ~0u;
+
+  /// Loads the program and resets harts to its "_start" symbol. The program
+  /// stays resident: a second load of a content-identical program reuses the
+  /// cached translation (see the header comment) and returns the same
+  /// handle. Translation happens at most once per distinct program.
+  ProgramHandle load_program(const rvasm::Program& prog);
+
+  /// Makes a resident program active: swaps the translation table, restores
+  /// the program's initial memory image (skipped when `handle` is already
+  /// active), and resets harts to its entry point. No retranslation.
+  void select_program(ProgramHandle handle);
+
+  /// Handle of the active program (kNoProgram before any load).
+  ProgramHandle active_program() const { return active_; }
+  /// Distinct programs held resident by this machine.
+  size_t num_resident_programs() const { return resident_.size(); }
+  /// Image-restoring program switches performed (cache hits and misses both
+  /// count when they rewrite the image; no-op reselects do not).
+  u64 program_switches() const { return program_switches_; }
 
   /// Re-arms all harts at the entry point (keeps memory and translation).
   void reset_harts();
@@ -116,10 +149,24 @@ class Machine {
   void on_exit(u32 code);
   void on_wake(u32 target, u64 waker_cycle);
 
+  /// One resident program: everything needed to reactivate it without
+  /// retranslating. unique_ptr keeps addresses stable across cache growth,
+  /// so tcache_ can point straight into the active entry.
+  struct ResidentProgram {
+    u64 key = 0;             // program_fingerprint of the image
+    u32 base = 0;            // load address
+    u32 entry_pc = 0;        // "_start" (or base)
+    std::vector<u32> image;  // initial memory image, restored on select
+    TranslationCache tcache;
+  };
+
   tera::TeraPoolConfig cluster_;
   TimingConfig timing_;
   std::unique_ptr<tera::ClusterMemory> mem_;
-  TranslationCache tcache_;
+  std::vector<std::unique_ptr<ResidentProgram>> resident_;
+  ProgramHandle active_ = kNoProgram;
+  const TranslationCache* tcache_;  // active program's cache (never null)
+  u64 program_switches_ = 0;
   u32 entry_pc_ = 0;
   std::vector<Hart> harts_;
   std::vector<std::atomic<u8>> sleep_;  // SleepState per hart

@@ -45,6 +45,37 @@ inline double throughput_mbps(u64 bits, double seconds) {
   return seconds <= 0.0 ? 0.0 : static_cast<double>(bits) / seconds / 1e6;
 }
 
+/// Aggregated per-TTI verdict: deadline timing plus the program-reload
+/// overhead the batch-to-cluster assignment paid (see scheduler.h).
+/// Reloads and busy cycles are summed across all clusters - clusters reload
+/// in parallel, so only a slice of reload_cycles sits on the (max-based)
+/// critical path. reload_fraction() therefore reports reload cycles as a
+/// share of total cluster busy time - the number the locality policy
+/// exists to shrink.
+struct DeadlineReport {
+  SlotTiming timing;
+  u64 reloads = 0;          // program switches across all clusters
+  u64 reload_cycles = 0;    // modeled DMA cycles of those switches
+  u64 busy_cycles = 0;      // total cluster busy cycles (reloads included)
+  bool met() const { return timing.meets_deadline(); }
+  double reload_fraction() const {
+    return busy_cycles == 0 ? 0.0
+                            : static_cast<double>(reload_cycles) /
+                                  static_cast<double>(busy_cycles);
+  }
+};
+
+inline DeadlineReport deadline_report(const SlotResult& result,
+                                      const phy::CarrierConfig& carrier,
+                                      double clock_hz = 1e9) {
+  DeadlineReport rep;
+  rep.timing = slot_timing(result, carrier, clock_hz);
+  rep.reloads = result.total_reloads;
+  rep.reload_cycles = result.total_reload_cycles;
+  for (const u64 busy : result.cluster_busy_cycles) rep.busy_cycles += busy;
+  return rep;
+}
+
 /// Fraction of the slot's critical path during which cluster `c` was busy.
 /// The critical path is the symbol-serialized sum (see SlotResult), so with
 /// imbalanced symbol work even the busiest cluster can sit below 1.0.
@@ -54,14 +85,23 @@ inline double cluster_utilization(const SlotResult& result, u32 c) {
          static_cast<double>(result.slot_cycles);
 }
 
-/// One row per TTI: latency vs deadline, throughput and BER.
+/// One row per TTI: latency vs deadline, throughput, BER, reload overhead.
 inline sim::Table slot_report_header() {
   return sim::Table({"tti", "problems", "bits", "ber", "latency_us", "deadline_us",
-                     "margin_%", "met", "offered_mbps", "processed_mbps"});
+                     "margin_%", "met", "offered_mbps", "processed_mbps",
+                     "reloads", "reload_%"});
 }
 
 inline void add_slot_row(sim::Table& table, const SlotResult& result,
                          const SlotTiming& timing) {
+  // Reload share of total cluster busy time (parallel clusters reload in
+  // parallel, so dividing by the max-based critical path would overstate).
+  u64 busy_total = 0;
+  for (const u64 busy : result.cluster_busy_cycles) busy_total += busy;
+  const double reload_frac =
+      busy_total == 0 ? 0.0
+                      : static_cast<double>(result.total_reload_cycles) /
+                            static_cast<double>(busy_total);
   table.add_row({
       sim::strf("%llu", static_cast<unsigned long long>(result.tti)),
       sim::strf("%llu", static_cast<unsigned long long>(result.problems)),
@@ -73,16 +113,23 @@ inline void add_slot_row(sim::Table& table, const SlotResult& result,
       timing.meets_deadline() ? "yes" : "NO",
       sim::strf("%.1f", throughput_mbps(result.bits, timing.tti_seconds)),
       sim::strf("%.1f", throughput_mbps(result.bits, timing.latency_seconds())),
+      sim::strf("%llu", static_cast<unsigned long long>(result.total_reloads)),
+      sim::strf("%.2f", reload_frac * 100.0),
   });
 }
 
-/// One row per cluster: batches run, busy cycles, utilization.
+/// One row per cluster: batches run, program reloads, busy cycles (reload
+/// cycles included and also broken out), utilization.
 inline sim::Table cluster_report(const SlotResult& result) {
-  sim::Table table({"cluster", "batches", "busy_cycles", "utilization_%"});
+  sim::Table table({"cluster", "batches", "reloads", "reload_cycles",
+                    "busy_cycles", "utilization_%"});
   for (u32 c = 0; c < result.cluster_busy_cycles.size(); ++c) {
     table.add_row({
         sim::strf("%u", c),
         sim::strf("%u", result.cluster_batches[c]),
+        sim::strf("%u", result.cluster_reloads[c]),
+        sim::strf("%llu",
+                  static_cast<unsigned long long>(result.cluster_reload_cycles[c])),
         sim::strf("%llu",
                   static_cast<unsigned long long>(result.cluster_busy_cycles[c])),
         sim::strf("%.1f", cluster_utilization(result, c) * 100.0),

@@ -8,8 +8,18 @@
 #include <thread>
 
 #include "common/error.h"
+#include "common/rng.h"
+#include "phy/channel.h"
+#include "sim/cosim.h"
 
 namespace tsim::ran {
+
+AssignPolicy parse_policy(const std::string& name) {
+  if (name == "roundrobin") return AssignPolicy::kRoundRobin;
+  if (name == "locality") return AssignPolicy::kLocality;
+  throw SimError("unknown assignment policy '" + name +
+                 "' (expected roundrobin or locality)");
+}
 
 void ClusterPoolConfig::validate() const {
   check(num_clusters >= 1, "ClusterPoolConfig: need at least one cluster");
@@ -32,8 +42,9 @@ SlotScheduler::SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> 
   }
 
   // All geometries share one hart count so a cluster can switch geometry by
-  // reloading its program without re-sizing the machine: the common count is
-  // the smallest per-geometry L1 fit (optionally capped by batch_cores).
+  // selecting a resident program without re-sizing the machine: the common
+  // count is the smallest per-geometry L1 fit (optionally capped by
+  // batch_cores).
   u32 common_cores = cfg_.cluster.num_cores();
   if (cfg_.batch_cores != 0) common_cores = std::min(common_cores, cfg_.batch_cores);
   for (const auto& geo : geometries_) {
@@ -46,13 +57,18 @@ SlotScheduler::SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> 
     geo.layout.num_cores = common_cores;
     geo.layout.validate();
     geo.program = kern::build_mmse_program(geo.layout);
+    geo.reload_cycles = program_reload_cycles(geo.program.size_bytes());
   }
 
   clusters_.resize(cfg_.num_clusters);
   for (auto& c : clusters_) {
     c.machine = std::make_unique<iss::Machine>(cfg_.cluster, iss::TimingConfig{},
                                                common_cores);
+    c.geometry_handles.assign(geometries_.size(), -1);
   }
+
+  // Round-robin never reads the calibrated costs; skip the warm-up runs.
+  if (cfg_.policy == AssignPolicy::kLocality) calibrate_geometry_costs();
 }
 
 u32 SlotScheduler::geometry_for(u32 ntx, u32 nrx) {
@@ -76,6 +92,201 @@ const kern::MmseLayout& SlotScheduler::layout_for_group(u32 g) const {
   return geometries_[group_geometry_[g]].layout;
 }
 
+u64 SlotScheduler::batch_cycles_for_group(u32 g) const {
+  check(g < groups_.size(), "batch_cycles_for_group: group out of range");
+  return geometries_[group_geometry_[g]].batch_cycles;
+}
+
+void SlotScheduler::calibrate_geometry_costs() {
+  // One deterministic single-threaded batch per geometry on cluster 0: the
+  // measured duration is the locality policy's load estimate. A batch's cost
+  // is padding-independent (every core always runs problems_per_core
+  // problems), so any well-formed operands measure the real duration. Side
+  // benefit: cluster 0's resident-program cache is warm for every geometry
+  // before the first slot.
+  Cluster& c0 = clusters_[0];
+  iss::Machine& machine = *c0.machine;
+  for (u32 g = 0; g < geometries_.size(); ++g) {
+    GeometryContext& geo = geometries_[g];
+    const kern::MmseLayout& lay = geo.layout;
+    c0.geometry_handles[g] = static_cast<i64>(machine.load_program(geo.program));
+    c0.loaded_geometry = static_cast<i64>(g);
+
+    Rng rng(0xCA11B ^ static_cast<u64>(g));
+    phy::Channel ch(phy::ChannelType::kRayleigh, lay.nrx, lay.ntx);
+    phy::QamModulator qam(4);
+    const u32 capacity = lay.num_cores * lay.problems_per_core;
+    const sim::Batch batch =
+        sim::generate_batch(ch, qam, lay.ntx, capacity, 10.0, rng);
+    for (u32 i = 0; i < capacity; ++i) {
+      sim::stage_problem(machine.memory(), lay, i / lay.problems_per_core,
+                         i % lay.problems_per_core, batch.problems[i]);
+    }
+    machine.reset_harts();
+    const iss::RunResult run = machine.run();
+    check(run.exited && !run.deadlock,
+          "SlotScheduler: geometry calibration run did not complete");
+    geo.batch_cycles = std::max<u64>(1, machine.estimated_cycles());
+  }
+}
+
+std::vector<std::vector<u32>> SlotScheduler::assign_batches(
+    const std::vector<BatchTask>& tasks, const SlotWorkload& slot,
+    std::vector<BatchTrace>& trace) const {
+  std::vector<std::vector<u32>> queues(cfg_.num_clusters);
+  const auto assign = [&](u32 task_index, u32 c) {
+    trace[task_index].cluster = c;
+    queues[c].push_back(task_index);
+  };
+
+  if (cfg_.policy == AssignPolicy::kRoundRobin) {
+    for (u32 i = 0; i < tasks.size(); ++i) assign(i, i % cfg_.num_clusters);
+    return queues;
+  }
+
+  // kLocality. Everything below runs serially on the calling thread and
+  // depends only on the workload, the calibrated per-geometry costs, and the
+  // clusters' resident geometries - so the assignment (and with it all cycle
+  // accounting) is deterministic for every host_threads value.
+  u32 symbols = 0;
+  for (const BatchTask& t : tasks)
+    symbols = std::max(symbols, slot.allocations[t.allocation].symbol + 1);
+  std::vector<std::vector<u32>> by_symbol(symbols);
+  for (u32 i = 0; i < tasks.size(); ++i)
+    by_symbol[slot.allocations[tasks[i].allocation].symbol].push_back(i);
+
+  // Residency prediction mirrors execution exactly: each cluster consumes
+  // its queue in the order built here, so the geometry sequence per cluster
+  // (and hence every reload) is known at assignment time. `incoming[c]` is
+  // cluster c's resident geometry at the start of the symbol being placed.
+  std::vector<i64> incoming(cfg_.num_clusters);
+  for (u32 c = 0; c < cfg_.num_clusters; ++c)
+    incoming[c] = clusters_[c].loaded_geometry;
+
+  struct Group {
+    u32 geometry = 0;
+    u64 cost = 0;              // batches * calibrated batch cycles
+    std::vector<u32> members;  // task indices in batch order
+  };
+  struct Run {
+    u32 geometry = 0;
+    std::vector<u32> members;  // contiguous same-geometry run on one cluster
+  };
+
+  for (u32 s = 0; s < symbols; ++s) {
+    // Group the symbol's batches by geometry, preserving batch order within
+    // a group (two UE groups sharing one geometry merge here).
+    std::vector<Group> groups;
+    for (const u32 i : by_symbol[s]) {
+      const u32 g = tasks[i].geometry;
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [g](const Group& grp) { return grp.geometry == g; });
+      if (it == groups.end()) {
+        groups.push_back(Group{g, 0, {}});
+        it = groups.end() - 1;
+      }
+      it->members.push_back(i);
+      it->cost += geometries_[g].batch_cycles;
+    }
+    // Largest group first; ties by geometry index (deterministic).
+    std::stable_sort(groups.begin(), groups.end(),
+                     [](const Group& a, const Group& b) {
+                       if (a.cost != b.cost) return a.cost > b.cost;
+                       return a.geometry < b.geometry;
+                     });
+
+    u64 total = 0;
+    for (const Group& g : groups) total += g.cost;
+    // Even per-symbol share: a cluster is filled up to the target before the
+    // rest of a group spills to the next one, so the per-symbol critical
+    // path stays within one batch of the balanced optimum.
+    const u64 target = (total + cfg_.num_clusters - 1) / cfg_.num_clusters;
+    std::vector<u64> load(cfg_.num_clusters, 0);
+    std::vector<std::vector<Run>> runs(cfg_.num_clusters);
+
+    const auto hosts = [&](u32 c, u32 g) -> Run* {
+      for (Run& r : runs[c])
+        if (r.geometry == g) return &r;
+      return nullptr;
+    };
+
+    for (const Group& grp : groups) {
+      const u64 batch_cost = geometries_[grp.geometry].batch_cycles;
+      const i64 geo = static_cast<i64>(grp.geometry);
+      // A group wider than the even share is pre-split into near-even
+      // chunks (as many as it spans targets, capped by the cluster count
+      // and the batch count); smaller groups stay whole. Placing whole
+      // chunks instead of filling batch-by-batch keeps the per-symbol
+      // makespan within one batch of the balanced optimum while touching
+      // the fewest clusters per geometry.
+      const u64 span = (grp.cost + target - 1) / std::max<u64>(1, target);
+      const u32 n_chunks = static_cast<u32>(std::max<u64>(
+          1, std::min<u64>(span,
+                           std::min<u64>(cfg_.num_clusters, grp.members.size()))));
+      size_t next = 0;
+      for (u32 k = 0; k < n_chunks; ++k) {
+        const size_t take =
+            (grp.members.size() - next + (n_chunks - k) - 1) / (n_chunks - k);
+        // Choose the chunk's cluster by lexicographic (tier, load, id) -
+        // chunks of one group repel each other (that is what the pre-split
+        // is for - balance), so a cluster already hosting this geometry is
+        // avoided until nothing else is left. Tiers, best first:
+        //  0. enters the symbol resident in this geometry (zero reload: the
+        //     matching run is rotated to the front below), not hosting it
+        //     yet, room below the target;
+        //  1. below the target, not hosting it;
+        //  2. not hosting it;
+        //  3. anything (chunks merge back as a last resort).
+        const auto tier = [&](u32 c) -> u32 {
+          if (hosts(c, grp.geometry) != nullptr) return 3;
+          if (load[c] >= target) return 2;
+          return incoming[c] == geo ? 0 : 1;
+        };
+        u32 best = 0;
+        u32 best_tier = tier(0);
+        for (u32 c = 1; c < cfg_.num_clusters; ++c) {
+          const u32 t = tier(c);
+          if (t < best_tier || (t == best_tier && load[c] < load[best])) {
+            best = c;
+            best_tier = t;
+          }
+        }
+        Run* run = hosts(best, grp.geometry);
+        if (run == nullptr) {
+          if (incoming[best] != geo)
+            load[best] += geometries_[grp.geometry].reload_cycles;
+          runs[best].push_back(Run{grp.geometry, {}});
+          run = &runs[best].back();
+        }
+        for (size_t t = 0; t < take; ++t) {
+          run->members.push_back(grp.members[next++]);
+          load[best] += batch_cost;
+        }
+      }
+    }
+
+    // Emit each cluster's runs for this symbol, rotating the run that
+    // matches the cluster's incoming residency to the front: its program is
+    // already loaded, so starting with it saves one reload per symbol
+    // without changing any result (within-symbol order is free). The last
+    // run decides the residency the next symbol starts from.
+    for (u32 c = 0; c < cfg_.num_clusters; ++c) {
+      if (runs[c].empty()) continue;
+      for (size_t r = 0; r < runs[c].size(); ++r) {
+        if (static_cast<i64>(runs[c][r].geometry) == incoming[c]) {
+          std::rotate(runs[c].begin(), runs[c].begin() + static_cast<ptrdiff_t>(r),
+                      runs[c].begin() + static_cast<ptrdiff_t>(r) + 1);
+          break;
+        }
+      }
+      for (const Run& r : runs[c])
+        for (const u32 i : r.members) assign(i, c);
+      incoming[c] = static_cast<i64>(runs[c].back().geometry);
+    }
+  }
+  return queues;
+}
+
 void SlotScheduler::run_batch(Cluster& cluster, const BatchTask& task,
                               const SlotWorkload& slot, SlotResult& result,
                               u32 batch_index) {
@@ -85,9 +296,21 @@ void SlotScheduler::run_batch(Cluster& cluster, const BatchTask& task,
   const Allocation& alloc = slot.allocations[task.allocation];
   const u32 capacity = lay.num_cores * lay.problems_per_core;
 
+  // Geometry switch: activate the resident program (an image restore - no
+  // retranslation; translation happens only on the first visit of a
+  // geometry to this cluster) and charge the modeled DMA reload cost.
+  u32 reloads = 0;
+  u64 reload_cycles = 0;
   if (cluster.loaded_geometry != static_cast<i64>(task.geometry)) {
-    machine.load_program(geo.program);
+    i64& handle = cluster.geometry_handles[task.geometry];
+    if (handle >= 0) {
+      machine.select_program(static_cast<iss::Machine::ProgramHandle>(handle));
+    } else {
+      handle = static_cast<i64>(machine.load_program(geo.program));
+    }
     cluster.loaded_geometry = static_cast<i64>(task.geometry);
+    reloads = 1;
+    reload_cycles = geo.reload_cycles;
   }
 
   // Stage the batch; unused tail slots repeat real problems so every core
@@ -128,6 +351,9 @@ void SlotScheduler::run_batch(Cluster& cluster, const BatchTask& task,
   trace.allocation = task.allocation;
   trace.offset = task.offset;
   trace.count = task.count;
+  trace.geometry = task.geometry;
+  trace.reloads = reloads;
+  trace.reload_cycles = reload_cycles;
   trace.cycles = cycles;
   batch_errors_scratch_[batch_index] = errors;
 }
@@ -139,6 +365,8 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
   result.bits = slot.num_bits();
   result.cluster_busy_cycles.assign(cfg_.num_clusters, 0);
   result.cluster_batches.assign(cfg_.num_clusters, 0);
+  result.cluster_reloads.assign(cfg_.num_clusters, 0);
+  result.cluster_reload_cycles.assign(cfg_.num_clusters, 0);
 
   u32 symbols = 0;
   result.detected_bits.resize(slot.allocations.size());
@@ -166,15 +394,13 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
     }
   }
 
-  // Static round-robin assignment: batch i runs on cluster i % num_clusters.
+  // Serial up-front batch->cluster assignment (round-robin or locality; see
+  // the header comment): fills trace[i].cluster and each cluster's ordered
+  // queue, fixing residency transitions before any worker runs.
   result.trace.resize(tasks.size());
   batch_errors_scratch_.assign(tasks.size(), 0);
-  std::vector<std::vector<u32>> queue(cfg_.num_clusters);
-  for (u32 i = 0; i < tasks.size(); ++i) {
-    const u32 c = i % cfg_.num_clusters;
-    result.trace[i].cluster = c;
-    queue[c].push_back(i);
-  }
+  const std::vector<std::vector<u32>> queue =
+      assign_batches(tasks, slot, result.trace);
 
   // ---- work-stealing pool: idle threads claim any cluster with work ----
   const u32 n_workers =
@@ -273,14 +499,22 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
   }
 
   // ---- deterministic reduction over the trace (batch order) ----
+  // Busy and critical-path accounting charge each batch its detection cycles
+  // PLUS the modeled reload cycles of the program switch it forced, so the
+  // reload overhead a policy pays is visible in latency and utilization.
   std::vector<std::vector<u64>> symbol_cycles(cfg_.num_clusters,
                                               std::vector<u64>(symbols, 0));
   for (u32 i = 0; i < result.trace.size(); ++i) {
     const BatchTrace& t = result.trace[i];
+    const u64 busy_cycles = t.cycles + t.reload_cycles;
     result.errors += batch_errors_scratch_[i];
-    result.cluster_busy_cycles[t.cluster] += t.cycles;
+    result.cluster_busy_cycles[t.cluster] += busy_cycles;
     result.cluster_batches[t.cluster] += 1;
-    symbol_cycles[t.cluster][slot.allocations[t.allocation].symbol] += t.cycles;
+    result.cluster_reloads[t.cluster] += t.reloads;
+    result.cluster_reload_cycles[t.cluster] += t.reload_cycles;
+    result.total_reloads += t.reloads;
+    result.total_reload_cycles += t.reload_cycles;
+    symbol_cycles[t.cluster][slot.allocations[t.allocation].symbol] += busy_cycles;
   }
   result.symbol_cycles.assign(symbols, 0);
   for (u32 s = 0; s < symbols; ++s) {

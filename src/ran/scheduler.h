@@ -3,18 +3,48 @@
 // TeraPool clusters (iss::Machine instances) over a work-stealing host
 // thread pool.
 //
-// Batch-to-cluster assignment is static round-robin in batch order, so the
-// per-cluster cycle accounting (and hence latency/utilization reports) is
-// deterministic and independent of how many host threads drive the pool;
-// work stealing only decides *which host thread* services a cluster next.
-// Within one batch run, Machine::run_threads(threads_per_cluster) may shard
-// the cluster's harts over further host threads: functional results stay
-// bit-identical to run(), cycle estimates agree up to the barrier-wake
-// jitter (see machine.h).
+// Batch-to-cluster assignment
+// ---------------------------
+// Two policies, selected by ClusterPoolConfig::policy:
 //
-// Heterogeneous UE groups are supported by caching one generated MMSE
-// program per distinct (ntx, nrx) geometry; a cluster reloads its program
-// only when consecutive batches switch geometry.
+//  - kRoundRobin: batch i runs on cluster i % num_clusters, in batch order.
+//    The legacy policy; geometry-oblivious, so consecutive batches on a
+//    cluster ping-pong between UE geometries and pay a program reload on
+//    nearly every switch.
+//  - kLocality (default): a geometry-packed, residency-aware assignment.
+//    Per OFDM symbol, batches are grouped by geometry; groups are placed
+//    largest-first onto clusters, preferring the cluster whose resident
+//    program already matches, filling a cluster up to an even per-symbol
+//    load share (calibrated batch cycles + modeled reload cycles) before
+//    spilling the rest of the group to the next cluster, ties broken by
+//    batch index then cluster id. Within each symbol a cluster's runs are
+//    rotated so the run matching its incoming resident program goes first
+//    (within-symbol order is free - symbols serialize, batches within one
+//    don't). Same-geometry batches therefore land consecutively on the same
+//    cluster and a cluster tends to keep its geometry from one symbol (and
+//    one slot) to the next.
+//
+// Determinism: both assignments are computed *serially, up front*, from the
+// workload, the per-geometry calibration (itself a deterministic single-
+// threaded run), and the clusters' resident programs - never from host
+// timing. The work-stealing pool only decides *which host thread* services a
+// cluster next; each cluster consumes its own queue in the precomputed
+// order, so residency transitions, reload counts, and per-cluster cycle
+// accounting (hence latency/utilization reports) are identical for every
+// host_threads value. Within one batch run,
+// Machine::run_threads(threads_per_cluster) may shard the cluster's harts
+// over further host threads: functional results stay bit-identical to
+// run(), cycle estimates agree up to the barrier-wake jitter (see
+// machine.h).
+//
+// Program reloads are explicit in the accounting: every geometry switch on a
+// cluster is counted in BatchTrace::reloads and charged
+// BatchTrace::reload_cycles (the modeled DMA cost of pulling the image into
+// L2, see program_reload_cycles), which flow into the per-cluster busy
+// cycles and the per-symbol critical path. Host-side, switches are nearly
+// free: each iss::Machine keeps every geometry's program resident
+// (translation cache + image, see machine.h), so a switch is an image
+// restore, not a retranslation.
 #pragma once
 
 #include <memory>
@@ -26,8 +56,29 @@
 #include "phy/qam.h"
 #include "ran/traffic.h"
 #include "rvasm/program.h"
+#include "tera/dma.h"
 
 namespace tsim::ran {
+
+/// Batch-to-cluster assignment policy (see the header comment).
+enum class AssignPolicy : u8 {
+  kRoundRobin = 0,  // batch i -> cluster i % num_clusters
+  kLocality,        // geometry-packed, residency-aware (default)
+};
+
+inline const char* policy_name(AssignPolicy p) {
+  return p == AssignPolicy::kRoundRobin ? "roundrobin" : "locality";
+}
+
+/// Parses "roundrobin" / "locality"; throws SimError on anything else.
+AssignPolicy parse_policy(const std::string& name);
+
+/// Modeled DUT cycles to DMA a program image of `image_bytes` into L2
+/// (descriptor setup + bus beats; same first-order model as tera::Dma).
+inline u64 program_reload_cycles(u32 image_bytes, const tera::DmaConfig& dma = {}) {
+  return dma.setup_cycles +
+         (image_bytes + dma.bus_bytes_per_cycle - 1) / dma.bus_bytes_per_cycle;
+}
 
 struct ClusterPoolConfig {
   u32 num_clusters = 2;        // emulated DUT clusters processing in parallel
@@ -37,17 +88,21 @@ struct ClusterPoolConfig {
   kern::Precision prec = kern::Precision::k16CDotp;
   u32 problems_per_core = 4;
   u32 batch_cores = 0;         // 0 = as many cores as fit in L1
+  AssignPolicy policy = AssignPolicy::kLocality;
 
   void validate() const;
 };
 
 /// One batch execution record, in deterministic batch order.
 struct BatchTrace {
-  u32 cluster = 0;     // cluster that ran the batch
-  u32 allocation = 0;  // index into SlotWorkload::allocations
-  u32 offset = 0;      // first problem of the allocation in this batch
-  u32 count = 0;       // problems detected (padding excluded)
-  u64 cycles = 0;      // estimated DUT cycles of this run
+  u32 cluster = 0;        // cluster that ran the batch
+  u32 allocation = 0;     // index into SlotWorkload::allocations
+  u32 offset = 0;         // first problem of the allocation in this batch
+  u32 count = 0;          // problems detected (padding excluded)
+  u32 geometry = 0;       // geometry index the batch ran under
+  u32 reloads = 0;        // program switches this batch forced (0 or 1)
+  u64 reload_cycles = 0;  // modeled DMA cycles of that switch
+  u64 cycles = 0;         // estimated DUT cycles of the detection run
 };
 
 /// Everything the scheduler measured and detected for one TTI.
@@ -60,9 +115,14 @@ struct SlotResult {
   /// Hard-decision detected bits, per allocation (same shape as tx_bits).
   std::vector<std::vector<u8>> detected_bits;
 
-  std::vector<u64> cluster_busy_cycles;  // per cluster
-  std::vector<u32> cluster_batches;      // batches run per cluster
-  std::vector<u64> symbol_cycles;        // per-symbol critical path (max/cluster)
+  /// Busy cycles include the reload cycles charged to the cluster.
+  std::vector<u64> cluster_busy_cycles;    // per cluster
+  std::vector<u32> cluster_batches;        // batches run per cluster
+  std::vector<u32> cluster_reloads;        // program switches per cluster
+  std::vector<u64> cluster_reload_cycles;  // modeled reload cycles per cluster
+  u64 total_reloads = 0;                   // sum over clusters
+  u64 total_reload_cycles = 0;             // sum over clusters
+  std::vector<u64> symbol_cycles;          // per-symbol critical path (max/cluster)
   /// Slot critical path. Symbols are data-serialized, so this is the sum of
   /// the per-symbol critical paths (== sum(symbol_cycles)); with imbalanced
   /// symbol work it can exceed every cluster's busy total.
@@ -85,6 +145,10 @@ class SlotScheduler {
   const ClusterPoolConfig& config() const { return cfg_; }
   /// The batch layout used for UE group `g`'s geometry.
   const kern::MmseLayout& layout_for_group(u32 g) const;
+  /// Calibrated single-batch cycle cost of group `g`'s geometry (measured
+  /// once at construction; the locality policy's load estimate). Zero for a
+  /// round-robin scheduler, which skips calibration.
+  u64 batch_cycles_for_group(u32 g) const;
 
  private:
   struct GeometryContext {
@@ -92,10 +156,15 @@ class SlotScheduler {
     u32 nrx = 0;
     kern::MmseLayout layout;
     rvasm::Program program;
+    u64 batch_cycles = 0;   // calibrated cycles of one (padded) batch
+    u64 reload_cycles = 0;  // modeled DMA cycles to load the image
   };
   struct Cluster {
     std::unique_ptr<iss::Machine> machine;
     i64 loaded_geometry = -1;  // index into geometries_, -1 = none
+    /// geometry index -> resident-program handle on this machine (-1 until
+    /// the geometry first runs here and gets translated).
+    std::vector<i64> geometry_handles;
   };
   struct BatchTask {
     u32 allocation = 0;
@@ -105,6 +174,14 @@ class SlotScheduler {
   };
 
   u32 geometry_for(u32 ntx, u32 nrx);  // builds layout+program on first use
+  /// Runs one deterministic batch per geometry on cluster 0 to measure its
+  /// batch cycle cost (and warm cluster 0's resident-program cache).
+  void calibrate_geometry_costs();
+  /// Serial up-front batch->cluster assignment: fills trace[i].cluster and
+  /// returns each cluster's ordered queue of batch indices.
+  std::vector<std::vector<u32>> assign_batches(const std::vector<BatchTask>& tasks,
+                                               const SlotWorkload& slot,
+                                               std::vector<BatchTrace>& trace) const;
   void run_batch(Cluster& cluster, const BatchTask& task, const SlotWorkload& slot,
                  SlotResult& result, u32 batch_index);
 

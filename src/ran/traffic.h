@@ -41,6 +41,19 @@ struct UeGroup {
   double weight = 1.0;        // share of the carrier's subcarriers
 };
 
+/// A mixed-service UE population with three distinct MIMO geometries
+/// ((4,4), (2,4), (2,2)) sharing the carrier 2:1:1. This is the canonical
+/// geometry-ping-pong stressor for the slot scheduler: with fewer clusters
+/// than geometries, a geometry-oblivious assignment reloads programs on
+/// nearly every batch (see scheduler.h and bench_ran_throughput).
+inline std::vector<UeGroup> mixed_geometry_groups() {
+  return {
+      UeGroup{"embb", 4, 4, 16, 15.0, phy::ChannelType::kRayleigh, 2.0},
+      UeGroup{"urllc", 2, 4, 4, 10.0, phy::ChannelType::kAwgn, 1.0},
+      UeGroup{"mmtc", 2, 2, 4, 8.0, phy::ChannelType::kRayleigh, 1.0},
+  };
+}
+
 enum class ArrivalModel : u8 {
   kFullBuffer,  // all subcarriers occupied every symbol
   kPoisson,     // per-symbol occupancy ~ Poisson(offered_load * num_subcarriers)

@@ -389,6 +389,114 @@ TEST(Iss, ScWakeTimestampsMatchTracedReference) {
   EXPECT_GT(fast->hart(0).wfi_stall_cycles, 0u);
 }
 
+// ----- resident-program cache -----
+
+TEST(Iss, ResidentProgramCacheKeysByContentIdentity) {
+  const auto p1 = prog("_start:\n li t0, 1\n ebreak\n");
+  const auto p2 = prog("_start:\n li t0, 2\n ebreak\n");
+  Machine m(tera::TeraPoolConfig::tiny(), TimingConfig{}, 1);
+  EXPECT_EQ(m.active_program(), Machine::kNoProgram);
+
+  const auto h1 = m.load_program(p1);
+  EXPECT_EQ(m.active_program(), h1);
+  EXPECT_EQ(m.num_resident_programs(), 1u);
+
+  const auto h2 = m.load_program(p2);
+  EXPECT_NE(h2, h1);
+  EXPECT_EQ(m.active_program(), h2);
+  EXPECT_EQ(m.num_resident_programs(), 2u);
+
+  // Reloading p1 - even via a freshly assembled, content-identical program
+  // object - finds the resident entry instead of translating again.
+  const auto p1_again = prog("_start:\n li t0, 1\n ebreak\n");
+  EXPECT_EQ(m.load_program(p1_again), h1);
+  EXPECT_EQ(m.num_resident_programs(), 2u);
+  const u64 switches = m.program_switches();
+
+  // Reloading the active program is a no-op plus reset (no image rewrite).
+  EXPECT_EQ(m.load_program(p1), h1);
+  EXPECT_EQ(m.program_switches(), switches);
+
+  // select_program activates a resident program directly.
+  m.select_program(h2);
+  EXPECT_EQ(m.active_program(), h2);
+  m.run();
+  EXPECT_EQ(m.hart(0).state.x[5], 2u);  // t0 from p2
+  EXPECT_THROW(m.select_program(99), SimError);
+}
+
+TEST(Iss, ResidentProgramSwapIsBitExactVsColdLoad) {
+  // Machine A ping-pongs: barrier program, a second program that scribbles
+  // over L1 and the (shared) L2 image range footprint, then the barrier
+  // program again via the resident cache. Its final run must be bit-exact -
+  // registers, cycles, stall accounting - against machine B's cold first
+  // run of the same program.
+  const char* scribble = R"(
+    _start:
+      li t0, 0x100
+      li t1, 0xDEAD
+      sw t1, 0(t0)
+      sw t1, 4(t0)
+      li t2, 0x40000000
+      sw zero, 0(t2)
+  )";
+  Machine a(tera::TeraPoolConfig::tiny(), TimingConfig{}, 4);
+  const auto h_sum = a.load_program(prog(kParallelSum));
+  ASSERT_TRUE(a.run().exited);
+  const auto h_scribble = a.load_program(prog(scribble));
+  ASSERT_NE(h_scribble, h_sum);
+  ASSERT_TRUE(a.run().exited);
+  // Clear the accumulator the first barrier run left in L1, then swap the
+  // resident barrier program back in (cache hit: no retranslation).
+  const std::vector<u32> zero_word = {0};
+  a.memory().host_write_words(0x200, zero_word);
+  a.memory().host_write_words(0x80, zero_word);
+  ASSERT_EQ(a.load_program(prog(kParallelSum)), h_sum);
+  const auto ra = a.run();
+
+  Machine b(tera::TeraPoolConfig::tiny(), TimingConfig{}, 4);
+  b.load_program(prog(kParallelSum));
+  const auto rb = b.run();
+
+  ASSERT_TRUE(ra.exited);
+  ASSERT_TRUE(rb.exited);
+  EXPECT_EQ(ra.exit_code, rb.exit_code);
+  EXPECT_EQ(ra.instructions, rb.instructions);
+  for (u32 h = 0; h < 4; ++h) {
+    EXPECT_EQ(a.hart(h).cycles(), b.hart(h).cycles()) << "hart " << h;
+    EXPECT_EQ(a.hart(h).instructions(), b.hart(h).instructions()) << "hart " << h;
+    EXPECT_EQ(a.hart(h).raw_stall_cycles, b.hart(h).raw_stall_cycles) << "hart " << h;
+    EXPECT_EQ(a.hart(h).wfi_stall_cycles, b.hart(h).wfi_stall_cycles) << "hart " << h;
+    EXPECT_EQ(a.hart(h).state.x, b.hart(h).state.x) << "hart " << h;
+  }
+}
+
+TEST(Iss, ProgramFingerprintSeparatesImages) {
+  const auto p1 = prog("_start:\n li t0, 1\n ebreak\n");
+  const auto p2 = prog("_start:\n li t0, 2\n ebreak\n");
+  EXPECT_EQ(program_fingerprint(p1), program_fingerprint(p1));
+  EXPECT_NE(program_fingerprint(p1), program_fingerprint(p2));
+  auto moved = p1;
+  moved.base += 0x1000;
+  EXPECT_NE(program_fingerprint(p1), program_fingerprint(moved));
+
+  // Identical images whose "_start" differs are distinct programs: the
+  // resident cache must not return the first program's entry point for the
+  // second (they execute differently).
+  const auto entry_base = prog("_start:\n nop\n li t0, 7\n ebreak\n");
+  const auto entry_later = prog("nop\n_start:\n li t0, 7\n ebreak\n");
+  ASSERT_EQ(entry_base.words, entry_later.words);
+  EXPECT_NE(program_entry_pc(entry_base), program_entry_pc(entry_later));
+  EXPECT_NE(program_fingerprint(entry_base), program_fingerprint(entry_later));
+
+  Machine m(tera::TeraPoolConfig::tiny(), TimingConfig{}, 1);
+  const auto h1 = m.load_program(entry_base);
+  const auto h2 = m.load_program(entry_later);
+  EXPECT_NE(h1, h2);
+  m.run();
+  EXPECT_EQ(m.hart(0).instructions(), 2u);  // skipped the leading nop
+}
+
 TEST(Iss, SuperblockFastPathMatchesTracedReferenceOnBarriers) {
   // The wfi/wake-heavy barrier program, fast path vs the per-instruction
   // reference path (forced by a no-op trace hook): registers, instruction

@@ -38,6 +38,16 @@ ClusterPoolConfig small_pool(u32 clusters, u32 host_threads) {
   return cfg;
 }
 
+/// Three distinct (ntx, nrx) geometries sharing the tiny carrier: the
+/// geometry-ping-pong stressor for the assignment policies.
+TrafficConfig mixed_geometry_traffic(u32 symbols = 4) {
+  TrafficConfig cfg;
+  cfg.carrier = tiny_carrier(symbols);
+  cfg.groups = mixed_geometry_groups();
+  cfg.seed = 0x5EED;
+  return cfg;
+}
+
 TEST(Traffic, FullBufferCoversTheWholeCarrier) {
   TrafficConfig cfg = one_group_traffic();
   cfg.groups = {
@@ -263,17 +273,20 @@ TEST(Scheduler, AccountsEveryBatchExactlyOnce) {
 
 // Regression for the slot critical-path accounting: symbols are
 // data-serialized, so slot_cycles must be the sum over symbols of the
-// per-symbol cross-cluster maximum. With 3 batches per symbol round-robined
-// over 2 clusters, consecutive symbols load opposite clusters (cluster 0
-// runs 2 batches of symbol 0, cluster 1 runs 2 batches of symbol 1), so the
-// per-symbol maxima sit on different clusters and the old
-// max-of-cluster-totals formula under-reported the latency.
+// per-symbol cross-cluster maximum. Pinned to the round-robin policy: with
+// 3 batches per symbol round-robined over 2 clusters, consecutive symbols
+// load opposite clusters (cluster 0 runs 2 batches of symbol 0, cluster 1
+// runs 2 batches of symbol 1), so the per-symbol maxima sit on different
+// clusters and the old max-of-cluster-totals formula under-reported the
+// latency.
 TEST(Scheduler, SlotCriticalPathIsSymbolSerializedSum) {
   const TrafficConfig tcfg = one_group_traffic(/*symbols=*/2);
   TrafficGenerator gen(tcfg);
   const SlotWorkload slot = gen.slot(0);
 
-  SlotScheduler sched(small_pool(/*clusters=*/2, /*host_threads=*/2), tcfg.groups);
+  ClusterPoolConfig pool = small_pool(/*clusters=*/2, /*host_threads=*/2);
+  pool.policy = AssignPolicy::kRoundRobin;
+  SlotScheduler sched(pool, tcfg.groups);
   const SlotResult result = sched.run_slot(slot);
 
   ASSERT_EQ(result.symbol_cycles.size(), 2u);
@@ -281,10 +294,12 @@ TEST(Scheduler, SlotCriticalPathIsSymbolSerializedSum) {
   for (const u64 c : result.symbol_cycles) symbol_sum += c;
   EXPECT_EQ(result.slot_cycles, symbol_sum);
 
-  // Cross-check against the trace: per-(cluster, symbol) busy cycles.
+  // Cross-check against the trace: per-(cluster, symbol) busy cycles,
+  // program reload cycles included (they are on the critical path).
   std::vector<std::vector<u64>> busy(2, std::vector<u64>(2, 0));
   for (const BatchTrace& t : result.trace) {
-    busy[t.cluster][slot.allocations[t.allocation].symbol] += t.cycles;
+    busy[t.cluster][slot.allocations[t.allocation].symbol] +=
+        t.cycles + t.reload_cycles;
   }
   u64 expected = 0;
   for (u32 s = 0; s < 2; ++s) expected += std::max(busy[0][s], busy[1][s]);
@@ -296,6 +311,114 @@ TEST(Scheduler, SlotCriticalPathIsSymbolSerializedSum) {
   for (u32 c = 0; c < 2; ++c) {
     EXPECT_GT(result.slot_cycles, result.cluster_busy_cycles[c]);
   }
+}
+
+// The policy acceptance test: with more geometries than clusters, the
+// locality policy must produce bit-identical detections to round-robin
+// while cutting program reloads by at least 2x (reloads under round-robin
+// approach one per batch; under locality they approach the per-symbol
+// geometry-overcommit minimum).
+TEST(Scheduler, PoliciesAreBitIdenticalAndLocalityCutsReloads) {
+  const TrafficConfig tcfg = mixed_geometry_traffic(/*symbols=*/4);
+  TrafficGenerator gen(tcfg);
+  const SlotWorkload slot = gen.slot(0);
+
+  ClusterPoolConfig rr = small_pool(/*clusters=*/2, /*host_threads=*/2);
+  rr.batch_cores = 1;  // capacity 2: several batches per geometry per symbol
+  rr.policy = AssignPolicy::kRoundRobin;
+  ClusterPoolConfig loc = rr;
+  loc.policy = AssignPolicy::kLocality;
+
+  const SlotResult a = SlotScheduler(rr, tcfg.groups).run_slot(slot);
+  const SlotResult b = SlotScheduler(loc, tcfg.groups).run_slot(slot);
+
+  // Functional results do not depend on where a batch runs.
+  EXPECT_EQ(a.detected_bits, b.detected_bits);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.problems, b.problems);
+  EXPECT_EQ(a.trace.size(), b.trace.size());
+
+  // The locality win: >= 2x fewer program reloads, less reload time on the
+  // critical path.
+  EXPECT_GT(a.total_reloads, 0u);
+  EXPECT_GE(a.total_reloads, 2 * b.total_reloads);
+  EXPECT_LT(b.total_reload_cycles, a.total_reload_cycles);
+}
+
+TEST(Scheduler, LocalityIsDeterministicAcrossHostThreadCounts) {
+  const TrafficConfig tcfg = mixed_geometry_traffic();
+  TrafficGenerator gen(tcfg);
+  const SlotWorkload slot = gen.slot(1);
+
+  // small_pool defaults to the locality policy.
+  SlotScheduler serial(small_pool(3, /*host_threads=*/1), tcfg.groups);
+  SlotScheduler parallel(small_pool(3, /*host_threads=*/4), tcfg.groups);
+  const SlotResult a = serial.run_slot(slot);
+  const SlotResult b = parallel.run_slot(slot);
+
+  EXPECT_EQ(a.detected_bits, b.detected_bits);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.cluster_busy_cycles, b.cluster_busy_cycles);
+  EXPECT_EQ(a.cluster_batches, b.cluster_batches);
+  EXPECT_EQ(a.cluster_reloads, b.cluster_reloads);
+  EXPECT_EQ(a.cluster_reload_cycles, b.cluster_reload_cycles);
+  EXPECT_EQ(a.total_reloads, b.total_reloads);
+  EXPECT_EQ(a.total_reload_cycles, b.total_reload_cycles);
+  EXPECT_EQ(a.symbol_cycles, b.symbol_cycles);
+  EXPECT_EQ(a.slot_cycles, b.slot_cycles);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].cluster, b.trace[i].cluster);
+    EXPECT_EQ(a.trace[i].cycles, b.trace[i].cycles);
+    EXPECT_EQ(a.trace[i].reloads, b.trace[i].reloads);
+    EXPECT_EQ(a.trace[i].reload_cycles, b.trace[i].reload_cycles);
+  }
+}
+
+TEST(Scheduler, ReloadAccountingIsConsistent) {
+  const TrafficConfig tcfg = mixed_geometry_traffic();
+  TrafficGenerator gen(tcfg);
+  const SlotWorkload slot = gen.slot(0);
+  SlotScheduler sched(small_pool(2, 2), tcfg.groups);
+  const SlotResult result = sched.run_slot(slot);
+
+  // Trace-level reloads roll up exactly into the per-cluster and slot
+  // totals, and busy cycles include the reload cycles.
+  std::vector<u32> reloads(2, 0);
+  std::vector<u64> reload_cycles(2, 0), busy(2, 0);
+  for (const BatchTrace& t : result.trace) {
+    ASSERT_LT(t.cluster, 2u);
+    EXPECT_LE(t.reloads, 1u);
+    EXPECT_EQ(t.reload_cycles > 0, t.reloads == 1);
+    reloads[t.cluster] += t.reloads;
+    reload_cycles[t.cluster] += t.reload_cycles;
+    busy[t.cluster] += t.cycles + t.reload_cycles;
+  }
+  EXPECT_EQ(result.cluster_reloads, reloads);
+  EXPECT_EQ(result.cluster_reload_cycles, reload_cycles);
+  EXPECT_EQ(result.cluster_busy_cycles, busy);
+  EXPECT_EQ(result.total_reloads, static_cast<u64>(reloads[0]) + reloads[1]);
+  EXPECT_EQ(result.total_reload_cycles, reload_cycles[0] + reload_cycles[1]);
+  // Three geometries over two clusters: someone must reload at least once.
+  EXPECT_GT(result.total_reloads, 0u);
+  // The modeled DMA reload cost is nonzero for any real program image.
+  EXPECT_GT(program_reload_cycles(4096), 0u);
+}
+
+TEST(Deadline, DeadlineReportCarriesReloadOverhead) {
+  const TrafficConfig tcfg = mixed_geometry_traffic();
+  TrafficGenerator gen(tcfg);
+  const SlotWorkload slot = gen.slot(0);
+  SlotScheduler sched(small_pool(2, 2), tcfg.groups);
+  const SlotResult result = sched.run_slot(slot);
+
+  const DeadlineReport rep = deadline_report(result, tcfg.carrier, 1e9);
+  EXPECT_EQ(rep.reloads, result.total_reloads);
+  EXPECT_EQ(rep.reload_cycles, result.total_reload_cycles);
+  EXPECT_EQ(rep.timing.slot_cycles, result.slot_cycles);
+  EXPECT_EQ(rep.met(), rep.timing.meets_deadline());
+  EXPECT_GT(rep.reload_fraction(), 0.0);
+  EXPECT_LT(rep.reload_fraction(), 1.0);
 }
 
 TEST(Deadline, TimingArithmetic) {
