@@ -48,6 +48,21 @@ inline u64 compute_issue(Hart& h, const SbEntry& e, bool scoreboard) {
   return issue;
 }
 
+/// Extra result latency of a load/AMO that hit `addr` (the timing model's
+/// memory leg, shared by retire_timing and the lockstep sweep).
+inline u32 memory_access_latency(u32 addr, u32 hartid, const TimingConfig& timing,
+                                 const tera::TeraPoolConfig& cluster,
+                                 const tera::ClusterMemory& mem) {
+  if (addr >= tera::kL2Base) return timing.l2_latency;
+  if (addr >= tera::kMmioBase) return 1;
+  if (timing.numa_latency) {
+    const auto route = mem.map().route(addr);
+    const u32 tile = route ? route->tile : 0;
+    return cluster.numa_latency(hartid, tile);
+  }
+  return timing.static_mem_latency;
+}
+
 /// Static-latency accounting for one retired instruction: advances the hart
 /// clock and marks the destination busy until its result latency elapses.
 inline void retire_timing(Hart& h, const SbEntry& e, const rv::StepInfo& info,
@@ -59,26 +74,94 @@ inline void retire_timing(Hart& h, const SbEntry& e, const rv::StepInfo& info,
   if (info.branch_taken) st.cycle += timing.branch_taken_penalty;
 
   u64 result_at = issue + e.result_latency;
-  if (info.is_load || info.is_amo) {
-    u32 mem_lat;
-    if (info.mem_addr >= tera::kL2Base) {
-      mem_lat = timing.l2_latency;
-    } else if (info.mem_addr >= tera::kMmioBase) {
-      mem_lat = 1;
-    } else if (timing.numa_latency) {
-      const auto route = mem.map().route(info.mem_addr);
-      const u32 tile = route ? route->tile : 0;
-      mem_lat = cluster.numa_latency(st.hartid, tile);
-    } else {
-      mem_lat = timing.static_mem_latency;
-    }
-    result_at += mem_lat;
-  }
+  if (info.is_load || info.is_amo)
+    result_at += memory_access_latency(info.mem_addr, st.hartid, timing, cluster, mem);
   if ((e.flags & kSbWritesRd) && e.d.rd != 0) h.ready[e.d.rd] = result_at;
   if ((e.flags & kSbPostIncLoad) && e.d.rs1 != 0) h.ready[e.d.rs1] = issue + 1;
 }
 
+/// True when `op` has any path to fault()/halt in rv::execute (memory ops
+/// can misalign or leave the map; ebreak/invalid halt by design). The
+/// specialized lockstep sweeps elide the per-member halted check for ops
+/// that provably cannot fault - a hart on the run list is never halted on
+/// entry, and a non-faulting op cannot make it so.
+constexpr bool op_may_fault(rv::Op op) {
+  switch (op) {
+    case rv::Op::kAddi:
+    case rv::Op::kAdd:
+    case rv::Op::kSub:
+    case rv::Op::kSlli:
+    case rv::Op::kLui:
+    case rv::Op::kMul:
+    case rv::Op::kPMac:
+    case rv::Op::kPvExtractH:
+    case rv::Op::kPvInsertH:
+    case rv::Op::kPvPackH:
+    case rv::Op::kFaddH:
+    case rv::Op::kFsubH:
+    case rv::Op::kFmulH:
+    case rv::Op::kFmaddH:
+    case rv::Op::kFmsubH:
+    case rv::Op::kVfmacH:
+    case rv::Op::kVfcdotpH:
+    case rv::Op::kVfccdotpH:
+    case rv::Op::kVfdotpexSH:
+    case rv::Op::kBeq:
+    case rv::Op::kBne:
+    case rv::Op::kBlt:
+    case rv::Op::kBge:
+      return false;
+    default:
+      return true;  // conservative: loads/stores/amo, ebreak, invalid, ...
+  }
+}
+
 }  // namespace
+
+double BatchStats::avg_width() const {
+  return batches != 0 ? static_cast<double>(width_sum) / static_cast<double>(batches) : 0.0;
+}
+
+double BatchStats::avg_run_length() const {
+  return runs != 0 ? static_cast<double>(run_entries) / static_cast<double>(runs) : 0.0;
+}
+
+double BatchStats::lockstep_fraction() const {
+  const u64 total = lockstep_instructions + serial_instructions;
+  return total != 0 ? static_cast<double>(lockstep_instructions) / static_cast<double>(total)
+                    : 0.0;
+}
+
+u64 BatchStats::width_percentile(double p) const {
+  u64 total = 0;
+  for (const u64 v : width_hist) total += v;
+  if (total == 0) return 0;
+  const double target = p * static_cast<double>(total);
+  u64 acc = 0;
+  for (size_t w = 0; w < width_hist.size(); ++w) {
+    acc += width_hist[w];
+    if (static_cast<double>(acc) >= target && acc != 0) return static_cast<u64>(w);
+  }
+  return static_cast<u64>(width_hist.size() - 1);
+}
+
+void BatchStats::merge(const BatchStats& other) {
+  lockstep_instructions += other.lockstep_instructions;
+  serial_instructions += other.serial_instructions;
+  batches += other.batches;
+  width_sum += other.width_sum;
+  width_max = std::max(width_max, other.width_max);
+  runs += other.runs;
+  run_entries += other.run_entries;
+  split_divergence += other.split_divergence;
+  split_budget += other.split_budget;
+  split_wake += other.split_wake;
+  split_stop += other.split_stop;
+  split_drain += other.split_drain;
+  if (width_hist.size() < other.width_hist.size())
+    width_hist.resize(other.width_hist.size(), 0);
+  for (size_t w = 0; w < other.width_hist.size(); ++w) width_hist[w] += other.width_hist[w];
+}
 
 Machine::Machine(const tera::TeraPoolConfig& cluster, TimingConfig timing, u32 active_harts)
     : cluster_(cluster),
@@ -90,6 +173,12 @@ Machine::Machine(const tera::TeraPoolConfig& cluster, TimingConfig timing, u32 a
   mem_->set_exit_handler([this](u32 code) { on_exit(code); });
   mem_->set_wake_handler([this](u32 target) { on_wake(target, t_current_cycle); });
   for (auto& s : sleep_) s.store(0, std::memory_order_relaxed);
+  bstats_.width_hist.assign(kMaxBatchWidth + 1, 0);
+}
+
+void Machine::reset_batch_stats() {
+  bstats_ = BatchStats{};
+  bstats_.width_hist.assign(kMaxBatchWidth + 1, 0);
 }
 
 Machine::ProgramHandle Machine::load_program(const rvasm::Program& prog) {
@@ -160,6 +249,9 @@ void Machine::on_wake(u32 target, u64 waker_cycle) {
         const size_t idx = static_cast<size_t>(it - st_awake_.begin());
         st_awake_.insert(it, i);
         if (idx <= st_pos_) ++st_pos_;
+        // A lockstep batch in flight ends at the next superblock boundary so
+        // the woken hart is rescheduled with (close to) serial promptness.
+        if (st_batch_active_) st_batch_wake_ = true;
       } else if (mt_mode_) {
         pending_wakes_.fetch_add(1, std::memory_order_release);
         WakeInbox& box = inboxes_[i / shard_size_];
@@ -208,7 +300,9 @@ void Machine::resume_from_wfi(u32 hart_index) {
   }
 }
 
-u64 Machine::exec_quantum(u32 hart_index, u64 budget, TurnEnd& end) {
+template <bool kRecord>
+u64 Machine::exec_quantum_impl(u32 hart_index, u64 budget, TurnEnd& end,
+                               std::vector<TraceRun>* trace) {
   Hart& h = harts_[hart_index];
   auto& st = h.state;
   const bool scoreboard = timing_.scoreboard;
@@ -226,6 +320,7 @@ u64 Machine::exec_quantum(u32 hart_index, u64 budget, TurnEnd& end) {
     // branch or enter wfi, so pc tracks the entry pointer implicitly. Any
     // instruction may still fault, which shows up as st.halted.
     const u32 n = static_cast<u32>(std::min<u64>(e->run_len, budget));
+    if constexpr (kRecord) trace->push_back(TraceRun{e, st.pc, n});
     budget -= n;
     for (u32 k = 0; k < n; ++k, ++e) {
       const u64 issue = compute_issue(h, *e, scoreboard);
@@ -236,10 +331,12 @@ u64 Machine::exec_quantum(u32 hart_index, u64 budget, TurnEnd& end) {
       retire_timing(h, *e, info, issue, timing_, cluster_, *mem_);
       ++executed;
       if (st.halted) {
+        if constexpr (kRecord) trace->back().n = k + 1;
         end = TurnEnd::kHalted;
         return executed;
       }
       if (stop_.load(std::memory_order_relaxed)) {
+        if constexpr (kRecord) trace->back().n = k + 1;
         end = TurnEnd::kStopped;
         return executed;
       }
@@ -250,6 +347,15 @@ u64 Machine::exec_quantum(u32 hart_index, u64 budget, TurnEnd& end) {
     }
   }
   return executed;
+}
+
+u64 Machine::exec_quantum(u32 hart_index, u64 budget, TurnEnd& end) {
+  return exec_quantum_impl<false>(hart_index, budget, end, nullptr);
+}
+
+u64 Machine::exec_quantum_record(u32 hart_index, u64 budget, TurnEnd& end,
+                                 std::vector<TraceRun>& trace) {
+  return exec_quantum_impl<true>(hart_index, budget, end, &trace);
 }
 
 u64 Machine::exec_quantum_traced(u32 hart_index, u64 budget, TurnEnd& end) {
@@ -290,6 +396,299 @@ u64 Machine::exec_quantum_traced(u32 hart_index, u64 budget, TurnEnd& end) {
   return executed;
 }
 
+u32 Machine::scan_convergent(const std::vector<u32>& list, size_t pos, u32 limit) const {
+  const u32 pc = harts_[list[pos]].state.pc;
+  u32 width = 1;
+  while (width < limit && harts_[list[pos + width]].state.pc == pc) ++width;
+  return width;
+}
+
+u64 Machine::exec_followers_replay(const u32* ids, u32 count, u64 budget,
+                                   const std::vector<TraceRun>& trace,
+                                   BatchEnd* ends, u64* rems,
+                                   BatchStats& stats) {
+  // Live followers with order-preserving compaction; orig[] maps a live
+  // slot back to its formation index so ends/rems stay addressable as
+  // followers drop out.
+  Hart* hs[kMaxBatchWidth];
+  u16 orig[kMaxBatchWidth];
+  u32 live = count;
+  for (u32 k = 0; k < count; ++k) {
+    hs[k] = &harts_[ids[k]];
+    orig[k] = static_cast<u16>(k);
+    ends[k] = BatchEnd::kRun;
+    rems[k] = budget;
+  }
+  ++stats.batches;
+  stats.width_sum += count + 1;  // reported widths include the leader
+  stats.width_max = std::max<u64>(stats.width_max, count + 1);
+  if (count + 1 < stats.width_hist.size()) ++stats.width_hist[count + 1];
+
+  const auto drop = [&](u32 k, BatchEnd why) {
+    ends[orig[k]] = why;
+    for (u32 t = k + 1; t < live; ++t) {
+      hs[t - 1] = hs[t];
+      orig[t - 1] = orig[t];
+    }
+    --live;
+  };
+
+  const bool scoreboard = timing_.scoreboard;
+  tera::ClusterMemory& mem = *mem_;
+  u64 executed = 0;
+  u64 consumed = 0;  // instructions each live follower retired so far
+  bool diverged = false;
+  bool ended_early = false;  // stop / wake cut the replay short
+  if (st_mode_) {
+    st_batch_wake_ = false;
+    st_batch_active_ = true;
+  }
+
+  for (size_t r = 0; r < trace.size() && live != 0 && !ended_early; ++r) {
+    const TraceRun& run = trace[r];
+    if (r != 0) {
+      // Run boundary: a follower whose branch outcome left the leader's
+      // path falls out and finishes its turn on the serial path.
+      for (u32 k = 0; k < live;) {
+        if (hs[k]->state.pc != run.pc) {
+          diverged = true;
+          rems[orig[k]] = budget - consumed;
+          drop(k, BatchEnd::kRun);
+          continue;
+        }
+        ++k;
+      }
+      if (live == 0) break;
+      if (st_mode_ && st_batch_wake_) {
+        // A wake landed in the run list: hand the remaining turns back to
+        // the serial scheduler so the woken hart is rescheduled promptly.
+        ++stats.split_wake;
+        for (u32 k = 0; k < live; ++k) rems[orig[k]] = budget - consumed;
+        ended_early = true;
+        break;
+      }
+    }
+    ++stats.runs;
+    stats.run_entries += run.n;
+    const SbEntry* e = run.base;
+    for (u32 s = 0; s < run.n; ++s, ++e) {
+      const SbEntry ent = *e;  // per-sweep constants stay in registers
+      const bool is_store = (ent.flags & kSbStore) != 0;
+      // Member sweep, templated on the (loop-invariant) opcode: the hot ops
+      // below dispatch ONCE per SbEntry to a straight-line per-op kernel
+      // (rv::execute_known folds the decode switch and the untaken timing
+      // branches away), so the member loop carries no per-instruction
+      // dispatch at all. Everything else takes the generic rv::execute -
+      // bit-identical semantics either way (execute_impl is the single
+      // source of truth).
+      const auto sweep = [&]<bool kKnown, rv::Op kOp>() {
+        // Per-entry invariants of the timing model, hoisted out of the
+        // member loop (values identical to what compute_issue/retire_timing
+        // read per member on the serial path; the inlined twin below is the
+        // same arithmetic in the same order).
+        const u8 r1 = ent.d.rs1, r2 = ent.d.rs2, r3 = ent.d.rs3, rd = ent.d.rd;
+        const bool reads_rs3 = (ent.flags & kSbReadsRs3) != 0;
+        const bool reads_rd_src = (ent.flags & kSbReadsRdSrc) != 0;
+        const bool writes_rd = (ent.flags & kSbWritesRd) != 0 && rd != 0;
+        const bool post_inc = (ent.flags & kSbPostIncLoad) != 0 && r1 != 0;
+        const u64 issue_add = ent.issue_cycles;
+        const u64 latency_add = ent.result_latency;
+        const u8 mix_class = ent.mix;
+        for (u32 k = 0; k < live;) {
+          Hart& h = *hs[k];
+          if (k + 1 < live) __builtin_prefetch(&hs[k + 1]->state.cycle);
+          u64 issue = h.state.cycle;
+          if (scoreboard) {
+            u64 ready = std::max(h.ready[r1], h.ready[r2]);
+            if (reads_rs3) ready = std::max(ready, h.ready[r3]);
+            if (reads_rd_src) ready = std::max(ready, h.ready[rd]);
+            if (ready > issue) {
+              h.raw_stall_cycles += ready - issue;
+              issue = ready;
+            }
+          }
+          // The pre-execute cycle store is observable only through the
+          // mcycle CSR reads of the generic path (none of the specialized
+          // ops read CSRs) - the retire store below overwrites it either
+          // way, so the specialized sweeps elide it.
+          rv::StepInfo info;
+          if (is_store) t_current_cycle = issue;
+          if constexpr (kKnown) {
+            info = rv::execute_known<kOp>(ent.d, h.state, mem);
+          } else {
+            h.state.cycle = issue;
+            info = rv::execute(ent.d, h.state, mem);
+          }
+          h.mix[mix_class]++;
+          u64 cyc = issue + issue_add;
+          if (info.branch_taken) cyc += timing_.branch_taken_penalty;
+          h.state.cycle = cyc;
+          if (writes_rd | post_inc) {
+            u64 result_at = issue + latency_add;
+            if (info.is_load || info.is_amo)
+              result_at += memory_access_latency(info.mem_addr, h.state.hartid,
+                                                 timing_, cluster_, mem);
+            if (writes_rd) h.ready[rd] = result_at;
+            if (post_inc) h.ready[r1] = issue + 1;
+          }
+          ++executed;
+          if constexpr (!kKnown || op_may_fault(kOp)) {
+            if (h.state.halted) [[unlikely]] {
+              drop(k, BatchEnd::kHalted);
+              continue;
+            }
+          }
+          ++k;
+        }
+      };
+// Specialized sweeps for the ops that dominate the MMSE/barrier kernels
+// (addi/p.lw/vfccdotp.h/sh/pv.extract.h cover ~2/3 of retired instructions;
+// the rest of the list rounds out the kernels' inner loops across the
+// supported precisions). Adding an op here is a pure perf knob.
+#define TSIM_SWEEP_CASE(OP)                        \
+  case rv::Op::OP:                                 \
+    sweep.template operator()<true, rv::Op::OP>(); \
+    break;
+      switch (ent.d.op) {
+        TSIM_SWEEP_CASE(kAddi)
+        TSIM_SWEEP_CASE(kAdd)
+        TSIM_SWEEP_CASE(kSub)
+        TSIM_SWEEP_CASE(kSlli)
+        TSIM_SWEEP_CASE(kLui)
+        TSIM_SWEEP_CASE(kMul)
+        TSIM_SWEEP_CASE(kLw)
+        TSIM_SWEEP_CASE(kLh)
+        TSIM_SWEEP_CASE(kSh)
+        TSIM_SWEEP_CASE(kSw)
+        TSIM_SWEEP_CASE(kPLw)
+        TSIM_SWEEP_CASE(kPLh)
+        TSIM_SWEEP_CASE(kPSw)
+        TSIM_SWEEP_CASE(kPMac)
+        TSIM_SWEEP_CASE(kPvExtractH)
+        TSIM_SWEEP_CASE(kPvInsertH)
+        TSIM_SWEEP_CASE(kPvPackH)
+        TSIM_SWEEP_CASE(kFaddH)
+        TSIM_SWEEP_CASE(kFsubH)
+        TSIM_SWEEP_CASE(kFmulH)
+        TSIM_SWEEP_CASE(kFmaddH)
+        TSIM_SWEEP_CASE(kFmsubH)
+        TSIM_SWEEP_CASE(kVfmacH)
+        TSIM_SWEEP_CASE(kVfcdotpH)
+        TSIM_SWEEP_CASE(kVfccdotpH)
+        TSIM_SWEEP_CASE(kVfdotpexSH)
+        TSIM_SWEEP_CASE(kBeq)
+        TSIM_SWEEP_CASE(kBne)
+        TSIM_SWEEP_CASE(kBlt)
+        TSIM_SWEEP_CASE(kBge)
+        default:
+          sweep.template operator()<false, rv::Op::kInvalid>();
+          break;
+      }
+#undef TSIM_SWEEP_CASE
+      ++consumed;
+      // stop_ is consulted once per sweep, mirroring the serial loop: when
+      // the leader (or a follower store) raised it, every live follower has
+      // retired exactly one instruction past the stop, like the serial
+      // harts scheduled after the raiser.
+      if (stop_.load(std::memory_order_relaxed)) [[unlikely]] {
+        ++stats.split_stop;
+        while (live != 0) drop(0, BatchEnd::kStopped);
+        ended_early = true;
+        break;
+      }
+      if (ent.d.op == rv::Op::kWfi) {
+        // wfi terminates every superblock, so this is the run's final
+        // sweep: park the followers in visit order, exactly where their
+        // serial turns would have ended. A follower that consumed a
+        // pending wake inside park_in_wfi keeps running.
+        for (u32 k = 0; k < live;) {
+          if (park_in_wfi(ids[orig[k]])) {
+            drop(k, BatchEnd::kAsleep);
+            continue;
+          }
+          ++k;
+        }
+      }
+      if (live == 0) break;
+    }
+  }
+
+  // Trace exhausted with live followers: either the leader used its whole
+  // quantum (so did they - turn over), or the leader's turn ended early
+  // (park/halt/stop) and the still-runnable followers finish serially.
+  for (u32 k = 0; k < live; ++k) {
+    if (consumed == budget) {
+      ends[orig[k]] = BatchEnd::kBudget;
+    } else {
+      rems[orig[k]] = budget - consumed;
+    }
+  }
+  if (live != 0) {
+    if (consumed == budget) ++stats.split_budget;
+    else if (!ended_early) ++stats.split_drain;
+  }
+  if (diverged) ++stats.split_divergence;
+
+  if (st_mode_) st_batch_active_ = false;
+  stats.lockstep_instructions += executed;
+  return executed;
+}
+
+template <typename EraseFn, typename AdvanceFn>
+u64 Machine::reconcile_batch(const u32* ids, u32 width, TurnEnd leader_end,
+                             const BatchEnd* follower_ends, const u64* rems,
+                             const std::vector<u32>& list, BatchStats& stats,
+                             EraseFn&& erase_at, AdvanceFn&& advance_to) {
+  u64 executed = 0;
+  for (u32 k = 0; k < width; ++k) {
+    const u32 id = ids[k];
+    BatchEnd be;
+    if (k == 0) {
+      be = leader_end == TurnEnd::kAsleep    ? BatchEnd::kAsleep
+           : leader_end == TurnEnd::kHalted  ? BatchEnd::kHalted
+           : leader_end == TurnEnd::kStopped ? BatchEnd::kStopped
+                                             : BatchEnd::kBudget;
+    } else {
+      be = follower_ends[k - 1];
+    }
+    // Members are re-located by id: wakes during the batch (run() inserts,
+    // or the serial finish below) may have shifted positions, but the list
+    // is sorted and members never leave it mid-batch.
+    auto it = std::lower_bound(list.begin(), list.end(), id);
+    size_t pos = static_cast<size_t>(it - list.begin());
+    switch (be) {
+      case BatchEnd::kAsleep:
+      case BatchEnd::kHalted:
+        erase_at(pos, be == BatchEnd::kHalted);
+        break;
+      case BatchEnd::kBudget:
+      case BatchEnd::kStopped:
+        advance_to(pos + 1);
+        break;
+      case BatchEnd::kRun: {
+        // Finish the member's turn on the serial path with the exact
+        // remaining quantum; the scan position is parked on it so wake
+        // inserts during the finish see the exact serial scan position.
+        advance_to(pos);
+        TurnEnd end;
+        const u64 n = exec_quantum(id, rems[k - 1], end);
+        executed += n;
+        stats.serial_instructions += n;
+        it = std::lower_bound(list.begin(), list.end(), id);
+        pos = static_cast<size_t>(it - list.begin());
+        if (end == TurnEnd::kAsleep || end == TurnEnd::kHalted) {
+          erase_at(pos, end == TurnEnd::kHalted);
+          advance_to(pos);
+        } else {
+          advance_to(pos + 1);
+        }
+        break;
+      }
+    }
+  }
+  return executed;
+}
+
 RunResult Machine::run(u64 max_instructions) {
   RunResult res;
   u64 executed = 0;
@@ -306,6 +705,10 @@ RunResult Machine::run(u64 max_instructions) {
   }
   st_pos_ = 0;
   st_mode_ = true;
+
+  u32 batch_ids[kMaxBatchWidth];
+  BatchEnd batch_ends[kMaxBatchWidth];
+  u64 batch_rems[kMaxBatchWidth];
 
   bool first_pass = true;
   for (;;) {
@@ -331,13 +734,61 @@ RunResult Machine::run(u64 max_instructions) {
     u64 budget = kQuantum;
     if (max_instructions != 0)
       budget = std::min<u64>(budget, max_instructions - executed);
-    TurnEnd end;
-    executed += trace_ ? exec_quantum_traced(i, budget, end)
-                       : exec_quantum(i, budget, end);
-    if (end == TurnEnd::kAsleep || end == TurnEnd::kHalted) {
-      st_awake_.erase(st_awake_.begin() + static_cast<ptrdiff_t>(st_pos_));
+
+    // Convergence batch: consecutive same-pc harts from st_pos_ (see the
+    // SPMD batching note in the header). Every member needs a full quantum
+    // of budget headroom, so a max_instructions cut always lands on a
+    // serial turn and budget semantics stay exactly serial.
+    u32 width = 1;
+    if (batching_ && !trace_ && budget == kQuantum &&
+        st_awake_.size() - st_pos_ >= 2) {
+      u64 limit = std::min<u64>(kMaxBatchWidth, st_awake_.size() - st_pos_);
+      if (max_instructions != 0)
+        limit = std::min<u64>(limit, (max_instructions - executed) / kQuantum);
+      if (limit >= 2) width = scan_convergent(st_awake_, st_pos_, static_cast<u32>(limit));
+    }
+
+    if (width >= 2) {
+      for (u32 k = 0; k < width; ++k) {
+        batch_ids[k] = st_awake_[st_pos_ + k];
+        // Turn-start wake accounting for the joining harts: it reads only
+        // the hart's own wake_cycle, so resuming at formation is
+        // bit-identical to resuming at the hart's serial turn.
+        if (k != 0 && harts_[batch_ids[k]].state.in_wfi) resume_from_wfi(batch_ids[k]);
+      }
+      // Leader turn: a plain serial quantum (st_pos_ is parked on the
+      // leader, so wakes it raises see the exact serial scan position) that
+      // records its superblock runs for the followers to replay.
+      st_trace_.clear();
+      TurnEnd leader_end;
+      const u64 leader_n = exec_quantum_record(batch_ids[0], kQuantum,
+                                               leader_end, st_trace_);
+      executed += leader_n;
+      bstats_.serial_instructions += leader_n;
+      executed += exec_followers_replay(batch_ids + 1, width - 1, kQuantum,
+                                        st_trace_, batch_ends, batch_rems,
+                                        bstats_);
+      // Reconcile in member (= serial visit) order (shared helper; the
+      // callbacks apply run()'s scan-position bookkeeping).
+      executed += reconcile_batch(
+          batch_ids, width, leader_end, batch_ends, batch_rems, st_awake_,
+          bstats_,
+          [this](size_t pos, bool) {
+            st_awake_.erase(st_awake_.begin() + static_cast<ptrdiff_t>(pos));
+            if (pos < st_pos_) --st_pos_;
+          },
+          [this](size_t pos) { st_pos_ = pos; });
     } else {
-      ++st_pos_;
+      TurnEnd end;
+      const u64 n = trace_ ? exec_quantum_traced(i, budget, end)
+                           : exec_quantum(i, budget, end);
+      executed += n;
+      if (!trace_ && batching_) bstats_.serial_instructions += n;
+      if (end == TurnEnd::kAsleep || end == TurnEnd::kHalted) {
+        st_awake_.erase(st_awake_.begin() + static_cast<ptrdiff_t>(st_pos_));
+      } else {
+        ++st_pos_;
+      }
     }
     if (max_instructions != 0 && executed >= max_instructions) break;
   }
@@ -383,7 +834,16 @@ RunResult Machine::run_threads(u32 n_threads, u64 max_instructions) {
     workers.emplace_back([this, t, lo, hi, max_instructions, &executed, &deadlock,
                           &claims_in_flight] {
       // Shard-local run list; cross-thread wakes arrive via our inbox.
+      // Convergence batches form inside this list only, so a convergence
+      // group spanning a shard boundary simply splits at it; batch stats
+      // accumulate shard-locally and merge on join.
       std::vector<u32> awake_list;
+      u32 batch_ids[kMaxBatchWidth];
+      BatchEnd batch_ends[kMaxBatchWidth];
+      u64 batch_rems[kMaxBatchWidth];
+      std::vector<TraceRun> trace;  // shard-local leader-trace scratch
+      BatchStats local_stats;
+      local_stats.width_hist.assign(kMaxBatchWidth + 1, 0);
       u32 shard_live = 0;
       for (u32 i = lo; i < hi; ++i) {
         if (harts_[i].state.halted) continue;
@@ -454,13 +914,23 @@ RunResult Machine::run_threads(u32 n_threads, u64 max_instructions) {
 
         const u32 i = awake_list[pos];
         if (harts_[i].state.in_wfi) resume_from_wfi(i);
+
+        // Convergence batch inside this shard's list; a batch runs only on
+        // a full width*kQuantum claim from the shared budget pool, so the
+        // pool tail is always consumed by serial turns.
+        u32 width = 1;
+        if (batching_ && awake_list.size() - pos >= 2) {
+          const u64 limit = std::min<u64>(kMaxBatchWidth, awake_list.size() - pos);
+          width = scan_convergent(awake_list, pos, static_cast<u32>(limit));
+        }
         u64 budget = kQuantum;
         if (max_instructions != 0) {
           claims_in_flight.fetch_add(1, std::memory_order_acq_rel);
+          const i64 want = static_cast<i64>(width) * kQuantum;
           i64 cur = budget_left_.load(std::memory_order_acquire);
           i64 claim;
           do {
-            claim = std::min<i64>(kQuantum, cur);
+            claim = cur >= want ? want : std::min<i64>(kQuantum, cur);
             if (claim <= 0) break;
           } while (!budget_left_.compare_exchange_weak(cur, cur - claim,
                                                        std::memory_order_acq_rel));
@@ -476,26 +946,69 @@ RunResult Machine::run_threads(u32 n_threads, u64 max_instructions) {
             std::this_thread::yield();
             continue;
           }
-          budget = static_cast<u64>(claim);
+          if (claim < want) width = 1;  // partial claim: serial turn
+          budget = width >= 2 ? kQuantum : static_cast<u64>(claim);
         }
-        TurnEnd end;
-        const u64 n = exec_quantum(i, budget, end);
-        local_exec += n;
+
+        u64 turn_exec = 0;
+        u64 turn_claimed = budget;
+        if (width >= 2) {
+          turn_claimed = static_cast<u64>(width) * kQuantum;
+          for (u32 k = 0; k < width; ++k) {
+            batch_ids[k] = awake_list[pos + k];
+            if (k != 0 && harts_[batch_ids[k]].state.in_wfi)
+              resume_from_wfi(batch_ids[k]);
+          }
+          // Leader turn: a plain serial quantum that records its superblock
+          // runs; the followers then replay the trace in lockstep.
+          trace.clear();
+          TurnEnd leader_end;
+          const u64 leader_n =
+              exec_quantum_record(batch_ids[0], kQuantum, leader_end, trace);
+          turn_exec += leader_n;
+          local_stats.serial_instructions += leader_n;
+          turn_exec += exec_followers_replay(batch_ids + 1, width - 1, kQuantum,
+                                             trace, batch_ends, batch_rems,
+                                             local_stats);
+          // Reconcile in member order (shared helper; the callbacks apply
+          // this shard's list bookkeeping and awake/live counters - no
+          // inserts can land in awake_list mid-turn, wakes queue in the
+          // inbox, but members are re-located by id all the same).
+          turn_exec += reconcile_batch(
+              batch_ids, width, leader_end, batch_ends, batch_rems, awake_list,
+              local_stats,
+              [&](size_t mpos, bool halted) {
+                awake_list.erase(awake_list.begin() + static_cast<ptrdiff_t>(mpos));
+                awake_count_.fetch_sub(1, std::memory_order_release);
+                if (halted) --shard_live;
+                if (mpos < pos) --pos;
+              },
+              [&](size_t mpos) { pos = mpos; });
+        } else {
+          TurnEnd end;
+          turn_exec = exec_quantum(i, budget, end);
+          if (batching_) local_stats.serial_instructions += turn_exec;
+          if (end == TurnEnd::kAsleep || end == TurnEnd::kHalted) {
+            awake_list.erase(awake_list.begin() + static_cast<ptrdiff_t>(pos));
+            awake_count_.fetch_sub(1, std::memory_order_release);
+            if (end == TurnEnd::kHalted) --shard_live;
+          } else {
+            ++pos;
+          }
+        }
+        local_exec += turn_exec;
         if (max_instructions != 0) {
-          if (n < budget)
-            budget_left_.fetch_add(static_cast<i64>(budget - n),
+          if (turn_exec < turn_claimed)
+            budget_left_.fetch_add(static_cast<i64>(turn_claimed - turn_exec),
                                    std::memory_order_acq_rel);
           claims_in_flight.fetch_sub(1, std::memory_order_acq_rel);
         }
-        if (end == TurnEnd::kAsleep || end == TurnEnd::kHalted) {
-          awake_list.erase(awake_list.begin() + static_cast<ptrdiff_t>(pos));
-          awake_count_.fetch_sub(1, std::memory_order_release);
-          if (end == TurnEnd::kHalted) --shard_live;
-        } else {
-          ++pos;
-        }
       }
       executed.fetch_add(local_exec, std::memory_order_relaxed);
+      {
+        const std::lock_guard<std::mutex> lock(bstats_mutex_);
+        bstats_.merge(local_stats);
+      }
     });
   }
   for (auto& w : workers) w.join();

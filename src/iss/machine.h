@@ -34,6 +34,72 @@
 // programs must not store into their own image range if they are to be
 // re-selected without an explicit reload - the kernel programs in this repo
 // keep all mutable data in L1, while images live in L2.
+//
+// SPMD convergence batching
+// -------------------------
+// The DUT workloads are SPMD: every hart of a cluster runs the same kernel
+// and re-converges at barriers, so at a scheduling-pass boundary most awake
+// harts sit at the *same pc*. Both run modes exploit this: when the next
+// `kMaxBatchWidth` (or fewer) consecutive harts of the sorted run list share
+// a pc, they form a *convergence batch* and the dispatcher executes the
+// shared superblock instruction-major, hart-minor - one translation lookup
+// and one predecoded-metadata read per SbEntry per *batch* instead of per
+// hart. The member sweep dispatches on the (loop-invariant) opcode ONCE per
+// entry: hot ops run a straight-line rv::execute_known kernel with the
+// decode switch constant-folded away and the timing model's per-entry
+// invariants (flags, latencies, register indices) hoisted out of the
+// member loop; everything else takes the generic rv::execute with the same
+// single-source semantics.
+//
+// Batch invariants (the serial path stays the bit-exactness oracle):
+//  - A batch FORMS only from consecutive entries of the run list, all at one
+//    pc, each with a full quantum available (under a max_instructions budget
+//    a batch needs width*quantum headroom, so the budget cut always lands on
+//    a serial turn). Formation order equals list order equals serial visit
+//    order.
+//  - The first member is the LEADER: it takes an ordinary serial turn
+//    (exec_quantum, with the scan position parked on it, so its barrier
+//    wakes, parks, and exits behave byte-for-byte like an unbatched turn)
+//    that additionally records the sequence of superblock runs it retired.
+//  - The FOLLOWERS then replay the leader's trace in lockstep: each SbEntry
+//    is retired for every live follower in member order before the next
+//    entry. For any memory location, the leader's accesses precede the
+//    followers' and followers access it in member order - the serial visit
+//    order (an amoadd barrier arrival sequence is preserved exactly).
+//    Per-hart timing (compute_issue/retire_timing) reads only that hart's
+//    own state and is untouched by batching.
+//  - A follower DROPS OUT when it halts or parks in wfi (mid-replay,
+//    exactly where its serial turn would have ended) or when its pc leaves
+//    the leader's path at a run boundary (a divergent branch outcome). The
+//    replay ENDS when the global stop flag is up at a sweep boundary (every
+//    live follower then retired exactly one instruction past the stop, like
+//    the serial harts scheduled after it), when a wake lands in the run
+//    list (run() only), or when the trace is exhausted. A follower that
+//    leaves the replay still runnable finishes the REMAINDER of its turn
+//    through the unmodified serial exec_quantum, in member order, with the
+//    scan position parked on it - so each hart's turn retires exactly the
+//    instructions its serial turn would have.
+//  - Visit order: the batch occupies consecutive list positions; after the
+//    turn the scan continues past the batch, and parked/halted members are
+//    erased at their positions - the same list transitions a serial pass
+//    performs, in the same order. A quantum that expires mid-superblock
+//    simply re-forms the batch at the interior pc next turn.
+// Because the leader's turn fully precedes the replay, a stop raised by the
+// leader (the exit store of the repo's kernels runs on hart 0, the lowest
+// batch position) truncates every follower to the exact serial one-
+// instruction tail. Residual (documented) divergence from pure serial
+// execution remains only for programs where batch members race peers on a
+// shared location within one turn window: a non-leader hart raising the
+// exit, two harts storing to the same address inside one superblock, or
+// ANY member (leader included) waking a hart whose id falls inside the
+// batch's id range - the woken hart is rescheduled after the whole batch
+// instead of between the members' turns, so its loads can see member
+// stores that a serial interleaving would have ordered after it. The
+// kernels in this repo keep per-hart data disjoint and exit from hart 0,
+// and the differential tests in iss_test/threading_test enforce exact
+// equality of cycles, registers, stalls, and wake timestamps on the
+// barrier+MMSE and deadlock workloads. run_threads() batches per shard, so
+// a convergence group spanning a shard boundary simply splits at it.
 #pragma once
 
 #include <atomic>
@@ -54,6 +120,33 @@ struct RunResult {
   u32 exit_code = 0;
   bool deadlock = false;  // all live harts asleep with nobody to wake them
   u64 instructions = 0;   // total retired across harts this run
+};
+
+/// Statistics of the SPMD convergence-batch dispatch (see the header note).
+/// Counters accumulate across runs until Machine::reset_batch_stats(); in
+/// run_threads() each shard accumulates locally and merges on join.
+struct BatchStats {
+  u64 lockstep_instructions = 0;  // retired inside lockstep sweeps
+  u64 serial_instructions = 0;    // retired by the serial path (incl. finishes)
+  u64 batches = 0;                // lockstep turns entered (width >= 2)
+  u64 width_sum = 0;              // formation widths, summed
+  u64 width_max = 0;
+  u64 runs = 0;                   // superblock sweeps executed in lockstep
+  u64 run_entries = 0;            // entries swept, summed (avg run length)
+  u64 split_divergence = 0;       // lockstep ended: members' pcs diverged
+  u64 split_budget = 0;           //   per-member quantum exhausted
+  u64 split_wake = 0;             //   a wake landed in the run list (run())
+  u64 split_stop = 0;             //   global stop observed mid-batch
+  u64 split_drain = 0;            //   members parked/halted down to < 2
+  std::vector<u64> width_hist;    // formations by width (index = width)
+
+  double avg_width() const;
+  double avg_run_length() const;
+  /// Fraction of all retired instructions that took the lockstep path.
+  double lockstep_fraction() const;
+  /// Smallest width W with >= p (in 0..1) of formations at width <= W.
+  u64 width_percentile(double p) const;
+  void merge(const BatchStats& other);
 };
 
 class Machine {
@@ -105,6 +198,21 @@ class Machine {
   const Hart& hart(u32 i) const { return harts_[i]; }
   const TimingConfig& timing() const { return timing_; }
 
+  /// Harts per convergence batch, capped to bound the lockstep working set
+  /// (member state must stay L1-resident across an instruction sweep).
+  static constexpr u32 kMaxBatchWidth = 64;
+
+  /// Enables/disables the convergence-batched SPMD dispatch (default on).
+  /// The serial path is the bit-exactness oracle; disabling it is for A/B
+  /// benchmarking and the differential tests.
+  void set_batching(bool on) { batching_ = on; }
+  bool batching() const { return batching_; }
+  /// Batch-efficiency counters (see BatchStats). Read between runs only;
+  /// counters accumulate only while batching is enabled, so A/B runs with
+  /// set_batching(false) leave them untouched.
+  const BatchStats& batch_stats() const { return bstats_; }
+  void reset_batch_stats();
+
   /// Per-instruction trace hook: called before each instruction executes
   /// with (hart id, pc, decoded instruction). Intended for debugging and
   /// trace tooling; when set, execution takes the per-instruction reference
@@ -131,12 +239,61 @@ class Machine {
     kStopped,     // global stop_ observed (exit or external)
   };
 
+  /// Per-follower outcome of a replay turn (see the header note).
+  enum class BatchEnd : u8 {
+    kRun = 0,  // replay ended early; finish the turn on the serial path
+    kBudget,   // quantum fully consumed in replay; turn over, runnable
+    kAsleep,   // parked in wfi during replay
+    kHalted,   // ebreak / trap during replay
+    kStopped,  // global stop observed; turn over
+  };
+
+  /// One superblock run retired by a recorded leader turn.
+  struct TraceRun {
+    const SbEntry* base;  // first entry of the run
+    u32 pc;               // pc of `base` (the followers' convergence check)
+    u32 n;                // instructions the leader retired in this run
+  };
+
+  /// Shared body of exec_quantum / exec_quantum_record.
+  template <bool kRecord>
+  u64 exec_quantum_impl(u32 hart_index, u64 budget, TurnEnd& end,
+                        std::vector<TraceRun>* trace);
   /// Runs hart `h` for up to `budget` instructions on the superblock fast
   /// path. Returns instructions retired and sets `end`.
   u64 exec_quantum(u32 hart_index, u64 budget, TurnEnd& end);
+  /// Same turn, additionally appending the retired superblock runs to
+  /// `trace` (the convergence-batch leader path; `trace` must arrive empty).
+  u64 exec_quantum_record(u32 hart_index, u64 budget, TurnEnd& end,
+                          std::vector<TraceRun>& trace);
   /// Per-instruction reference path (used when a trace hook is set; also the
   /// bit-exactness oracle for the superblock path).
   u64 exec_quantum_traced(u32 hart_index, u64 budget, TurnEnd& end);
+  /// Replays a leader trace across followers `ids[0..count)` in lockstep,
+  /// instruction-major, hart-minor (see header note). Fills `ends[k]` per
+  /// formation index, and for kRun followers the unconsumed turn budget in
+  /// `rems[k]`. Returns instructions retired. Does NOT touch any run list -
+  /// the caller reconciles membership and finishes kRun followers serially.
+  u64 exec_followers_replay(const u32* ids, u32 count, u64 budget,
+                            const std::vector<TraceRun>& trace, BatchEnd* ends,
+                            u64* rems, BatchStats& stats);
+  /// Width of the convergence batch at `list[pos..]`: consecutive harts at
+  /// the same pc, capped at `limit`.
+  u32 scan_convergent(const std::vector<u32>& list, size_t pos, u32 limit) const;
+  /// Shared member-reconcile of a convergence-batch turn (both run modes):
+  /// walks the members in formation (= serial visit) order, re-locating
+  /// each by id in the sorted `list`, applies its BatchEnd via the two
+  /// mode-specific callbacks, and finishes kRun members serially with their
+  /// remaining budget. `erase_at(pos, halted)` erases `list[pos]` and does
+  /// the mode's accounting (scan-position shift, awake/live counters);
+  /// `advance_to(pos)` sets the mode's scan position. Returns instructions
+  /// retired by the serial finishes. Defined in machine.cpp (only used
+  /// there).
+  template <typename EraseFn, typename AdvanceFn>
+  u64 reconcile_batch(const u32* ids, u32 width, TurnEnd leader_end,
+                      const BatchEnd* follower_ends, const u64* rems,
+                      const std::vector<u32>& list, BatchStats& stats,
+                      EraseFn&& erase_at, AdvanceFn&& advance_to);
 
   /// Shared wfi bookkeeping after an instruction entered wfi. Returns true
   /// if the hart is now asleep (turn over), false if a pending wake was
@@ -174,6 +331,14 @@ class Machine {
   std::atomic<u32> exit_code_{0};
   std::atomic<bool> exited_{false};
   TraceFn trace_;
+
+  // ---- convergence batching ----
+  bool batching_ = true;
+  BatchStats bstats_;
+  std::mutex bstats_mutex_;          // run_threads shards merge their stats
+  bool st_batch_active_ = false;     // run(): follower replay in progress
+  bool st_batch_wake_ = false;       // run(): a wake hit st_awake_ mid-replay
+  std::vector<TraceRun> st_trace_;   // run(): leader-trace scratch
 
   // ---- single-threaded run() scheduler state ----
   // The sorted awake-hart list; on_wake inserts woken harts directly (same

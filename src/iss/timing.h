@@ -7,6 +7,16 @@
 // largest zero-contention access latency (9 cycles) regardless of NUMA
 // distance; both the value and the NUMA-aware alternative are exposed for
 // the ablation benches.
+//
+// Locality contract: the model is strictly per-hart. An instruction's issue
+// and retire timing read only (a) these config constants, (b) the SbEntry's
+// translation-time constants, and (c) the executing hart's own state
+// (cycle, scoreboard, wake timestamp) - never another hart's. This is what
+// makes the SPMD convergence-batch dispatch (machine.h) cycle-exact: the
+// instruction-major member sweep evaluates the same arithmetic per hart in
+// a different global order, and the per-entry terms (b) are hoisted out of
+// the member loop without changing any per-hart result. Keep new timing
+// terms per-hart, or teach the batched sweep about them explicitly.
 #pragma once
 
 #include "common/types.h"

@@ -28,6 +28,19 @@
 // executor detects via the hart's `halted` flag. Bit-exactness with the
 // per-instruction reference path is enforced by `iss_test.cpp` /
 // `threading_test.cpp` (same registers, memory, and cycle counts).
+//
+// Pointer stability and the convergence-batch consumer
+// ----------------------------------------------------
+// `entry()` returns pointers into the immutable `entries_` array; the array
+// is built once per program and never mutated or reallocated afterwards,
+// and Machine keeps every translated program resident for its lifetime
+// (machine.h). The SPMD convergence-batch dispatcher relies on this: a
+// batch leader's recorded trace holds raw `SbEntry*` run bases that the
+// follower replay dereferences after the leader's turn completes, and a
+// single `SbEntry` is read ONCE per lockstep sweep (then applied to every
+// batch member), which is where the per-hart metadata-read amortization of
+// the batched path comes from. Any future cache eviction or in-place
+// re-translation scheme must invalidate in-flight traces first.
 #pragma once
 
 #include <algorithm>

@@ -67,8 +67,28 @@ SlotScheduler::SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> 
     c.geometry_handles.assign(geometries_.size(), -1);
   }
 
-  // Round-robin never reads the calibrated costs; skip the warm-up runs.
-  if (cfg_.policy == AssignPolicy::kLocality) calibrate_geometry_costs();
+  // Calibration is only worth its warm-up runs when the locality policy has
+  // a real placement decision to make: with a single cluster every batch
+  // lands on it regardless of cost, and with a single geometry the chunks
+  // are cost-uniform, so RELATIVE costs never change an assignment.
+  // Round-robin never reads the costs at all. BENCH_ran_throughput showed
+  // locality losing wall-clock to roundrobin in exactly these degenerate
+  // configs, entirely from calibration overhead. When skipped under
+  // locality, every geometry gets a large uniform placeholder cost: the
+  // span = ceil(cost / ceil(cost/nc)) chunk arithmetic in assign_batches is
+  // magnitude-sensitive for SMALL costs (a zero cost would even degenerate
+  // the even-share target to 0 and bypass the residency tiers), but for
+  // costs >> num_clusters^2 it sits in the stable large-cost asymptote
+  // (span == nc) that every real calibrated kernel (~1e5 cycles) also
+  // lands in - so the placeholder reproduces calibrated-uniform placement
+  // for any realistic cost magnitude.
+  if (cfg_.policy == AssignPolicy::kLocality) {
+    if (cfg_.num_clusters > 1 && geometries_.size() > 1) {
+      calibrate_geometry_costs();
+    } else {
+      for (auto& geo : geometries_) geo.batch_cycles = kUncalibratedBatchCost;
+    }
+  }
 }
 
 u32 SlotScheduler::geometry_for(u32 ntx, u32 nrx) {

@@ -26,8 +26,9 @@
 //
 // Determinism: both assignments are computed *serially, up front*, from the
 // workload, the per-geometry calibration (itself a deterministic single-
-// threaded run), and the clusters' resident programs - never from host
-// timing. The work-stealing pool only decides *which host thread* services a
+// threaded run; replaced by unit costs when only one cluster or one
+// geometry exists, where measured costs cannot change an assignment), and
+// the clusters' resident programs - never from host timing. The work-stealing pool only decides *which host thread* services a
 // cluster next; each cluster consumes its own queue in the precomputed
 // order, so residency transitions, reload counts, and per-cluster cycle
 // accounting (hence latency/utilization reports) are identical for every
@@ -145,9 +146,20 @@ class SlotScheduler {
   const ClusterPoolConfig& config() const { return cfg_; }
   /// The batch layout used for UE group `g`'s geometry.
   const kern::MmseLayout& layout_for_group(u32 g) const;
+  /// Placeholder batch cost used when the locality policy skips calibration
+  /// (see the constructor comment): large enough that the chunk-count
+  /// arithmetic sits in the same large-cost asymptote as real calibrated
+  /// kernel cycles, so placement matches what calibrated uniform costs
+  /// would produce.
+  static constexpr u64 kUncalibratedBatchCost = u64{1} << 20;
+
   /// Calibrated single-batch cycle cost of group `g`'s geometry (measured
-  /// once at construction; the locality policy's load estimate). Zero for a
-  /// round-robin scheduler, which skips calibration.
+  /// once at construction; the locality policy's load estimate). The
+  /// locality policy skips the calibration warm-up runs in the degenerate
+  /// configs where relative costs cannot change an assignment (a single
+  /// cluster, or a single geometry whose chunks are cost-uniform anyway)
+  /// and substitutes kUncalibratedBatchCost. Zero for a round-robin
+  /// scheduler, which never reads the costs.
   u64 batch_cycles_for_group(u32 g) const;
 
  private:

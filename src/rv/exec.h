@@ -32,6 +32,14 @@ struct StepInfo {
 template <typename Mem>
 [[gnu::always_inline]] inline StepInfo execute(const Decoded& d, HartState& h, Mem& mem);
 
+/// Same semantics with the opcode as a compile-time constant: the dispatch
+/// switch folds to the single case, yielding a straight-line per-op kernel
+/// (the ISS convergence-batch sweep dispatches once per SbEntry, then runs
+/// this in a tight per-hart loop; see machine.cpp). `d.op` must equal `kOp`.
+template <Op kOp, typename Mem>
+[[gnu::always_inline]] inline StepInfo execute_known(const Decoded& d, HartState& h,
+                                                     Mem& mem);
+
 }  // namespace tsim::rv
 
 #include "rv/exec_inl.h"

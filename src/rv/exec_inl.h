@@ -78,8 +78,17 @@ inline u32 cdotp_h(u32 acc, u32 a, u32 b, bool conj_a) {
 
 }  // namespace exec_detail
 
-template <typename Mem>
-[[gnu::always_inline]] inline StepInfo execute(const Decoded& d, HartState& h, Mem& mem) {
+// Shared body of execute / execute_known. When `kStaticOp` is true the
+// opcode is the compile-time constant `kOp` and the dispatch switch below
+// constant-folds to the single matching case: the instantiation is a
+// straight-line kernel for that op with every untaken StepInfo field known
+// to be false, which in turn folds the caller's timing branches. This is
+// what the ISS convergence-batch sweep dispatches to (see machine.cpp):
+// one runtime switch per SbEntry per *batch*, then a tight per-op member
+// loop. Semantics exist exactly once - both paths execute this body.
+template <typename Mem, bool kStaticOp, Op kOp>
+[[gnu::always_inline]] inline StepInfo execute_impl(const Decoded& d, HartState& h,
+                                                    Mem& mem) {
   using namespace exec_detail;  // fp helpers
   StepInfo info;
   const u32 pc = h.pc;
@@ -131,7 +140,13 @@ template <typename Mem>
     }
   };
 
-  switch (d.op) {
+  Op op;
+  if constexpr (kStaticOp) {
+    op = kOp;
+  } else {
+    op = d.op;
+  }
+  switch (op) {
     // ----- RV32I -----
     case Op::kLui: h.write_reg(d.rd, static_cast<u32>(d.imm)); break;
     case Op::kAuipc: h.write_reg(d.rd, pc + static_cast<u32>(d.imm)); break;
@@ -297,7 +312,7 @@ template <typename Mem>
       static constexpr AmoOp kMap[] = {AmoOp::kSwap, AmoOp::kAdd, AmoOp::kXor,
                                        AmoOp::kAnd, AmoOp::kOr, AmoOp::kMin,
                                        AmoOp::kMax, AmoOp::kMinu, AmoOp::kMaxu};
-      const auto idx = static_cast<size_t>(d.op) - static_cast<size_t>(Op::kAmoswapW);
+      const auto idx = static_cast<size_t>(op) - static_cast<size_t>(Op::kAmoswapW);
       const auto r = do_amo(kMap[idx], rs1, rs2);
       if (r.fault) { fault(); break; }
       h.write_reg(d.rd, r.value);
@@ -397,20 +412,20 @@ template <typename Mem>
     case Op::kPLh:
     case Op::kPLhu:
     case Op::kPLw: {
-      const u32 bytes = (d.op == Op::kPLw) ? 4u : (d.op == Op::kPLh || d.op == Op::kPLhu) ? 2u : 1u;
+      const u32 bytes = (op == Op::kPLw) ? 4u : (op == Op::kPLh || op == Op::kPLhu) ? 2u : 1u;
       const auto r = do_load(rs1, bytes);
       if (r.fault) { fault(); break; }
       h.write_reg(d.rs1, rs1 + static_cast<u32>(d.imm));  // post-increment
       u32 v = r.value;
-      if (d.op == Op::kPLb) v = static_cast<u32>(sign_extend(v, 8));
-      if (d.op == Op::kPLh) v = static_cast<u32>(sign_extend(v, 16));
+      if (op == Op::kPLb) v = static_cast<u32>(sign_extend(v, 8));
+      if (op == Op::kPLh) v = static_cast<u32>(sign_extend(v, 16));
       h.write_reg(d.rd, v);  // load result wins if rd == rs1
       break;
     }
     case Op::kPSb:
     case Op::kPSh:
     case Op::kPSw: {
-      const u32 bytes = (d.op == Op::kPSw) ? 4u : (d.op == Op::kPSh) ? 2u : 1u;
+      const u32 bytes = (op == Op::kPSw) ? 4u : (op == Op::kPSh) ? 2u : 1u;
       if (do_store(rs1, rs2, bytes)) { fault(); break; }
       h.write_reg(d.rs1, rs1 + static_cast<u32>(d.imm));
       break;
@@ -520,7 +535,7 @@ template <typename Mem>
       for (unsigned i = 0; i < 4; ++i) {
         const u32 a = lane8(rs1, i), b = lane8(rs2, i);
         u32 v = 0;
-        switch (d.op) {
+        switch (op) {
           case Op::kVfaddB: v = sf::add<Fp8>(a, b); break;
           case Op::kVfsubB: v = sf::sub<Fp8>(a, b); break;
           case Op::kVfmulB: v = sf::mul<Fp8>(a, b); break;
@@ -567,6 +582,18 @@ template <typename Mem>
   h.pc = next_pc;
   ++h.instret;
   return info;
+}
+
+template <typename Mem>
+[[gnu::always_inline]] inline StepInfo execute(const Decoded& d, HartState& h, Mem& mem) {
+  return execute_impl<Mem, /*kStaticOp=*/false, Op::kInvalid>(d, h, mem);
+}
+
+template <Op kOp, typename Mem>
+[[gnu::always_inline]] inline StepInfo execute_known(const Decoded& d, HartState& h,
+                                                     Mem& mem) {
+  static_assert(kOp != Op::kInvalid, "specialize real ops only");
+  return execute_impl<Mem, /*kStaticOp=*/true, kOp>(d, h, mem);
 }
 
 }  // namespace tsim::rv

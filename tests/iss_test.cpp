@@ -497,6 +497,181 @@ TEST(Iss, ProgramFingerprintSeparatesImages) {
   EXPECT_EQ(m.hart(0).instructions(), 2u);  // skipped the leading nop
 }
 
+// ----- SPMD convergence batching (see machine.h) -----
+// The serial path (set_batching(false)) is the bit-exactness oracle: the
+// batched dispatch must reproduce cycles, registers, stalls, and wake
+// timestamps exactly on every workload below.
+
+/// Expects hart-for-hart bit-identical state between two machines.
+void expect_harts_identical(const Machine& a, const Machine& b) {
+  ASSERT_EQ(a.num_harts(), b.num_harts());
+  for (u32 h = 0; h < a.num_harts(); ++h) {
+    EXPECT_EQ(a.hart(h).cycles(), b.hart(h).cycles()) << "hart " << h;
+    EXPECT_EQ(a.hart(h).instructions(), b.hart(h).instructions()) << "hart " << h;
+    EXPECT_EQ(a.hart(h).raw_stall_cycles, b.hart(h).raw_stall_cycles) << "hart " << h;
+    EXPECT_EQ(a.hart(h).wfi_stall_cycles, b.hart(h).wfi_stall_cycles) << "hart " << h;
+    EXPECT_EQ(a.hart(h).wake_cycle, b.hart(h).wake_cycle) << "hart " << h;
+    EXPECT_EQ(a.hart(h).state.x, b.hart(h).state.x) << "hart " << h;
+    EXPECT_EQ(a.hart(h).mix, b.hart(h).mix) << "hart " << h;
+  }
+}
+
+TEST(IssBatch, BatchedMatchesSerialOnBarrierWorkload) {
+  Machine batched(tera::TeraPoolConfig::tiny(), TimingConfig{}, 4);
+  ASSERT_TRUE(batched.batching());  // default on
+  batched.load_program(prog(kParallelSum));
+  const auto rb = batched.run();
+
+  Machine serial(tera::TeraPoolConfig::tiny(), TimingConfig{}, 4);
+  serial.set_batching(false);
+  serial.load_program(prog(kParallelSum));
+  const auto rs = serial.run();
+
+  ASSERT_TRUE(rb.exited);
+  ASSERT_TRUE(rs.exited);
+  EXPECT_EQ(rb.exit_code, rs.exit_code);
+  EXPECT_EQ(rb.instructions, rs.instructions);
+  expect_harts_identical(batched, serial);
+  // The four harts really did run in lockstep.
+  EXPECT_GT(batched.batch_stats().batches, 0u);
+  EXPECT_EQ(batched.batch_stats().width_max, 4u);
+  EXPECT_EQ(serial.batch_stats().batches, 0u);
+}
+
+TEST(IssBatch, BatchedMatchesSerialOnDeadlockWorkload) {
+  auto batched = make_machine("_start:\n wfi\n j _start\n", 4);
+  const auto rb = batched->run();
+  auto serial = make_machine("_start:\n wfi\n j _start\n", 4);
+  serial->set_batching(false);
+  const auto rs = serial->run();
+  EXPECT_TRUE(rb.deadlock);
+  EXPECT_TRUE(rs.deadlock);
+  EXPECT_EQ(rb.instructions, rs.instructions);
+  expect_harts_identical(*batched, *serial);
+}
+
+TEST(IssBatch, SingleHartNeverBatches) {
+  auto m = make_machine("_start:\n li t0, 0x40000000\n sw zero, 0(t0)\n", 1);
+  EXPECT_TRUE(m->run().exited);
+  EXPECT_EQ(m->batch_stats().batches, 0u);
+  EXPECT_EQ(m->batch_stats().lockstep_instructions, 0u);
+}
+
+TEST(IssBatch, FullyDivergentPcsFallBackToSerial) {
+  // Harts branch to per-hart infinite loops: after the first pass no two
+  // awake harts share a pc, so batches stop forming and every turn takes
+  // the serial path - results must stay bit-exact under a budget cut.
+  const char* body = R"(
+    _start:
+      csrr t0, mhartid
+      li t1, 1
+      beq t0, t1, loop1
+      li t1, 2
+      beq t0, t1, loop2
+      li t1, 3
+      beq t0, t1, loop3
+    loop0:
+      addi s0, s0, 1
+      j loop0
+    loop1:
+      addi s1, s1, 2
+      j loop1
+    loop2:
+      addi s2, s2, 3
+      j loop2
+    loop3:
+      addi s3, s3, 4
+      j loop3
+  )";
+  auto batched = make_machine(body, 4);
+  const auto rb = batched->run(2000);
+  auto serial = make_machine(body, 4);
+  serial->set_batching(false);
+  const auto rs = serial->run(2000);
+  EXPECT_EQ(rb.instructions, 2000u);
+  EXPECT_EQ(rs.instructions, 2000u);
+  expect_harts_identical(*batched, *serial);
+  // Divergence was actually exercised (first-turn batch split on the
+  // hartid branches), and the budget cut landed on a serial turn.
+  EXPECT_GT(batched->batch_stats().split_divergence, 0u);
+}
+
+TEST(IssBatch, MidSuperblockQuantumExpiryInsideBatch) {
+  // A straight-line run longer than the scheduler quantum: the quantum
+  // expires mid-superblock inside the batch, which must re-form at the
+  // interior pc next turn and still match the serial path exactly.
+  std::string body = "_start:\n";
+  for (int i = 0; i < 300; ++i) body += "  addi t1, t1, 1\n";
+  body += "  li t2, 0x40000000\n  sw t1, 0(t2)\n";
+  auto batched = make_machine(body, 4);
+  const auto rb = batched->run();
+  auto serial = make_machine(body, 4);
+  serial->set_batching(false);
+  const auto rs = serial->run();
+  ASSERT_TRUE(rb.exited);
+  ASSERT_TRUE(rs.exited);
+  EXPECT_EQ(rb.exit_code, rs.exit_code);
+  EXPECT_EQ(rb.instructions, rs.instructions);
+  expect_harts_identical(*batched, *serial);
+  // The replay consumed whole quanta (trace exhausted at the budget), so
+  // the batch really did span a superblock boundary cut.
+  EXPECT_GT(batched->batch_stats().split_budget, 0u);
+  EXPECT_GT(batched->batch_stats().avg_run_length(), 100.0);
+}
+
+TEST(IssBatch, BudgetedRunsAreExactAndIdenticalToSerial) {
+  // max_instructions semantics must be untouched by batching: the exact
+  // same instruction count retires, and per-hart state matches bit for bit
+  // (a batch only forms with full-quantum headroom for every member).
+  auto batched = make_machine("_start:\n j _start\n", 4);
+  const auto rb = batched->run(1000);
+  auto serial = make_machine("_start:\n j _start\n", 4);
+  serial->set_batching(false);
+  const auto rs = serial->run(1000);
+  EXPECT_EQ(rb.instructions, 1000u);
+  EXPECT_EQ(rs.instructions, 1000u);
+  EXPECT_FALSE(rb.exited);
+  expect_harts_identical(*batched, *serial);
+
+  // run_threads shares the budget pool across shards; batched turns claim
+  // width*quantum and must never overshoot either.
+  auto mt = make_machine("_start:\n j _start\n", 4);
+  const auto rt = mt->run_threads(2, 1000);
+  EXPECT_EQ(rt.instructions, 1000u);
+  EXPECT_FALSE(rt.exited);
+  EXPECT_FALSE(rt.deadlock);
+}
+
+TEST(IssBatch, ScWakeTimestampsMatchSerial) {
+  // The sc.w wake path: the woken hart's wake timestamp (and hence its wfi
+  // stall accounting) must be identical when the waker runs as a batch
+  // follower instead of a serial turn.
+  const char* body = R"(
+    _start:
+      csrr t0, mhartid
+      bnez t0, waker
+      wfi                  # hart 0 parks until the sc.w wake
+      li t2, 0x40000000
+      sw zero, 0(t2)       # exit
+    waker:
+      li t3, 0x40000008    # wake MMIO
+      lr.w t4, (t3)
+      sc.w t5, zero, (t3)  # store hart id 0 -> wakes hart 0
+    park:
+      wfi
+      j park
+  )";
+  auto batched = make_machine(body, 2);
+  const auto rb = batched->run();
+  auto serial = make_machine(body, 2);
+  serial->set_batching(false);
+  const auto rs = serial->run();
+  ASSERT_TRUE(rb.exited);
+  ASSERT_TRUE(rs.exited);
+  expect_harts_identical(*batched, *serial);
+  EXPECT_GT(batched->hart(0).wfi_stall_cycles, 0u);
+}
+
 TEST(Iss, SuperblockFastPathMatchesTracedReferenceOnBarriers) {
   // The wfi/wake-heavy barrier program, fast path vs the per-instruction
   // reference path (forced by a no-op trace hook): registers, instruction

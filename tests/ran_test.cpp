@@ -318,6 +318,52 @@ TEST(Scheduler, SlotCriticalPathIsSymbolSerializedSum) {
 // while cutting program reloads by at least 2x (reloads under round-robin
 // approach one per batch; under locality they approach the per-symbol
 // geometry-overcommit minimum).
+// In the degenerate configs (single geometry, or single cluster) the
+// locality policy skips the per-geometry calibration runs - relative costs
+// cannot change an assignment there - and substitutes a large uniform
+// placeholder cost, which keeps the even-share chunk arithmetic in the
+// same large-cost regime as real calibrated kernel cycles.
+TEST(Scheduler, LocalitySkipsCalibrationInDegenerateConfigs) {
+  const TrafficConfig single_geo = one_group_traffic();
+  TrafficGenerator gen(single_geo);
+  const SlotWorkload slot = gen.slot(0);
+
+  // Single geometry, two clusters: calibration skipped, unit costs.
+  SlotScheduler loc(small_pool(2, 2), single_geo.groups);
+  EXPECT_EQ(loc.batch_cycles_for_group(0), SlotScheduler::kUncalibratedBatchCost);
+
+  // Detections still match the round-robin reference bit for bit, and the
+  // work still spreads over both clusters.
+  ClusterPoolConfig rr_cfg = small_pool(2, 2);
+  rr_cfg.policy = AssignPolicy::kRoundRobin;
+  SlotScheduler rr(rr_cfg, single_geo.groups);
+  EXPECT_EQ(rr.batch_cycles_for_group(0), 0u);  // roundrobin never calibrates
+  const SlotResult a = loc.run_slot(slot);
+  const SlotResult b = rr.run_slot(slot);
+  EXPECT_EQ(a.detected_bits, b.detected_bits);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_GT(a.cluster_batches[0], 0u);
+  EXPECT_GT(a.cluster_batches[1], 0u);
+
+  // Multiple geometries on a single cluster: also skipped.
+  TrafficConfig mixed = mixed_geometry_traffic();
+  SlotScheduler one_cluster(small_pool(1, 1), mixed.groups);
+  for (u32 g = 0; g < static_cast<u32>(mixed.groups.size()); ++g)
+    EXPECT_EQ(one_cluster.batch_cycles_for_group(g),
+              SlotScheduler::kUncalibratedBatchCost);
+  const SlotResult c = one_cluster.run_slot(TrafficGenerator(mixed).slot(0));
+  EXPECT_EQ(c.problems, TrafficGenerator(mixed).slot(0).num_problems());
+
+  // Multiple geometries AND multiple clusters: calibration still runs and
+  // yields real (non-unit) cycle costs.
+  SlotScheduler calibrated(small_pool(2, 2), mixed.groups);
+  for (u32 g = 0; g < static_cast<u32>(mixed.groups.size()); ++g) {
+    EXPECT_GT(calibrated.batch_cycles_for_group(g), 1u);
+    EXPECT_NE(calibrated.batch_cycles_for_group(g),
+              SlotScheduler::kUncalibratedBatchCost);
+  }
+}
+
 TEST(Scheduler, PoliciesAreBitIdenticalAndLocalityCutsReloads) {
   const TrafficConfig tcfg = mixed_geometry_traffic(/*symbols=*/4);
   TrafficGenerator gen(tcfg);

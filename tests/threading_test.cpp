@@ -125,6 +125,111 @@ TEST(Threading, SuperblockFastPathMatchesPerInstructionReference) {
   EXPECT_EQ(fast.estimated_cycles(), ref.estimated_cycles());
 }
 
+// The SPMD convergence-batch dispatch (machine.h) must be bit- and
+// cycle-identical to the serial superblock path on the real barrier-
+// synchronized MMSE workload - registers, detections, cycles, and stall
+// accounting (the serial path is the oracle; the traced reference path is
+// its oracle in turn, covered above).
+TEST(Threading, BatchedDispatchMatchesSerialOnMmseWorkload) {
+  const MmseLayout lay = eight_core_layout();
+  const auto program = kern::build_mmse_program(lay);
+
+  iss::Machine batched(lay.cluster, iss::TimingConfig{}, lay.num_cores);
+  ASSERT_TRUE(batched.batching());  // default on
+  batched.load_program(program);
+  staged_batch(batched, lay, 99);
+  const auto rb = batched.run();
+  ASSERT_TRUE(rb.exited);
+
+  iss::Machine serial(lay.cluster, iss::TimingConfig{}, lay.num_cores);
+  serial.set_batching(false);
+  serial.load_program(program);
+  staged_batch(serial, lay, 99);
+  const auto rs = serial.run();
+  ASSERT_TRUE(rs.exited);
+
+  EXPECT_EQ(rb.exit_code, rs.exit_code);
+  EXPECT_EQ(rb.instructions, rs.instructions);
+  for (u32 c = 0; c < lay.num_cores; ++c) {
+    EXPECT_EQ(read_xhat(batched.memory(), lay, c, 0),
+              read_xhat(serial.memory(), lay, c, 0))
+        << "core " << c;
+  }
+  for (u32 h = 0; h < batched.num_harts(); ++h) {
+    EXPECT_EQ(batched.hart(h).cycles(), serial.hart(h).cycles()) << "hart " << h;
+    EXPECT_EQ(batched.hart(h).instructions(), serial.hart(h).instructions())
+        << "hart " << h;
+    EXPECT_EQ(batched.hart(h).raw_stall_cycles, serial.hart(h).raw_stall_cycles)
+        << "hart " << h;
+    EXPECT_EQ(batched.hart(h).wfi_stall_cycles, serial.hart(h).wfi_stall_cycles)
+        << "hart " << h;
+    EXPECT_EQ(batched.hart(h).state.x, serial.hart(h).state.x) << "hart " << h;
+  }
+  EXPECT_EQ(batched.estimated_cycles(), serial.estimated_cycles());
+  // Most instructions took the lockstep path on this SPMD workload.
+  EXPECT_GT(batched.batch_stats().lockstep_fraction(), 0.5);
+  EXPECT_EQ(serial.batch_stats().batches, 0u);
+}
+
+// A convergence group spanning a run_threads shard boundary must simply
+// split at it: batches form per shard (width capped by the shard size),
+// functional results stay bit-identical to run(), and a single shard is
+// exactly equivalent to its serial self.
+TEST(Threading, RunThreadsShardBoundarySplitsConvergenceGroup) {
+  const MmseLayout lay = eight_core_layout();
+  const auto program = kern::build_mmse_program(lay);
+
+  iss::Machine reference(lay.cluster, iss::TimingConfig{}, lay.num_cores);
+  reference.set_batching(false);
+  reference.load_program(program);
+  staged_batch(reference, lay, 123);
+  ASSERT_TRUE(reference.run().exited);
+
+  // Two shards of four harts: the eight-wide convergence group splits.
+  iss::Machine sharded(lay.cluster, iss::TimingConfig{}, lay.num_cores);
+  sharded.load_program(program);
+  staged_batch(sharded, lay, 123);
+  const auto rt = sharded.run_threads(2);
+  ASSERT_TRUE(rt.exited);
+  EXPECT_FALSE(rt.deadlock);
+  for (u32 c = 0; c < lay.num_cores; ++c) {
+    EXPECT_EQ(read_xhat(sharded.memory(), lay, c, 0),
+              read_xhat(reference.memory(), lay, c, 0))
+        << "core " << c;
+  }
+  const auto& stats = sharded.batch_stats();
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_LE(stats.width_max, 4u);  // never wider than a shard
+  // Cycle estimates agree up to the documented barrier-wake jitter.
+  for (u32 h = 0; h < sharded.num_harts(); ++h) {
+    const double a = static_cast<double>(sharded.hart(h).cycles());
+    const double b = static_cast<double>(reference.hart(h).cycles());
+    EXPECT_NEAR(a, b, 0.01 * b) << "hart " << h;
+  }
+
+  // One shard: run_threads(1) batched vs serial is exactly equal (no
+  // cross-thread wake races exist to jitter the timestamps).
+  iss::Machine one_batched(lay.cluster, iss::TimingConfig{}, lay.num_cores);
+  one_batched.load_program(program);
+  staged_batch(one_batched, lay, 123);
+  ASSERT_TRUE(one_batched.run_threads(1).exited);
+  iss::Machine one_serial(lay.cluster, iss::TimingConfig{}, lay.num_cores);
+  one_serial.set_batching(false);
+  one_serial.load_program(program);
+  staged_batch(one_serial, lay, 123);
+  ASSERT_TRUE(one_serial.run_threads(1).exited);
+  for (u32 h = 0; h < one_batched.num_harts(); ++h) {
+    EXPECT_EQ(one_batched.hart(h).cycles(), one_serial.hart(h).cycles())
+        << "hart " << h;
+    EXPECT_EQ(one_batched.hart(h).instructions(), one_serial.hart(h).instructions())
+        << "hart " << h;
+    EXPECT_EQ(one_batched.hart(h).raw_stall_cycles, one_serial.hart(h).raw_stall_cycles)
+        << "hart " << h;
+    EXPECT_EQ(one_batched.hart(h).wfi_stall_cycles, one_serial.hart(h).wfi_stall_cycles)
+        << "hart " << h;
+  }
+}
+
 TEST(Threading, McRunnerHostThreadsProduceBitIdenticalBerPoints) {
   McConfig cfg;
   cfg.ntx = 4;
