@@ -40,7 +40,16 @@ struct BenchOptions {
 
   void maybe_write(const sim::Table& table, const std::string& name) const {
     if (!csv_dir.empty()) table.write_csv(csv_dir + "/" + name + ".csv");
-    if (!json_dir.empty()) table.write_json(json_dir + "/" + name + ".json");
+    if (!json_dir.empty()) write_json_table(table, json_dir, name);
+  }
+
+  /// The one JSON-table writer every trajectory emitter goes through
+  /// (bench_iss_mips, bench_ran_throughput, dse_driver): DIR/NAME.json via
+  /// sim::write_json_rows. Returns the path written, empty on failure.
+  static std::string write_json_table(const sim::Table& table, const std::string& dir,
+                                      const std::string& name) {
+    const std::string path = dir + "/" + name + ".json";
+    return table.write_json(path) ? path : std::string();
   }
 };
 

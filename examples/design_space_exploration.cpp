@@ -1,24 +1,21 @@
-// Design-space exploration: the paper's core use case - evaluate MMSE
-// arithmetic-precision variants quickly, trading functional accuracy
-// against execution speed before committing to RTL.
+// Design-space exploration walkthrough: the paper's core use case on the
+// real DSE subsystem (src/dse/). A small sweep evaluates every arithmetic
+// precision at two pool sizes end-to-end through the slot engine - traffic
+// generation, batch scheduling on emulated clusters, deadline accounting,
+// golden-model reference - and extracts the Pareto front over
+// (total cores, worst-slot latency, detection BER). `./dse_driver` is the
+// full CLI with the larger sweeps and the JSON trajectory output.
 //
-// For each precision this example reports, on one 8x8 problem:
-//   - retired instructions and estimated DUT cycles (fast ISS),
-//   - cycle-accurate cycles and stall profile (RTL-analog model),
-//   - detection error vs the double-precision golden model,
-// and prints the Fig. 3-style complex-MAC instruction sequence extracted
-// from the generated binary.
-#include <cmath>
+// As a Fig. 3 companion, the complex-MAC instruction sequences are printed
+// from the generated binaries of the four timed precision variants.
 #include <cstdio>
-#include <limits>
 
-#include "iss/machine.h"
+#include "dse/pareto.h"
+#include "dse/space.h"
+#include "dse/sweep.h"
 #include "kernels/mmse_program.h"
-#include "phy/mmse.h"
+#include "ran/traffic.h"
 #include "rv/disasm.h"
-#include "sim/cosim.h"
-#include "sim/report.h"
-#include "uarch/cluster_sim.h"
 
 using namespace tsim;
 
@@ -51,65 +48,44 @@ void print_mac_sequence(const rvasm::Program& program, std::string_view name) {
 }  // namespace
 
 int main() {
-  const u32 n = 8;
-  Rng rng(99);
-  phy::Channel channel(phy::ChannelType::kRayleigh, n, n);
-  phy::QamModulator qam(16);
-  const sim::Batch batch = sim::generate_batch(channel, qam, n, 1, 14.0, rng);
-  const sim::MimoProblem& problem = batch.problems[0];
-  const auto golden = phy::mmse_detect(problem.h, problem.y, problem.sigma2);
+  // Every precision variant at two pool sizes, on a tiny mixed-geometry
+  // carrier: enough to show the cost/latency/BER trade-off the paper's
+  // exploration methodology is built around.
+  dse::DesignSpace space;
+  space.clusters = {1, 2};
+  space.cores_per_cluster = {16};
+  space.precisions.assign(std::begin(kern::kAllPrecisions),
+                          std::end(kern::kAllPrecisions));
+  space.problems_per_core = {2};
+  space.policies = {ran::AssignPolicy::kLocality};
 
-  sim::Table table({"precision", "instructions", "ISS cycles", "RTL cycles",
-                    "RTL stall%", "max |err| vs golden"});
-  for (const kern::Precision prec : kern::kAllPrecisions) {
-    kern::MmseLayout layout;
-    layout.ntx = n;
-    layout.nrx = n;
-    layout.prec = prec;
-    layout.num_cores = 1;
-    layout.cluster = tera::TeraPoolConfig::full();
-    const auto program = kern::build_mmse_program(layout);
+  dse::SweepConfig cfg;
+  cfg.traffic.carrier.bandwidth_hz = 2e6;  // ~65 subcarriers
+  cfg.traffic.carrier.symbols_per_slot = 2;
+  cfg.traffic.groups = ran::mixed_geometry_groups();
+  cfg.traffic.seed = 0x99;
 
-    iss::Machine machine(layout.cluster, iss::TimingConfig{}, 1);
-    machine.load_program(program);
-    sim::stage_problem(machine.memory(), layout, 0, 0, problem);
-    const auto iss_res = machine.run();
+  const dse::SweepResult result = dse::run_sweep(space, cfg);
+  const std::vector<u32> front =
+      dse::pareto_front(result.points, dse::default_objectives());
 
-    uarch::ClusterSim rtl(layout.cluster, uarch::UarchConfig{}, 1);
-    rtl.load_program(program);
-    sim::stage_problem(rtl.memory(), layout, 0, 0, problem);
-    const auto rtl_res = rtl.run();
-    const auto stats = rtl.aggregate_stats();
-    const double stall_pct =
-        100.0 * static_cast<double>(stats.total_cycles() - stats.instr_cycles) /
-        static_cast<double>(stats.total_cycles());
-
-    const auto xhat = sim::read_xhat(machine.memory(), layout, 0, 0);
-    double max_err = 0.0;
-    for (u32 i = 0; i < n; ++i) {
-      const double e = std::abs(xhat[i] - golden[i]);
-      max_err = std::isfinite(e) ? std::max(max_err, e)
-                                 : std::numeric_limits<double>::infinity();
-    }
-
-    table.add_row({std::string(kern::name_of(prec)),
-                   sim::strf("%llu", static_cast<unsigned long long>(iss_res.instructions)),
-                   sim::strf("%llu", static_cast<unsigned long long>(machine.estimated_cycles())),
-                   sim::strf("%llu", static_cast<unsigned long long>(rtl_res.cycles)),
-                   sim::strf("%.1f", stall_pct), sim::strf("%.4f", max_err)});
-  }
-
-  std::printf("Design-space exploration: software MMSE variants on an %ux%u problem\n\n",
-              n, n);
-  table.print();
+  std::printf("Design-space exploration: %zu points, %u sc x %u sym per TTI\n\n",
+              result.points.size(), cfg.traffic.carrier.num_subcarriers(),
+              cfg.traffic.carrier.symbols_per_slot);
+  dse::sweep_table(result, front).print();
+  for (const dse::SkippedPoint& s : result.skipped)
+    std::printf("skipped (infeasible): %s: %s\n", s.point.label().c_str(),
+                s.reason.c_str());
+  std::printf("\nPareto front over (cores, latency, ber): %zu points\n",
+              front.size());
+  for (const u32 i : front)
+    std::printf("  %s\n", result.points[i].point.label().c_str());
 
   std::printf("\nFig. 3 companion - generated complex-MAC sequences:\n\n");
-  for (const kern::Precision prec :
-       {kern::Precision::k16Half, kern::Precision::k16WDotp, kern::Precision::k16CDotp,
-        kern::Precision::k8WDotp}) {
+  for (const kern::Precision prec : kern::kTimedPrecisions) {
     kern::MmseLayout layout;
-    layout.ntx = n;
-    layout.nrx = n;
+    layout.ntx = 8;
+    layout.nrx = 8;
     layout.prec = prec;
     layout.num_cores = 1;
     layout.cluster = tera::TeraPoolConfig::full();

@@ -1,0 +1,125 @@
+#include "dse/pareto.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace tsim::dse {
+
+Objective parse_objective(const std::string& name) {
+  if (name == "cores") return Objective::kCores;
+  if (name == "latency") return Objective::kLatency;
+  if (name == "ber") return Objective::kBer;
+  if (name == "reloads") return Objective::kReloadCycles;
+  throw SimError("unknown objective '" + name +
+                 "' (expected cores, latency, ber, or reloads)");
+}
+
+std::vector<Objective> parse_objectives(const std::string& list) {
+  std::vector<Objective> objectives;
+  for (const std::string_view field : split_any(list, ", "))
+    objectives.push_back(parse_objective(std::string(field)));
+  check(!objectives.empty(), "parse_objectives: empty objective list");
+  return objectives;
+}
+
+double objective_value(const PointMetrics& m, Objective o) {
+  switch (o) {
+    case Objective::kCores: return static_cast<double>(m.point.total_cores());
+    case Objective::kLatency: return static_cast<double>(m.slot_cycles);
+    case Objective::kBer: return m.dut_ber();
+    case Objective::kReloadCycles: return static_cast<double>(m.reload_cycles);
+  }
+  throw SimError("objective_value: unknown objective");
+}
+
+bool dominates(const PointMetrics& a, const PointMetrics& b,
+               const std::vector<Objective>& objectives) {
+  bool strictly_better = false;
+  for (const Objective o : objectives) {
+    const double va = objective_value(a, o);
+    const double vb = objective_value(b, o);
+    if (va > vb) return false;
+    if (va < vb) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<u32> pareto_front(const std::vector<PointMetrics>& points,
+                              const std::vector<Objective>& objectives) {
+  check(!objectives.empty(), "pareto_front: need at least one objective");
+  std::vector<u32> front;
+  for (u32 i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (u32 j = 0; j < points.size() && !dominated; ++j)
+      dominated = j != i && dominates(points[j], points[i], objectives);
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+namespace {
+
+/// The single row schema behind the human table, the CSV, and the JSON
+/// trajectory rows; dse_test and the CI dse-smoke validator pin its keys.
+std::vector<std::string> schema_header() {
+  return {"clusters", "cores_per_cluster", "total_cores", "precision",
+          "problems_per_core", "policy", "batch_cores", "problems",
+          "instructions", "slot_kcycles", "latency_us", "deadline_us",
+          "margin_%", "met", "mbps", "dut_ber", "golden_ber", "reloads",
+          "reload_%", "sim_MIPS", "wall_ms", "front"};
+}
+
+std::vector<std::string> point_row(const SweepResult& result, u32 index,
+                                   bool on_front) {
+  const PointMetrics& m = result.points[index];
+  const double clock = result.config.clock_hz;
+  return {
+      sim::strf("%u", m.point.clusters),
+      sim::strf("%u", m.point.cores_per_cluster),
+      sim::strf("%u", m.point.total_cores()),
+      std::string(kern::name_of(m.point.prec)),
+      sim::strf("%u", m.point.problems_per_core),
+      ran::policy_name(m.point.policy),
+      sim::strf("%u", m.batch_cores),
+      sim::strf("%llu", static_cast<unsigned long long>(m.problems)),
+      sim::strf("%llu", static_cast<unsigned long long>(m.instructions)),
+      sim::strf("%.0f", static_cast<double>(m.slot_cycles) / 1e3),
+      sim::strf("%.1f", m.latency_seconds(clock) * 1e6),
+      sim::strf("%.1f", m.deadline_seconds * 1e6),
+      sim::strf("%+.1f", m.margin_fraction(clock) * 100.0),
+      m.deadline_met(clock) ? "yes" : "NO",
+      sim::strf("%.1f", m.throughput_mbps(clock)),
+      sim::strf("%.3g", m.dut_ber()),
+      sim::strf("%.3g", m.golden_ber()),
+      sim::strf("%llu", static_cast<unsigned long long>(m.reloads)),
+      sim::strf("%.2f", m.reload_fraction() * 100.0),
+      sim::strf("%.1f", m.sim_mips()),
+      sim::strf("%.1f", m.wall_seconds * 1e3),
+      on_front ? "1" : "0",
+  };
+}
+
+}  // namespace
+
+sim::Table sweep_table(const SweepResult& result, const std::vector<u32>& front) {
+  sim::Table table(schema_header());
+  std::vector<bool> on_front(result.points.size(), false);
+  for (const u32 i : front) {
+    check(i < result.points.size(), "sweep_table: front index out of range");
+    on_front[i] = true;
+  }
+  for (u32 i = 0; i < result.points.size(); ++i)
+    table.add_row(point_row(result, i, on_front[i]));
+  return table;
+}
+
+sim::Table front_table(const SweepResult& result, const std::vector<u32>& front) {
+  sim::Table table(schema_header());
+  for (const u32 i : front) {
+    check(i < result.points.size(), "front_table: front index out of range");
+    table.add_row(point_row(result, i, true));
+  }
+  return table;
+}
+
+}  // namespace tsim::dse

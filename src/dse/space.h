@@ -1,0 +1,101 @@
+// Design-space description for the paper's exploration use case (Sec. V-C):
+// candidate many-core transceiver configurations swept against the TTI
+// deadline before committing to RTL. A DesignSpace lists the axes
+//
+//   clusters          parallel emulated TeraPool clusters in the pool
+//   cores_per_cluster cluster size (topology scaled from the tiny shape,
+//                     shared L1 scales with the tile count)
+//   precision         MMSE arithmetic variant (kernels/precision.h)
+//   problems_per_core subcarrier problems batched per Snitch core
+//   policy            batch-to-cluster assignment (ran/scheduler.h)
+//
+// and enumerate() expands their cartesian product - or an explicitly listed
+// set of points - in a fixed axis-major order, so sweep results and Pareto
+// fronts are reproducible row-for-row across runs and host thread counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "kernels/precision.h"
+#include "ran/scheduler.h"
+#include "sim/report.h"
+#include "tera/config.h"
+
+namespace tsim::dse {
+
+/// One candidate transceiver configuration (a point of the design space).
+struct DesignPoint {
+  u32 clusters = 1;
+  u32 cores_per_cluster = 16;
+  kern::Precision prec = kern::Precision::k16CDotp;
+  u32 problems_per_core = 1;
+  ran::AssignPolicy policy = ran::AssignPolicy::kLocality;
+
+  /// Modeled hardware cost proxy: total Snitch cores across the pool.
+  u32 total_cores() const { return clusters * cores_per_cluster; }
+
+  std::string label() const {
+    return sim::strf("%ux%u/%s/ppc%u/%s", clusters, cores_per_cluster,
+                     std::string(kern::name_of(prec)).c_str(), problems_per_core,
+                     ran::policy_name(policy));
+  }
+
+  bool operator==(const DesignPoint&) const = default;
+};
+
+/// A TeraPool-shaped cluster with exactly `cores` Snitch cores: the tiny
+/// tile shape (2 cores + 16 KiB L1 slice + 4 banks per tile) replicated via
+/// the group count, so shared L1 capacity scales linearly with the core
+/// count just as in the real TeraPool family. `cores` must be a positive
+/// multiple of 8 (one group of the tiny shape).
+inline tera::TeraPoolConfig cluster_for_cores(u32 cores) {
+  check(cores >= 8 && cores % 8 == 0,
+        "cluster_for_cores: core count must be a positive multiple of 8");
+  tera::TeraPoolConfig c = tera::TeraPoolConfig::tiny();
+  c.groups = cores / (c.cores_per_tile * c.tiles_per_subgroup * c.subgroups_per_group);
+  c.validate();
+  check(c.num_cores() == cores, "cluster_for_cores: topology does not close");
+  return c;
+}
+
+/// The axes of one sweep. `listed`, when non-empty, bypasses the cartesian
+/// product and evaluates exactly those points (the paper's "explore a
+/// handful of candidate RTL design points" mode).
+struct DesignSpace {
+  std::vector<u32> clusters = {1, 2};
+  std::vector<u32> cores_per_cluster = {16};
+  std::vector<kern::Precision> precisions = {kern::Precision::k16Half,
+                                             kern::Precision::k16CDotp,
+                                             kern::Precision::k8WDotp};
+  std::vector<u32> problems_per_core = {1, 4};
+  std::vector<ran::AssignPolicy> policies = {ran::AssignPolicy::kLocality};
+  std::vector<DesignPoint> listed;
+
+  void validate() const {
+    if (!listed.empty()) return;
+    check(!clusters.empty() && !cores_per_cluster.empty() && !precisions.empty() &&
+              !problems_per_core.empty() && !policies.empty(),
+          "DesignSpace: every cartesian axis needs at least one value");
+  }
+
+  /// All points in deterministic axis-major order (clusters outermost,
+  /// policy innermost), or `listed` verbatim.
+  std::vector<DesignPoint> enumerate() const {
+    validate();
+    if (!listed.empty()) return listed;
+    std::vector<DesignPoint> points;
+    points.reserve(clusters.size() * cores_per_cluster.size() * precisions.size() *
+                   problems_per_core.size() * policies.size());
+    for (const u32 nc : clusters)
+      for (const u32 cores : cores_per_cluster)
+        for (const kern::Precision prec : precisions)
+          for (const u32 ppc : problems_per_core)
+            for (const ran::AssignPolicy policy : policies)
+              points.push_back(DesignPoint{nc, cores, prec, ppc, policy});
+    return points;
+  }
+};
+
+}  // namespace tsim::dse

@@ -1,0 +1,113 @@
+#include "dse/sweep.h"
+
+#include <chrono>
+#include <memory>
+
+#include "phy/mmse.h"
+#include "phy/qam.h"
+#include "ran/deadline.h"
+#include "ran/scheduler.h"
+
+namespace tsim::dse {
+
+u64 golden_slot_errors(const ran::SlotWorkload& slot,
+                       const std::vector<ran::UeGroup>& groups) {
+  u64 errors = 0;
+  for (const ran::Allocation& alloc : slot.allocations) {
+    check(alloc.group < groups.size(),
+          "golden_slot_errors: allocation references an unknown UE group");
+    const phy::QamModulator qam(groups[alloc.group].qam_order);
+    const u32 bits_per_problem =
+        groups[alloc.group].ntx * qam.bits_per_symbol();
+    for (u32 p = 0; p < alloc.num_problems(); ++p) {
+      const sim::MimoProblem& problem = alloc.batch.problems[p];
+      const auto xhat = phy::mmse_detect(problem.h, problem.y, problem.sigma2);
+      const auto rx_bits = qam.demap_sequence(xhat);
+      const size_t base = static_cast<size_t>(p) * bits_per_problem;
+      for (u32 b = 0; b < bits_per_problem; ++b)
+        errors += (rx_bits[b] != alloc.batch.tx_bits[base + b]) ? 1 : 0;
+    }
+  }
+  return errors;
+}
+
+SweepResult run_sweep(const DesignSpace& space, const SweepConfig& cfg) {
+  cfg.traffic.validate();
+  check(cfg.ttis >= 1, "run_sweep: need at least one TTI per point");
+  check(cfg.clock_hz > 0.0, "run_sweep: clock must be positive");
+  const std::vector<DesignPoint> points = space.enumerate();
+  check(!points.empty(), "run_sweep: the design space is empty");
+
+  SweepResult result;
+  result.config = cfg;
+
+  // The workload is a property of the traffic config alone, so every point
+  // sees the identical slots: generate them (and the golden reference, which
+  // is also point-independent) once up front.
+  ran::TrafficGenerator gen(cfg.traffic);
+  std::vector<ran::SlotWorkload> slots;
+  slots.reserve(cfg.ttis);
+  u64 golden_errors = 0;
+  for (u32 t = 0; t < cfg.ttis; ++t) {
+    slots.push_back(gen.next_slot());
+    if (cfg.golden_ber)
+      golden_errors += golden_slot_errors(slots.back(), cfg.traffic.groups);
+  }
+
+  for (const DesignPoint& point : points) {
+    ran::ClusterPoolConfig pool;
+    pool.num_clusters = point.clusters;
+    pool.host_threads = cfg.host_threads;
+    pool.threads_per_cluster = cfg.threads_per_cluster;
+    pool.prec = point.prec;
+    pool.problems_per_core = point.problems_per_core;
+    pool.policy = point.policy;
+
+    PointMetrics m;
+    m.point = point;
+    m.deadline_seconds = cfg.traffic.carrier.numerology.slot_seconds();
+    m.golden_errors = golden_errors;
+
+    // Infeasibility is a *construction-time* property: the topology check
+    // and the per-geometry layout/L1-fit validation both throw from here.
+    // Failures while processing slots are genuine simulator errors and
+    // propagate - a sweep must not record a deadlocked run as "infeasible".
+    std::unique_ptr<ran::SlotScheduler> sched;
+    try {
+      pool.cluster = cluster_for_cores(point.cores_per_cluster);
+      sched = std::make_unique<ran::SlotScheduler>(pool, cfg.traffic.groups);
+    } catch (const SimError& e) {
+      result.skipped.push_back(SkippedPoint{point, e.what()});
+      continue;
+    }
+    // All geometries share one hart count (see the SlotScheduler
+    // constructor), so group 0's layout is representative. The stopwatch
+    // starts after construction: calibration instructions are not counted,
+    // so they must not sit in the sim-MIPS denominator either.
+    m.batch_cores = sched->layout_for_group(0).num_cores;
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (const ran::SlotWorkload& slot : slots) {
+      const ran::SlotResult res = sched->run_slot(slot);
+      m.problems += res.problems;
+      m.bits += res.bits;
+      m.errors += res.errors;
+      m.instructions += res.total_instructions;
+      m.reloads += res.total_reloads;
+      m.reload_cycles += res.total_reload_cycles;
+      for (const u64 busy : res.cluster_busy_cycles) m.busy_cycles += busy;
+      // Worst slot and its own payload (ties keep the earliest slot, so
+      // the throughput column stays deterministic).
+      if (res.slot_cycles > m.slot_cycles) {
+        m.slot_cycles = res.slot_cycles;
+        m.worst_slot_bits = res.bits;
+      }
+    }
+    m.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+    result.points.push_back(std::move(m));
+  }
+  return result;
+}
+
+}  // namespace tsim::dse

@@ -375,6 +375,7 @@ void SlotScheduler::run_batch(Cluster& cluster, const BatchTask& task,
   trace.reloads = reloads;
   trace.reload_cycles = reload_cycles;
   trace.cycles = cycles;
+  trace.instructions = run.instructions;
   batch_errors_scratch_[batch_index] = errors;
 }
 
@@ -534,6 +535,7 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
     result.cluster_reload_cycles[t.cluster] += t.reload_cycles;
     result.total_reloads += t.reloads;
     result.total_reload_cycles += t.reload_cycles;
+    result.total_instructions += t.instructions;
     symbol_cycles[t.cluster][slot.allocations[t.allocation].symbol] += busy_cycles;
   }
   result.symbol_cycles.assign(symbols, 0);

@@ -104,6 +104,7 @@ struct BatchTrace {
   u32 reloads = 0;        // program switches this batch forced (0 or 1)
   u64 reload_cycles = 0;  // modeled DMA cycles of that switch
   u64 cycles = 0;         // estimated DUT cycles of the detection run
+  u64 instructions = 0;   // DUT instructions retired by the detection run
 };
 
 /// Everything the scheduler measured and detected for one TTI.
@@ -123,6 +124,7 @@ struct SlotResult {
   std::vector<u64> cluster_reload_cycles;  // modeled reload cycles per cluster
   u64 total_reloads = 0;                   // sum over clusters
   u64 total_reload_cycles = 0;             // sum over clusters
+  u64 total_instructions = 0;              // DUT instructions retired, all batches
   std::vector<u64> symbol_cycles;          // per-symbol critical path (max/cluster)
   /// Slot critical path. Symbols are data-serialized, so this is the sum of
   /// the per-symbol critical paths (== sum(symbol_cycles)); with imbalanced

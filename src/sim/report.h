@@ -12,6 +12,53 @@
 
 namespace tsim::sim {
 
+namespace detail {
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(ch));
+      out += buf;
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+}  // namespace detail
+
+/// The one JSON-row emitter shared by every trajectory writer (Table::
+/// write_json, the bench --json outputs, the DSE driver): a JSON array with
+/// one string-keyed object per row, values exactly as rendered in the table.
+/// Returns false (with a warning on stderr) when the file cannot be opened.
+inline bool write_json_rows(const std::string& path,
+                            const std::vector<std::string>& header,
+                            const std::vector<std::vector<std::string>>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::fprintf(f, "  {");
+    for (size_t c = 0; c < rows[r].size() && c < header.size(); ++c) {
+      std::fprintf(f, "%s\"%s\": \"%s\"", c == 0 ? "" : ", ",
+                   detail::json_escape(header[c]).c_str(),
+                   detail::json_escape(rows[r][c]).c_str());
+    }
+    std::fprintf(f, "}%s\n", r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
 /// Accumulates rows and prints an aligned plain-text table.
 class Table {
  public:
@@ -46,26 +93,14 @@ class Table {
     std::fclose(f);
   }
 
-  /// Machine-readable form: a JSON array with one object per row, keyed by
-  /// the header (all values as strings, exactly as rendered in the table).
-  void write_json(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-      return;
-    }
-    std::fprintf(f, "[\n");
-    for (size_t r = 0; r < rows_.size(); ++r) {
-      std::fprintf(f, "  {");
-      for (size_t c = 0; c < rows_[r].size() && c < header_.size(); ++c) {
-        std::fprintf(f, "%s\"%s\": \"%s\"", c == 0 ? "" : ", ",
-                     json_escape(header_[c]).c_str(), json_escape(rows_[r][c]).c_str());
-      }
-      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
+  /// Machine-readable form via the shared write_json_rows emitter. Returns
+  /// false when the file cannot be written.
+  bool write_json(const std::string& path) const {
+    return write_json_rows(path, header_, rows_);
   }
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
  private:
   static void print_row(std::FILE* out, const std::vector<std::string>& row,
@@ -75,23 +110,6 @@ class Table {
       if (c + 1 < width.size()) std::fprintf(out, "|");
     }
     std::fprintf(out, "\n");
-  }
-  static std::string json_escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char ch : s) {
-      if (ch == '"' || ch == '\\') {
-        out += '\\';
-        out += ch;
-      } else if (static_cast<unsigned char>(ch) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(ch));
-        out += buf;
-      } else {
-        out += ch;
-      }
-    }
-    return out;
   }
   static void write_csv_row(std::FILE* f, const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c)

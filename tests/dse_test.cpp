@@ -1,0 +1,311 @@
+// DSE subsystem tests: design-space enumeration, Pareto-front extraction
+// (non-domination, completeness, tie handling), end-to-end sweeps through
+// the slot engine (metric sanity, determinism across host thread counts,
+// infeasible-point skipping), and the JSON trajectory schema the CI smoke
+// step validates.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "dse/pareto.h"
+#include "dse/space.h"
+#include "dse/sweep.h"
+#include "ran/traffic.h"
+
+namespace tsim::dse {
+namespace {
+
+/// A small carrier for fast sweeps: 16 data subcarriers, 2 symbols.
+ran::TrafficConfig tiny_traffic() {
+  ran::TrafficConfig cfg;
+  cfg.carrier.bandwidth_hz = 0.5e6;  // 16 subcarriers
+  cfg.carrier.symbols_per_slot = 2;
+  cfg.groups = ran::mixed_geometry_groups();
+  cfg.seed = 0xD5E7;
+  return cfg;
+}
+
+DesignSpace tiny_space() {
+  DesignSpace space;
+  space.clusters = {1, 2};
+  space.cores_per_cluster = {16};
+  space.precisions = {kern::Precision::k16CDotp, kern::Precision::k8WDotp};
+  space.problems_per_core = {1};
+  space.policies = {ran::AssignPolicy::kLocality};
+  return space;
+}
+
+/// Synthetic metrics for pure Pareto tests (no simulation involved).
+PointMetrics synthetic(u32 total_cores, u64 slot_cycles, u64 errors,
+                       u64 reload_cycles = 0) {
+  PointMetrics m;
+  m.point.clusters = 1;
+  m.point.cores_per_cluster = total_cores;
+  m.slot_cycles = slot_cycles;
+  m.errors = errors;
+  m.bits = 1000;
+  m.reload_cycles = reload_cycles;
+  return m;
+}
+
+TEST(Space, CartesianEnumerationIsAxisMajorAndComplete) {
+  DesignSpace space;
+  space.clusters = {1, 2};
+  space.cores_per_cluster = {16, 32};
+  space.precisions = {kern::Precision::k16Half, kern::Precision::k8WDotp};
+  space.problems_per_core = {1, 4};
+  space.policies = {ran::AssignPolicy::kRoundRobin, ran::AssignPolicy::kLocality};
+  const auto points = space.enumerate();
+  ASSERT_EQ(points.size(), 2u * 2u * 2u * 2u * 2u);
+  // Axis-major: policy varies fastest, clusters slowest.
+  EXPECT_EQ(points[0].policy, ran::AssignPolicy::kRoundRobin);
+  EXPECT_EQ(points[1].policy, ran::AssignPolicy::kLocality);
+  EXPECT_EQ(points[0].clusters, 1u);
+  EXPECT_EQ(points.back().clusters, 2u);
+  EXPECT_EQ(points.back().cores_per_cluster, 32u);
+  // All points distinct.
+  for (size_t i = 0; i < points.size(); ++i)
+    for (size_t j = i + 1; j < points.size(); ++j) EXPECT_FALSE(points[i] == points[j]);
+}
+
+TEST(Space, ListedPointsBypassTheCartesianProduct) {
+  DesignSpace space;
+  space.listed = {DesignPoint{4, 64, kern::Precision::k8WDotp, 2,
+                              ran::AssignPolicy::kRoundRobin}};
+  const auto points = space.enumerate();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0], space.listed[0]);
+  EXPECT_EQ(points[0].total_cores(), 256u);
+  EXPECT_EQ(points[0].label(), "4x64/8bwDotp/ppc2/roundrobin");
+}
+
+TEST(Space, ClusterForCoresScalesTheTinyShape) {
+  for (const u32 cores : {8u, 16u, 32u, 64u, 1024u}) {
+    const tera::TeraPoolConfig c = cluster_for_cores(cores);
+    EXPECT_EQ(c.num_cores(), cores);
+    // Shared L1 scales linearly with the core count (tiny shape: 8 KiB/core).
+    EXPECT_EQ(c.l1_bytes(), static_cast<u64>(cores) * 8 * 1024);
+  }
+  EXPECT_THROW(cluster_for_cores(0), SimError);
+  EXPECT_THROW(cluster_for_cores(12), SimError);
+  EXPECT_THROW(cluster_for_cores(4), SimError);
+}
+
+TEST(Space, ValidateRejectsEmptyAxes) {
+  DesignSpace space;
+  space.precisions.clear();
+  EXPECT_THROW(space.enumerate(), SimError);
+  space.listed = {DesignPoint{}};
+  EXPECT_NO_THROW(space.enumerate());  // listed points bypass axis checks
+}
+
+TEST(Pareto, FrontIsExactOnKnownPoints) {
+  // p0 dominated by p3 (same cost/latency, better BER); p2 dominated by p1.
+  const std::vector<PointMetrics> points = {
+      synthetic(16, 100'000, 10),  // p0
+      synthetic(32, 50'000, 10),   // p1: front
+      synthetic(32, 60'000, 20),   // p2
+      synthetic(16, 100'000, 5),   // p3: front
+      synthetic(64, 40'000, 1),    // p4: front
+  };
+  const auto front = pareto_front(points, default_objectives());
+  EXPECT_EQ(front, (std::vector<u32>{1, 3, 4}));
+}
+
+TEST(Pareto, NoFrontMemberIsDominatedAndEveryOutsiderIs) {
+  // A mesh of points with correlated objectives exercises the property the
+  // front definition promises.
+  std::vector<PointMetrics> points;
+  for (u32 cores = 16; cores <= 128; cores *= 2)
+    for (u64 lat = 1; lat <= 4; ++lat)
+      points.push_back(synthetic(cores, lat * 100'000 / (cores / 16), lat * 7 % 23));
+  const auto objectives = default_objectives();
+  const auto front = pareto_front(points, objectives);
+  ASSERT_FALSE(front.empty());
+  std::vector<bool> on_front(points.size(), false);
+  for (const u32 i : front) on_front[i] = true;
+  for (u32 i = 0; i < points.size(); ++i) {
+    if (on_front[i]) {
+      for (u32 j = 0; j < points.size(); ++j)
+        EXPECT_FALSE(dominates(points[j], points[i], objectives));
+    } else {
+      bool dominated = false;
+      for (const u32 j : front)
+        dominated = dominated || dominates(points[j], points[i], objectives);
+      EXPECT_TRUE(dominated) << "point " << i << " off-front but undominated";
+    }
+  }
+}
+
+TEST(Pareto, TiedPointsAllStayOnTheFront) {
+  const std::vector<PointMetrics> points = {
+      synthetic(16, 100, 3),
+      synthetic(16, 100, 3),  // identical objective vector: neither dominates
+      synthetic(16, 200, 3),
+  };
+  const auto front = pareto_front(points, default_objectives());
+  EXPECT_EQ(front, (std::vector<u32>{0, 1}));
+}
+
+TEST(Pareto, ObjectiveParsingAndValues) {
+  EXPECT_EQ(parse_objective("cores"), Objective::kCores);
+  EXPECT_EQ(parse_objective("latency"), Objective::kLatency);
+  EXPECT_EQ(parse_objective("ber"), Objective::kBer);
+  EXPECT_EQ(parse_objective("reloads"), Objective::kReloadCycles);
+  EXPECT_THROW(parse_objective("watts"), SimError);
+  EXPECT_THROW(parse_objectives(""), SimError);
+  const auto objs = parse_objectives("cores, latency,ber");
+  ASSERT_EQ(objs.size(), 3u);
+  EXPECT_EQ(objs[1], Objective::kLatency);
+
+  const PointMetrics m = synthetic(32, 12'345, 10, 777);
+  EXPECT_DOUBLE_EQ(objective_value(m, Objective::kCores), 32.0);
+  EXPECT_DOUBLE_EQ(objective_value(m, Objective::kLatency), 12'345.0);
+  EXPECT_DOUBLE_EQ(objective_value(m, Objective::kBer), 0.01);
+  EXPECT_DOUBLE_EQ(objective_value(m, Objective::kReloadCycles), 777.0);
+}
+
+TEST(Sweep, QuickSweepMetricsAreSane) {
+  SweepConfig cfg;
+  cfg.traffic = tiny_traffic();
+  const SweepResult result = run_sweep(tiny_space(), cfg);
+  ASSERT_EQ(result.points.size(), 4u);
+  EXPECT_TRUE(result.skipped.empty());
+
+  const u64 expected_problems =
+      static_cast<u64>(cfg.traffic.carrier.num_subcarriers()) *
+      cfg.traffic.carrier.symbols_per_slot;
+  for (const PointMetrics& m : result.points) {
+    EXPECT_EQ(m.problems, expected_problems);
+    EXPECT_GT(m.bits, 0u);
+    EXPECT_GT(m.instructions, 0u);
+    EXPECT_GT(m.slot_cycles, 0u);
+    EXPECT_GT(m.busy_cycles, 0u);
+    // Per-symbol maxima are bounded by per-symbol sums, so the total busy
+    // cycles dominate the symbol-serialized critical path.
+    EXPECT_GE(m.busy_cycles, m.slot_cycles);
+    EXPECT_GE(m.batch_cores, 1u);
+    EXPECT_GE(m.dut_ber(), 0.0);
+    EXPECT_LT(m.dut_ber(), 0.5);
+    EXPECT_GE(m.golden_ber(), 0.0);
+    EXPECT_LT(m.golden_ber(), 0.5);
+    EXPECT_DOUBLE_EQ(m.deadline_seconds, 5e-4);
+    EXPECT_GT(m.latency_seconds(cfg.clock_hz), 0.0);
+    EXPECT_GE(m.wall_seconds, 0.0);
+  }
+  // The golden reference is point-independent (same workload everywhere).
+  for (const PointMetrics& m : result.points)
+    EXPECT_EQ(m.golden_errors, result.points[0].golden_errors);
+  // Two clusters cut the worst-slot critical path vs one at equal precision.
+  EXPECT_LT(result.points[2].slot_cycles, result.points[0].slot_cycles);
+  // The front over the default objectives is non-empty.
+  EXPECT_FALSE(pareto_front(result.points, default_objectives()).empty());
+}
+
+TEST(Sweep, DeterministicAcrossHostThreadCounts) {
+  SweepConfig serial;
+  serial.traffic = tiny_traffic();
+  serial.host_threads = 1;
+  SweepConfig threaded = serial;
+  threaded.host_threads = 3;
+
+  const SweepResult a = run_sweep(tiny_space(), serial);
+  const SweepResult b = run_sweep(tiny_space(), threaded);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    const PointMetrics& pa = a.points[i];
+    const PointMetrics& pb = b.points[i];
+    EXPECT_EQ(pa.point, pb.point);
+    EXPECT_EQ(pa.batch_cores, pb.batch_cores);
+    EXPECT_EQ(pa.problems, pb.problems);
+    EXPECT_EQ(pa.bits, pb.bits);
+    EXPECT_EQ(pa.errors, pb.errors);
+    EXPECT_EQ(pa.golden_errors, pb.golden_errors);
+    EXPECT_EQ(pa.instructions, pb.instructions);
+    EXPECT_EQ(pa.slot_cycles, pb.slot_cycles);
+    EXPECT_EQ(pa.reloads, pb.reloads);
+    EXPECT_EQ(pa.reload_cycles, pb.reload_cycles);
+    EXPECT_EQ(pa.busy_cycles, pb.busy_cycles);
+  }
+  EXPECT_EQ(pareto_front(a.points, default_objectives()),
+            pareto_front(b.points, default_objectives()));
+}
+
+TEST(Sweep, InfeasiblePointsAreSkippedWithAReason) {
+  DesignSpace space = tiny_space();
+  space.clusters = {1};
+  space.precisions = {kern::Precision::k16CDotp};
+  space.problems_per_core = {1, 100'000};  // second cannot fit any L1
+  SweepConfig cfg;
+  cfg.traffic = tiny_traffic();
+  const SweepResult result = run_sweep(space, cfg);
+  ASSERT_EQ(result.points.size(), 1u);
+  ASSERT_EQ(result.skipped.size(), 1u);
+  EXPECT_EQ(result.skipped[0].point.problems_per_core, 100'000u);
+  EXPECT_FALSE(result.skipped[0].reason.empty());
+}
+
+TEST(Sweep, RejectsBrokenConfigs) {
+  SweepConfig cfg;
+  cfg.traffic = tiny_traffic();
+  cfg.ttis = 0;
+  EXPECT_THROW(run_sweep(tiny_space(), cfg), SimError);
+  cfg.ttis = 1;
+  cfg.clock_hz = 0.0;
+  EXPECT_THROW(run_sweep(tiny_space(), cfg), SimError);
+}
+
+TEST(Json, TrajectorySchemaHasRequiredKeysAndFrontMarks) {
+  SweepConfig cfg;
+  cfg.traffic = tiny_traffic();
+  const SweepResult result = run_sweep(tiny_space(), cfg);
+  const auto front = pareto_front(result.points, default_objectives());
+  const sim::Table table = sweep_table(result, front);
+
+  // The keys the CI dse-smoke step requires of every row.
+  for (const char* key :
+       {"clusters", "cores_per_cluster", "total_cores", "precision",
+        "problems_per_core", "policy", "latency_us", "deadline_us", "met",
+        "dut_ber", "golden_ber", "reloads", "front"}) {
+    bool found = false;
+    for (const std::string& h : table.header()) found = found || h == key;
+    EXPECT_TRUE(found) << "missing column " << key;
+  }
+  ASSERT_EQ(table.rows().size(), result.points.size());
+  u32 marked = 0;
+  for (const auto& row : table.rows()) {
+    ASSERT_EQ(row.size(), table.header().size());
+    marked += row.back() == "1" ? 1 : 0;
+  }
+  EXPECT_EQ(marked, front.size());
+
+  // front_table carries exactly the front rows, all marked.
+  const sim::Table ft = front_table(result, front);
+  ASSERT_EQ(ft.rows().size(), front.size());
+  for (const auto& row : ft.rows()) EXPECT_EQ(row.back(), "1");
+
+  // Written JSON round-trips through the shared emitter: an array with one
+  // object per row and every header key quoted.
+  const std::string path = testing::TempDir() + "/dse_pareto_test.json";
+  ASSERT_TRUE(table.write_json(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"front\": \"1\""), std::string::npos);
+  EXPECT_NE(json.find("\"precision\": \"16bCDotp\""), std::string::npos);
+  size_t objects = 0;
+  for (const char ch : json) objects += ch == '{' ? 1 : 0;
+  EXPECT_EQ(objects, result.points.size());
+  std::remove(path.c_str());
+
+  // The shared writer reports unwritable paths instead of failing silently.
+  EXPECT_FALSE(table.write_json("/nonexistent-dir/x.json"));
+}
+
+}  // namespace
+}  // namespace tsim::dse

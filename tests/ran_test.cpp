@@ -493,6 +493,96 @@ TEST(Deadline, SlotTimingFollowsTheCarrierNumerology) {
   EXPECT_TRUE(t.meets_deadline());
 }
 
+// ---- deadline.h unit tests on hand-built SlotResults: the report
+// arithmetic (margins, reload_fraction, utilization, symbol serialization)
+// pinned independently of the full scheduler path. ----
+
+TEST(Deadline, ReportFieldsFromHandBuiltSlotResult) {
+  SlotResult r;
+  r.symbol_cycles = {150'000, 250'000};
+  r.slot_cycles = 400'000;  // symbol-serialized sum
+  r.cluster_busy_cycles = {300'000, 200'000};
+  r.total_reloads = 3;
+  r.total_reload_cycles = 50'000;
+
+  const phy::CarrierConfig carrier = phy::CarrierConfig::paper_50mhz();
+  const DeadlineReport rep = deadline_report(r, carrier, 1e9);
+  EXPECT_EQ(rep.reloads, 3u);
+  EXPECT_EQ(rep.reload_cycles, 50'000u);
+  EXPECT_EQ(rep.busy_cycles, 500'000u);  // summed across clusters
+  EXPECT_DOUBLE_EQ(rep.reload_fraction(), 0.1);
+  EXPECT_TRUE(rep.met());
+  EXPECT_DOUBLE_EQ(rep.timing.latency_seconds(), 4e-4);
+  EXPECT_DOUBLE_EQ(rep.timing.margin_seconds(), 1e-4);
+  EXPECT_NEAR(rep.timing.margin_fraction(), 0.2, 1e-12);
+
+  // Utilization is measured against the hand-built critical path.
+  EXPECT_DOUBLE_EQ(cluster_utilization(r, 0), 0.75);
+  EXPECT_DOUBLE_EQ(cluster_utilization(r, 1), 0.5);
+
+  // The clock scales latency: at 2 GHz the same cycles halve the latency.
+  const DeadlineReport fast = deadline_report(r, carrier, 2e9);
+  EXPECT_DOUBLE_EQ(fast.timing.latency_seconds(), 2e-4);
+  EXPECT_NEAR(fast.timing.margin_fraction(), 0.6, 1e-12);
+}
+
+TEST(Deadline, OverrunMarginsAndEmptyResultGuards) {
+  SlotResult r;
+  r.slot_cycles = 600'000;
+  const DeadlineReport rep = deadline_report(r, phy::CarrierConfig::paper_50mhz(), 1e9);
+  EXPECT_FALSE(rep.met());
+  EXPECT_NEAR(rep.timing.margin_seconds(), -1e-4, 1e-16);
+  EXPECT_NEAR(rep.timing.margin_fraction(), -0.2, 1e-12);
+  // No busy cycles recorded: reload_fraction guards the division.
+  EXPECT_EQ(rep.busy_cycles, 0u);
+  EXPECT_DOUBLE_EQ(rep.reload_fraction(), 0.0);
+  // A zero-cycle result never divides by zero either.
+  SlotResult empty;
+  empty.cluster_busy_cycles = {0};
+  EXPECT_DOUBLE_EQ(cluster_utilization(empty, 0), 0.0);
+}
+
+TEST(Deadline, SymbolSerializedReportsRenderHandBuiltCycles) {
+  SlotResult r;
+  r.tti = 7;
+  r.problems = 6;
+  r.bits = 48;
+  r.errors = 3;
+  r.symbol_cycles = {100'000, 200'000, 300'000};
+  r.slot_cycles = 600'000;  // == sum(symbol_cycles), the deadline.h contract
+  r.cluster_busy_cycles = {400'000, 350'000};
+  r.total_reloads = 2;
+  r.total_reload_cycles = 60'000;
+
+  const phy::CarrierConfig carrier = phy::CarrierConfig::paper_50mhz();
+  const SlotTiming timing = slot_timing(r, carrier, 1e9);
+  EXPECT_EQ(timing.slot_cycles, 600'000u);
+
+  sim::Table slots = slot_report_header();
+  add_slot_row(slots, r, timing);
+  ASSERT_EQ(slots.rows().size(), 1u);
+  const auto& header = slots.header();
+  const auto& row = slots.rows()[0];
+  ASSERT_EQ(row.size(), header.size());
+  const auto cell = [&](const std::string& name) -> const std::string& {
+    for (size_t c = 0; c < header.size(); ++c)
+      if (header[c] == name) return row[c];
+    ADD_FAILURE() << "missing column " << name;
+    return row[0];
+  };
+  EXPECT_EQ(cell("tti"), "7");
+  EXPECT_EQ(cell("ber"), "0.0625");
+  EXPECT_EQ(cell("met"), "NO");  // 600 us > 500 us deadline
+  EXPECT_EQ(cell("reloads"), "2");
+  // Reload share of total busy time: 60k / 750k = 8%.
+  EXPECT_EQ(cell("reload_%"), "8.00");
+
+  const sim::Table symbols = symbol_report(r, timing);
+  ASSERT_EQ(symbols.rows().size(), 3u);
+  EXPECT_EQ(symbols.rows()[2][1], "300000");
+  EXPECT_EQ(symbols.rows()[2][2], "300.00");  // us at 1 GHz
+}
+
 TEST(Deadline, UtilizationAndReportsAreWellFormed) {
   const TrafficConfig tcfg = one_group_traffic();
   TrafficGenerator gen(tcfg);
