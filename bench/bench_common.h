@@ -6,10 +6,18 @@
 //   --csv DIR     also write each table as CSV into DIR
 //   --json DIR    also write each table as JSON rows into DIR (for recording
 //                 BENCH_*.json performance trajectories across commits)
-// and prints the rows/series of its paper figure via sim::Table.
+//   --help        usage and exit 0
+// and prints the rows/series of its paper figure via sim::Table. Unknown
+// flags are a hard error (exit 2), so a typo can never silently run the
+// default configuration - the CLI contract the CI cli-contract step checks.
+// Benches with binary-specific flags declare them via ExtraFlag so parse()
+// can validate the full command line; the bench re-scans argv for its own
+// flags afterwards.
 #pragma once
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -23,17 +31,72 @@
 
 namespace tsim::bench {
 
+/// A bench-specific flag BenchOptions::parse should accept (and, for value
+/// flags, skip the operand of). The bench re-scans argv for it afterwards.
+struct ExtraFlag {
+  const char* name;   // e.g. "--guard"
+  bool takes_value;   // true: the next argv element is the flag's operand
+  const char* help;   // one-line description for --help
+};
+
 struct BenchOptions {
   bool full = false;
   std::string csv_dir;
   std::string json_dir;
 
-  static BenchOptions parse(int argc, char** argv) {
+  static void usage(std::FILE* f, const char* prog,
+                    const std::vector<ExtraFlag>& extra) {
+    std::fprintf(f, "usage: %s [flags]\n", prog);
+    std::fprintf(f, "  --full       paper-scale parameters (default: quick)\n");
+    std::fprintf(f, "  --csv DIR    also write each table as CSV into DIR\n");
+    std::fprintf(f, "  --json DIR   also write each table as JSON rows into DIR\n");
+    for (const ExtraFlag& e : extra)
+      std::fprintf(f, "  %s%s  %s\n", e.name, e.takes_value ? " VALUE" : "",
+                   e.help);
+    std::fprintf(f, "  --help       this message\n");
+  }
+
+  static BenchOptions parse(int argc, char** argv,
+                            const std::vector<ExtraFlag>& extra = {}) {
     BenchOptions opt;
+    const auto need_value = [&](int& i, const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--full") == 0) opt.full = true;
-      if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) opt.csv_dir = argv[++i];
-      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) opt.json_dir = argv[++i];
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+        usage(stdout, argv[0], extra);
+        std::exit(0);
+      }
+      if (std::strcmp(arg, "--full") == 0) {
+        opt.full = true;
+        continue;
+      }
+      if (std::strcmp(arg, "--csv") == 0) {
+        opt.csv_dir = need_value(i, "--csv");
+        continue;
+      }
+      if (std::strcmp(arg, "--json") == 0) {
+        opt.json_dir = need_value(i, "--json");
+        continue;
+      }
+      bool matched = false;
+      for (const ExtraFlag& e : extra) {
+        if (std::strcmp(arg, e.name) == 0) {
+          matched = true;
+          if (e.takes_value) need_value(i, e.name);
+          break;
+        }
+      }
+      if (!matched) {
+        std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg);
+        usage(stderr, argv[0], extra);
+        std::exit(2);
+      }
     }
     return opt;
   }

@@ -98,7 +98,9 @@ std::pair<Point, Point> measure_ab(const tera::TeraPoolConfig& cluster, u32 core
 int main(int argc, char** argv) {
   using namespace tsim;
   using namespace tsim::bench;
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  const BenchOptions opt = BenchOptions::parse(
+      argc, argv,
+      {{"--guard", false, "exit 1 if simulated MIPS regresses below the floor"}});
   bool guard = false;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--guard") == 0) guard = true;

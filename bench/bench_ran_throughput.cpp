@@ -24,7 +24,9 @@
 using namespace tsim;
 
 int main(int argc, char** argv) {
-  const bench::BenchOptions opt = bench::BenchOptions::parse(argc, argv);
+  const bench::BenchOptions opt = bench::BenchOptions::parse(
+      argc, argv,
+      {{"--policy", true, "run only this assignment policy (roundrobin|locality)"}});
   std::vector<ran::AssignPolicy> policies = {ran::AssignPolicy::kRoundRobin,
                                              ran::AssignPolicy::kLocality};
   for (int i = 1; i < argc; ++i) {

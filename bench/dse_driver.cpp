@@ -74,6 +74,19 @@ u64 parse_u64(const char* flag, const char* text) {
   return static_cast<u64>(v);
 }
 
+void print_usage(std::FILE* f, const char* prog) {
+  std::fprintf(f, "usage: %s [flags]\n", prog);
+  std::fprintf(f, "  --quick | --full     sweep size (default: medium)\n");
+  std::fprintf(f, "  --json [DIR]         write dse_pareto.json (default DIR: .)\n");
+  std::fprintf(f, "  --csv DIR            write dse_pareto.csv into DIR\n");
+  std::fprintf(f, "  --ttis N             slots per design point\n");
+  std::fprintf(f, "  --threads N          host evaluation threads\n");
+  std::fprintf(f, "  --clock GHZ          modelled cluster clock\n");
+  std::fprintf(f, "  --seed S             traffic seed\n");
+  std::fprintf(f, "  --objectives A,B,..  Pareto objectives\n");
+  std::fprintf(f, "  --help               this message\n");
+}
+
 DriverOptions parse_args(int argc, char** argv) {
   DriverOptions opt;
   for (int i = 1; i < argc; ++i) {
@@ -82,7 +95,10 @@ DriverOptions parse_args(int argc, char** argv) {
       check(i + 1 < argc, std::string(flag) + " needs a value");
       return argv[++i];
     };
-    if (std::strcmp(arg, "--quick") == 0) {
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage(stdout, argv[0]);
+      std::exit(0);
+    } else if (std::strcmp(arg, "--quick") == 0) {
       opt.mode = Mode::kQuick;
     } else if (std::strcmp(arg, "--full") == 0) {
       opt.mode = Mode::kFull;

@@ -1,0 +1,244 @@
+// Multi-cell gNB farm soak driver: N independent cells of persistent UEs
+// with closed-loop HARQ traffic (src/mac/), shard-parallel across forked
+// worker processes, reported through the shared BENCH_*.json row format.
+//
+//   ./farm_driver --quick                    CI-sized soak (2 MHz carrier)
+//   ./farm_driver --quick --shards 4         same numbers, 4 worker processes
+//   ./farm_driver --quick --json             also write ./farm_soak.json
+//   ./farm_driver --full                     paper-scale carrier per cell
+//
+// The JSON rows are one CellReport per cell - exact integers only, and
+// independent of --shards and --threads - so CI's farm-smoke step diffs the
+// --shards 1 and --shards 2 outputs byte-for-byte to pin the shard-
+// invariance contract (see BENCH_farm_soak.json for the seeded history).
+//
+// Flags: --cells N, --ues N, --ttis N, --shards N, --threads N, --seed S,
+// --quick | --full, --no-harq (single-shot A/B baseline), --burst (on/off
+// arrival bursts + diurnal modulation), --json [DIR], --csv DIR.
+// Unknown flags exit 2.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+#include "mac/farm.h"
+
+using namespace tsim;
+
+namespace {
+
+struct Options {
+  u32 cells = 4;
+  u32 ues = 32;
+  u32 ttis = 100;
+  u32 shards = 1;
+  u32 host_threads = 2;
+  u64 seed = 0xFA21;
+  bool quick = false;
+  bool full = false;
+  bool no_harq = false;
+  bool burst = false;
+  std::string json_dir;
+  std::string csv_dir;
+};
+
+u32 parse_positive_u32(const char* flag, const char* text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  check(end != text && *end == '\0' && v >= 1 && v <= 0xFFFFFFFFll,
+        std::string(flag) + " expects a positive integer, got '" + text + "'");
+  return static_cast<u32>(v);
+}
+
+u64 parse_u64(const char* flag, const char* text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 0);
+  check(std::isdigit(static_cast<unsigned char>(text[0])) && end != text &&
+            *end == '\0',
+        std::string(flag) + " expects a non-negative integer, got '" + text + "'");
+  return static_cast<u64>(v);
+}
+
+void print_usage(std::FILE* f, const char* prog) {
+  std::fprintf(f, "usage: %s [flags]\n", prog);
+  std::fprintf(f, "  --cells N      gNB cells in the farm (default 4)\n");
+  std::fprintf(f, "  --ues N        UEs per cell (default 32)\n");
+  std::fprintf(f, "  --ttis N       closed-loop TTIs per cell (default 100)\n");
+  std::fprintf(f, "  --shards N     forked worker processes (default 1)\n");
+  std::fprintf(f, "  --threads N    host threads per cell's cluster pool\n");
+  std::fprintf(f, "  --seed S       farm seed (default 0xFA21)\n");
+  std::fprintf(f, "  --quick        CI-sized carrier (2 MHz x 2 symbols)\n");
+  std::fprintf(f, "  --full         paper-scale carrier (50 MHz x 14 symbols)\n");
+  std::fprintf(f, "  --no-harq      single-shot baseline (every CRC fail drops)\n");
+  std::fprintf(f, "  --burst        on/off arrival bursts + diurnal modulation\n");
+  std::fprintf(f, "  --json [DIR]   write DIR/farm_soak.json (default DIR: .)\n");
+  std::fprintf(f, "  --csv DIR      write DIR/farm_soak.csv\n");
+  std::fprintf(f, "  --help         this message\n");
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      check(i + 1 < argc, std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage(stdout, argv[0]);
+      std::exit(0);
+    } else if (std::strcmp(arg, "--cells") == 0) {
+      opt.cells = parse_positive_u32("--cells", next("--cells"));
+    } else if (std::strcmp(arg, "--ues") == 0) {
+      opt.ues = parse_positive_u32("--ues", next("--ues"));
+    } else if (std::strcmp(arg, "--ttis") == 0) {
+      opt.ttis = parse_positive_u32("--ttis", next("--ttis"));
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      opt.shards = parse_positive_u32("--shards", next("--shards"));
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      opt.host_threads = parse_positive_u32("--threads", next("--threads"));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      opt.seed = parse_u64("--seed", next("--seed"));
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(arg, "--full") == 0) {
+      opt.full = true;
+    } else if (std::strcmp(arg, "--no-harq") == 0) {
+      opt.no_harq = true;
+    } else if (std::strcmp(arg, "--burst") == 0) {
+      opt.burst = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      // Optional operand, as in dse_driver: bare --json writes into ".".
+      opt.json_dir = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i] : ".";
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      opt.csv_dir = next("--csv");
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg);
+      print_usage(stderr, argv[0]);
+      std::exit(2);
+    }
+  }
+  check(!(opt.quick && opt.full), "--quick and --full are mutually exclusive");
+  return opt;
+}
+
+mac::FarmConfig farm_config(const Options& opt) {
+  mac::FarmConfig cfg;
+  cfg.cells = opt.cells;
+  cfg.shards = opt.shards;
+  cfg.seed = opt.seed;
+  cfg.ttis = opt.ttis;
+  cfg.ues_per_cell = opt.ues;
+  if (opt.quick) {
+    cfg.carrier.bandwidth_hz = 2e6;  // ~65 subcarriers
+    cfg.carrier.symbols_per_slot = 2;
+  } else if (opt.full) {
+    cfg.carrier = phy::CarrierConfig::paper_50mhz();
+  } else {
+    cfg.carrier.bandwidth_hz = 10e6;  // ~327 subcarriers
+    cfg.carrier.symbols_per_slot = 4;
+  }
+  cfg.harq.enabled = !opt.no_harq;
+  if (opt.burst) {
+    cfg.burst.enabled = true;
+    cfg.burst.duty = 0.5;
+    cfg.burst.mean_on_slots = 8.0;
+    cfg.burst.arrival_prob = 0.9;
+    cfg.burst.diurnal_period_ttis = 50.0;
+    cfg.burst.diurnal_depth = 0.5;
+  }
+  cfg.pool.host_threads = opt.host_threads;
+  return cfg;
+}
+
+int run(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  const mac::FarmConfig cfg = farm_config(opt);
+
+  std::printf("farm_driver | %u cell(s) x %u UE(s) x %u TTI(s), %u shard(s), "
+              "seed 0x%llx\n",
+              cfg.cells, cfg.ues_per_cell, cfg.ttis, cfg.shards,
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("carrier: %u sc x %u sym | HARQ %s (%u processes, %u attempts) | "
+              "arrivals %s\n\n",
+              cfg.carrier.num_subcarriers(), cfg.carrier.symbols_per_slot,
+              cfg.harq.enabled ? "on" : "OFF",
+              cfg.harq.num_processes, cfg.harq.max_attempts,
+              cfg.burst.enabled ? "bursty" : "full-buffer");
+
+  const bench::Stopwatch wall;
+  const mac::FarmResult result = mac::run_farm(cfg);
+  const double wall_s = wall.seconds();
+
+  sim::Table table(mac::cell_report_header());
+  for (const mac::CellReport& rep : result.cells)
+    table.add_row(mac::cell_report_row(rep));
+
+  const double tti_s = cfg.carrier.numerology.slot_seconds();
+  std::printf("%-5s %6s %7s %7s %7s %7s %10s %8s %9s %7s\n", "cell", "pdus",
+              "new_tx", "retx", "drops", "stalls", "res.BLER", "retx%",
+              "Mb/s", "misses");
+  for (const mac::CellReport& rep : result.cells)
+    std::printf("%-5u %6llu %7llu %7llu %7llu %7llu %10.4f %7.1f%% %9.2f %7llu\n",
+                rep.cell, static_cast<unsigned long long>(rep.pdus),
+                static_cast<unsigned long long>(rep.harq.new_tx),
+                static_cast<unsigned long long>(rep.harq.retx),
+                static_cast<unsigned long long>(rep.harq.drops),
+                static_cast<unsigned long long>(rep.harq.stalls),
+                rep.residual_bler(), rep.retx_fraction() * 100.0,
+                rep.delivered_mbps(tti_s),
+                static_cast<unsigned long long>(rep.misses));
+
+  const mac::CellReport total = result.total();
+  std::printf("%-5s %6llu %7llu %7llu %7llu %7llu %10.4f %7.1f%% %9.2f %7llu\n",
+              "TOTAL", static_cast<unsigned long long>(total.pdus),
+              static_cast<unsigned long long>(total.harq.new_tx),
+              static_cast<unsigned long long>(total.harq.retx),
+              static_cast<unsigned long long>(total.harq.drops),
+              static_cast<unsigned long long>(total.harq.stalls),
+              total.residual_bler(), total.retx_fraction() * 100.0,
+              total.delivered_mbps(tti_s),
+              static_cast<unsigned long long>(total.misses));
+
+  std::printf("\nCRC: %llu/%llu transmissions failed (%.1f%%); "
+              "%llu block(s) unresolved at end of soak\n",
+              static_cast<unsigned long long>(total.crc_fail),
+              static_cast<unsigned long long>(total.pdus),
+              total.crc_fail_fraction() * 100.0,
+              static_cast<unsigned long long>(total.unresolved));
+  std::printf("latency: p50 %.1f us, p99 %.1f us, worst %.1f us (worst cell) | "
+              "soft-buffer peak %llu bits\n",
+              static_cast<double>(total.p50_cycles) / cfg.clock_hz * 1e6,
+              static_cast<double>(total.p99_cycles) / cfg.clock_hz * 1e6,
+              static_cast<double>(total.worst_cycles) / cfg.clock_hz * 1e6,
+              static_cast<unsigned long long>(total.harq.soft_buffer_peak_bits));
+  std::printf("host: %u cell-TTIs in %.2f s wall clock (%.0f TTI/s)\n",
+              cfg.cells * cfg.ttis, wall_s,
+              wall_s > 0 ? cfg.cells * cfg.ttis / wall_s : 0.0);
+
+  if (!opt.json_dir.empty()) {
+    const std::string path =
+        bench::BenchOptions::write_json_table(table, opt.json_dir, "farm_soak");
+    if (path.empty()) {
+      std::fprintf(stderr, "error: could not write JSON into '%s'\n",
+                   opt.json_dir.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (!opt.csv_dir.empty()) table.write_csv(opt.csv_dir + "/farm_soak.csv");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -40,23 +40,42 @@ int run(int argc, char** argv) {
   bool full = false;
   ran::AssignPolicy policy = ran::AssignPolicy::kLocality;
   std::string json_dir;
+  const auto usage = [&](std::FILE* f) {
+    std::fprintf(f,
+                 "usage: %s [--clusters N] [--threads N] [--ttis N] "
+                 "[--poisson LOAD] [--clock GHZ] [--full]\n"
+                 "       [--policy roundrobin|locality] [--json DIR] [--help]\n",
+                 argv[0]);
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc)
-      num_clusters = static_cast<u32>(std::atoi(argv[++i]));
-    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-      host_threads = static_cast<u32>(std::atoi(argv[++i]));
-    else if (std::strcmp(argv[i], "--ttis") == 0 && i + 1 < argc)
-      ttis = static_cast<u32>(std::atoi(argv[++i]));
-    else if (std::strcmp(argv[i], "--poisson") == 0 && i + 1 < argc)
-      poisson_load = std::atof(argv[++i]);
-    else if (std::strcmp(argv[i], "--clock") == 0 && i + 1 < argc)
-      clock_ghz = std::atof(argv[++i]);
+    const auto value = [&](const char* flag) -> const char* {
+      check(i + 1 < argc, std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    } else if (std::strcmp(argv[i], "--clusters") == 0)
+      num_clusters = static_cast<u32>(std::atoi(value("--clusters")));
+    else if (std::strcmp(argv[i], "--threads") == 0)
+      host_threads = static_cast<u32>(std::atoi(value("--threads")));
+    else if (std::strcmp(argv[i], "--ttis") == 0)
+      ttis = static_cast<u32>(std::atoi(value("--ttis")));
+    else if (std::strcmp(argv[i], "--poisson") == 0)
+      poisson_load = std::atof(value("--poisson"));
+    else if (std::strcmp(argv[i], "--clock") == 0)
+      clock_ghz = std::atof(value("--clock"));
     else if (std::strcmp(argv[i], "--full") == 0)
       full = true;
-    else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc)
-      policy = ran::parse_policy(argv[++i]);
-    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
-      json_dir = argv[++i];
+    else if (std::strcmp(argv[i], "--policy") == 0)
+      policy = ran::parse_policy(value("--policy"));
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json_dir = value("--json");
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      usage(stderr);
+      return 2;
+    }
   }
   ttis = std::max(1u, ttis);
 
@@ -97,6 +116,8 @@ int run(int argc, char** argv) {
   sim::Table slots = ran::slot_report_header();
   const auto wall_start = std::chrono::steady_clock::now();
   u64 total_problems = 0;
+  std::vector<ran::SlotResult> history;
+  history.reserve(ttis);
   ran::SlotResult last;
   for (u32 t = 0; t < ttis; ++t) {
     const ran::SlotWorkload slot = gen.next_slot();
@@ -105,6 +126,10 @@ int run(int argc, char** argv) {
         ran::slot_timing(result, traffic.carrier, clock_ghz * 1e9);
     ran::add_slot_row(slots, result, timing);
     total_problems += result.problems;
+    ran::SlotResult slim = result;
+    slim.detected_bits.clear();
+    slim.trace.clear();
+    history.push_back(std::move(slim));
     last = std::move(result);
   }
   const double wall_s =
@@ -132,6 +157,17 @@ int run(int argc, char** argv) {
               static_cast<unsigned long long>(report.reloads),
               static_cast<unsigned long long>(report.reload_cycles),
               report.reload_fraction() * 100.0);
+  const ran::AggregateReport agg =
+      ran::aggregate_report(history, traffic.carrier, clock_ghz * 1e9);
+  std::printf("\nrun summary (%llu TTIs): p50 %.1f us, p99 %.1f us, worst %.1f us, "
+              "%llu deadline miss(es) (%.1f%%), %llu reloads (%llu cycles)\n",
+              static_cast<unsigned long long>(agg.slots),
+              agg.p50_latency_seconds() * 1e6, agg.p99_latency_seconds() * 1e6,
+              agg.worst_latency_seconds() * 1e6,
+              static_cast<unsigned long long>(agg.misses),
+              agg.miss_fraction() * 100.0,
+              static_cast<unsigned long long>(agg.reloads),
+              static_cast<unsigned long long>(agg.reload_cycles));
   std::printf("host: simulated %u TTI(s), %llu subcarrier problems, in %.2f s "
               "wall clock (%.0f problems/s)\n",
               ttis, static_cast<unsigned long long>(total_problems), wall_s,

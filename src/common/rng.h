@@ -59,8 +59,37 @@ class Rng {
   }
 
   /// Derive an independent sub-stream (e.g. one per thread / per symbol).
+  /// NOTE: split() draws from this stream, so the derived stream depends on
+  /// how many values were consumed before the call. For sub-streams that must
+  /// be reproducible independent of generation order (out-of-order TTIs,
+  /// per-shard cells), use the stateless keyed() derivation instead.
   Rng split(u64 stream_id) {
     return Rng(next_u64() ^ (0x9E3779B97F4A7C15ull * (stream_id + 1)));
+  }
+
+  /// Derives a seed fully determined by (seed, keys) - a pure hash, no draws
+  /// involved. Two key lists differing in any position (or length) yield
+  /// independent streams; the same list always yields the same stream.
+  static u64 derive_seed(u64 seed, std::initializer_list<u64> keys) {
+    u64 h = seed;
+    for (const u64 k : keys) {
+      // Inject the key, then run the SplitMix64 finalizer so every key
+      // position diffuses through all 64 bits before the next one lands.
+      h ^= k + 0x9E3779B97F4A7C15ull;
+      h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+      h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+      h = h ^ (h >> 31);
+    }
+    return h;
+  }
+
+  /// Stateless keyed sub-stream: Rng(derive_seed(seed, keys)). The canonical
+  /// derivation for reproducible simulation streams keyed by identity - e.g.
+  /// (traffic seed, TTI, symbol, group) or (farm seed, cell, TTI) - so the
+  /// same entity gets the same bits no matter which order (or host process)
+  /// generates it.
+  static Rng keyed(u64 seed, std::initializer_list<u64> keys) {
+    return Rng(derive_seed(seed, keys));
   }
 
  private:

@@ -1,0 +1,165 @@
+// One gNB cell of the farm: a persistent UE population (HARQ entities +
+// on/off burst arrival state) closed-loop against the L1 slot engine.
+//
+// Per TTI the cell
+//   1. builds a FAPI-style SlotRequest (build_request): retransmissions
+//      first (lowest HARQ process id, UE order rotated per TTI for
+//      fairness), then new data for UEs whose burst process is "on" and
+//      whose arrival draw fires, packed symbol-major into the carrier grid
+//      at sc_per_pdu subcarriers per PDU until capacity runs out;
+//   2. expands the request into a ran::SlotWorkload (build_workload): one
+//      Allocation per PDU, generated at the PDU's Chase-combined effective
+//      SNR from an Rng stream keyed by (cell seed, tti, symbol, subcarrier)
+//      - identity, not draw order, so any shard reproduces the same bits;
+//   3. runs it on the cell's own ran::SlotScheduler cluster pool and folds
+//      SlotResult::allocation_errors into a SlotIndication (run_slot);
+//   4. feeds the CRC outcomes back into the UEs' HARQ processes
+//      (apply_indication) - ACK frees the process, NACK retransmits at
+//      boosted SNR or drops after the attempt budget.
+//
+// Retransmission modelling: a retransmission is a fresh realization of the
+// block (bits, channel, noise) at the combined effective SNR. Chase
+// combining is captured in the success statistics of each attempt, not by
+// carrying soft values across slots through the bit-true detector.
+//
+// Everything the cell does is a deterministic function of (CellConfig,
+// tti): burst transitions, arrivals and payloads use Rng::keyed streams and
+// the scheduler's accounting is host-thread-invariant, so a cell simulated
+// in any farm shard (or any host process) produces bit-identical reports.
+#pragma once
+
+#include <vector>
+
+#include "mac/fapi.h"
+#include "mac/harq.h"
+#include "ran/deadline.h"
+#include "ran/scheduler.h"
+#include "ran/traffic.h"
+
+namespace tsim::mac {
+
+/// Per-UE on/off burst arrival process, layered on the slot engine's
+/// Poisson path: while "on" a UE offers new data with arrival_prob per slot
+/// (Bernoulli thinning - the aggregate arrival stream stays Poisson-like),
+/// while "off" only pending retransmissions go out. State transitions form
+/// a two-state Markov chain with the configured duty cycle and mean burst
+/// length; an optional diurnal term modulates the on-rate over TTIs.
+struct BurstConfig {
+  bool enabled = false;        // false: every UE offers new data every slot
+  double duty = 0.5;           // stationary fraction of slots a UE is on
+  double mean_on_slots = 8.0;  // expected burst length (slots)
+  double arrival_prob = 1.0;   // P(new transport block | on) per slot
+  double diurnal_period_ttis = 0.0;  // 0 = no diurnal modulation
+  double diurnal_depth = 0.0;  // fractional swing of the on-rate, in [0, 1]
+
+  void validate() const;
+  /// P(off -> on) at `tti`, including the diurnal modulation.
+  double p_on(u64 tti) const;
+  /// P(on -> off) per slot: 1 / mean burst length.
+  double p_off() const { return 1.0 / mean_on_slots; }
+};
+
+struct CellConfig {
+  u32 cell = 0;
+  u64 farm_seed = 0xFA21;
+  u32 num_ues = 64;     // persistent UEs; service class = ue % groups.size()
+  u32 sc_per_pdu = 4;   // allocation width (subcarriers) of one PDU
+  phy::CarrierConfig carrier;             // callers shrink this for soaks
+  std::vector<ran::UeGroup> groups;       // service classes (geometry/QAM/SNR)
+  HarqConfig harq;
+  BurstConfig burst;
+  ran::ClusterPoolConfig pool;
+  double clock_hz = 1e9;
+
+  void validate() const;
+  /// The cell's deterministic seed: keyed by (farm_seed, cell) only, so a
+  /// farm shard reconstructs it from the shared config without coordination.
+  u64 cell_seed() const;
+};
+
+/// Integer-only per-cell aggregate. Every field is an exact count (or cycle
+/// total), so a report serialized through the farm's JSON pipe round-trips
+/// bit-identically - the derived rates live in accessors, not fields.
+struct CellReport {
+  u32 cell = 0;
+  u32 ues = 0;
+  u32 ttis = 0;
+  HarqStats harq;          // summed over the cell's UEs
+  u64 pdus = 0;            // PDUs carried to L1 (= harq.transmissions())
+  u64 crc_fail = 0;        // transmissions whose CRC failed
+  u64 unresolved = 0;      // blocks still awaiting feedback at end of run
+  u64 bits = 0;            // detector payload bits over all slots
+  u64 errors = 0;          // detector bit errors over all slots
+  u64 slots = 0;           // slots processed (== ttis)
+  u64 misses = 0;          // slots over the TTI deadline
+  u64 worst_cycles = 0;
+  u64 p50_cycles = 0;
+  u64 p99_cycles = 0;
+  u64 reloads = 0;
+  u64 reload_cycles = 0;
+
+  double residual_bler() const { return harq.residual_bler(); }
+  double retx_fraction() const { return harq.retx_fraction(); }
+  double crc_fail_fraction() const {
+    return pdus == 0 ? 0.0
+                     : static_cast<double>(crc_fail) / static_cast<double>(pdus);
+  }
+  /// Delivered MAC throughput over the simulated wall time, in Mb/s.
+  double delivered_mbps(double tti_seconds) const {
+    return ttis == 0 ? 0.0
+                     : static_cast<double>(harq.delivered_bits) /
+                           (static_cast<double>(ttis) * tti_seconds) / 1e6;
+  }
+
+  bool operator==(const CellReport& o) const;
+};
+
+class Cell {
+ public:
+  explicit Cell(const CellConfig& cfg);
+
+  /// MAC scheduling decision for `tti` (mutates HARQ/burst state: grants
+  /// mark transmissions in flight).
+  SlotRequest build_request(u64 tti);
+  /// Expands a request into the L1 workload (pure; keyed RNG streams).
+  ran::SlotWorkload build_workload(const SlotRequest& req) const;
+  /// Runs the workload on the cell's cluster pool and builds the CRC
+  /// indication from the per-allocation outcomes.
+  SlotIndication run_slot(const SlotRequest& req);
+  /// Feeds CRC outcomes back into the UEs' HARQ processes.
+  void apply_indication(const SlotIndication& ind);
+
+  /// One full closed-loop TTI: request -> workload -> L1 -> indication ->
+  /// HARQ feedback.
+  void step(u64 tti);
+
+  CellReport report() const;
+  /// Slim per-slot results (detected bits stripped) for AggregateReport.
+  const std::vector<ran::SlotResult>& slot_results() const { return results_; }
+  const CellConfig& config() const { return cfg_; }
+
+ private:
+  struct Ue {
+    u32 group = 0;
+    bool on = true;        // burst state (always true when bursts disabled)
+    HarqEntity harq;
+    explicit Ue(u32 g, const HarqConfig& h) : group(g), harq(h) {}
+  };
+
+  /// Payload bits of one PDU of UE `ue` (sc_per_pdu problems x ntx layers x
+  /// bits/symbol of the UE's constellation).
+  u64 pdu_bits(u32 ue) const;
+  void update_burst_states(u64 tti);
+
+  CellConfig cfg_;
+  u64 seed_ = 0;  // cell_seed(), cached
+  std::vector<Ue> ues_;
+  std::vector<phy::Channel> channels_;   // one per group
+  std::vector<phy::QamModulator> mods_;  // one per group
+  ran::SlotScheduler scheduler_;
+  std::vector<ran::SlotResult> results_;
+  u64 crc_fail_ = 0;
+  u32 ttis_run_ = 0;
+};
+
+}  // namespace tsim::mac

@@ -1,0 +1,99 @@
+// FAPI-style slot messaging between the MAC layer (src/mac/) and the L1
+// slot scheduler (ran::SlotScheduler) - the control-plane seam of the
+// multi-cell gNB farm.
+//
+// The interface mirrors the two messages that carry a PUSCH slot through a
+// 5G FAPI / O-RAN split (SCF 222 "5G FAPI: PHY API"), reduced to what the
+// simulated uplink needs:
+//
+//             MAC (mac::Cell)                         L1 (ran::SlotScheduler)
+//   TTI n:    ------ SlotRequest (UL_TTI.request) ------------------------>
+//             per-UE PduDescriptor: RNTI-like ue id,     expands PDUs into
+//             HARQ process id, new-data indicator,       a SlotWorkload
+//             transmission number, symbol/subcarrier     (one Allocation
+//             allocation, effective SNR after Chase      per PDU) and runs
+//             combining                                  it on the cluster
+//                                                        pool
+//   TTI n:    <----- SlotIndication (CRC.indication) ----------------------
+//             per-PDU CrcResult: pass/fail + measured    per-allocation bit
+//             BER + bit counts, plus the slot's          errors come from
+//             latency/deadline verdict                   SlotResult::
+//                                                        allocation_errors
+//
+// The MAC closes the loop: CRC failures advance the UE's HARQ process
+// (retransmission at Chase-boosted effective SNR, or drop after the last
+// permitted attempt), CRC passes free the process for new data. Because the
+// exchange is two plain structs, an external MAC scheduler can be plugged
+// in later by speaking these messages instead of mac::Cell's built-in
+// scheduler (cf. the O-RAN FAPI translator's config/worker split).
+//
+// CRC model: a PDU "passes CRC" iff the detector reproduced every payload
+// bit of the PDU (SlotResult::allocation_errors[pdu] == 0). There is no
+// separate CRC field to corrupt - the ground-truth bits are known - so the
+// indication's pass/fail is exact rather than probabilistic.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace tsim::mac {
+
+/// One UE's PUSCH PDU within a slot request (UL_TTI.request PDU entry).
+struct PduDescriptor {
+  u32 ue = 0;                 // UE id within the cell (RNTI stand-in)
+  u32 harq_process = 0;       // HARQ process carrying the transport block
+  bool new_data = true;       // new-data indicator (false = retransmission)
+  u32 transmission = 1;       // 1-based transmission number (attempts so far)
+  u32 group = 0;              // UE service class -> ran::UeGroup index
+  u32 symbol = 0;             // OFDM symbol of the allocation
+  u32 first_subcarrier = 0;   // grid position within the symbol
+  u32 num_subcarriers = 0;    // allocation width
+  double effective_snr_db = 0.0;  // base SNR + Chase combining boost
+  u64 pdu_bits = 0;           // payload bits of the transport block
+};
+
+/// MAC -> L1: everything the PHY needs to process one cell's slot
+/// (UL_TTI.request-like).
+struct SlotRequest {
+  u32 cell = 0;
+  u64 tti = 0;
+  std::vector<PduDescriptor> pdus;
+
+  u64 total_bits() const {
+    u64 n = 0;
+    for (const PduDescriptor& p : pdus) n += p.pdu_bits;
+    return n;
+  }
+};
+
+/// Per-PDU uplink outcome (CRC.indication PDU entry).
+struct CrcResult {
+  u32 ue = 0;
+  u32 harq_process = 0;
+  bool crc_pass = false;
+  u64 bit_errors = 0;   // hard-decision errors vs the transmitted bits
+  u64 bits = 0;         // payload bits of the PDU
+  double ber() const {
+    return bits == 0 ? 0.0
+                     : static_cast<double>(bit_errors) / static_cast<double>(bits);
+  }
+};
+
+/// L1 -> MAC: per-PDU CRC outcomes plus the slot's timing verdict
+/// (CRC.indication-like, with the SLOT.indication timing folded in).
+struct SlotIndication {
+  u32 cell = 0;
+  u64 tti = 0;
+  std::vector<CrcResult> crcs;   // same order as SlotRequest::pdus
+  u64 slot_cycles = 0;           // L1 critical path of the slot
+  bool deadline_met = true;      // slot_cycles vs the TTI budget at the clock
+
+  u64 failed() const {
+    u64 n = 0;
+    for (const CrcResult& c : crcs) n += c.crc_pass ? 0 : 1;
+    return n;
+  }
+};
+
+}  // namespace tsim::mac

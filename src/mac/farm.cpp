@@ -1,0 +1,276 @@
+#include "mac/farm.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "sim/report.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TSIM_FARM_HAS_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define TSIM_FARM_HAS_FORK 0
+#endif
+
+namespace tsim::mac {
+
+void FarmConfig::validate() const {
+  check(cells >= 1, "FarmConfig: need at least one cell");
+  check(shards >= 1, "FarmConfig: need at least one shard");
+  check(ttis >= 1, "FarmConfig: need at least one TTI");
+  // Everything else is validated per cell when the Cell is built.
+  cell_config(0).validate();
+}
+
+CellConfig FarmConfig::cell_config(u32 cell) const {
+  CellConfig c;
+  c.cell = cell;
+  c.farm_seed = seed;
+  c.num_ues = ues_per_cell;
+  c.sc_per_pdu = sc_per_pdu;
+  c.carrier = carrier;
+  c.groups = groups.empty() ? ran::mixed_geometry_groups() : groups;
+  c.harq = harq;
+  c.burst = burst;
+  c.pool = pool;
+  c.clock_hz = clock_hz;
+  return c;
+}
+
+CellReport FarmResult::total() const {
+  CellReport t;
+  for (const CellReport& c : cells) {
+    t.ues += c.ues;
+    t.ttis = std::max(t.ttis, c.ttis);
+    t.harq.new_tx += c.harq.new_tx;
+    t.harq.retx += c.harq.retx;
+    t.harq.acks += c.harq.acks;
+    t.harq.drops += c.harq.drops;
+    t.harq.stalls += c.harq.stalls;
+    t.harq.offered_bits += c.harq.offered_bits;
+    t.harq.delivered_bits += c.harq.delivered_bits;
+    t.harq.dropped_bits += c.harq.dropped_bits;
+    t.harq.soft_buffer_peak_bits += c.harq.soft_buffer_peak_bits;
+    t.pdus += c.pdus;
+    t.crc_fail += c.crc_fail;
+    t.unresolved += c.unresolved;
+    t.bits += c.bits;
+    t.errors += c.errors;
+    t.slots += c.slots;
+    t.misses += c.misses;
+    // Cells run concurrently on independent hardware, so farm-level timing
+    // is the worst cell's: max of worsts and of per-cell percentiles.
+    t.worst_cycles = std::max(t.worst_cycles, c.worst_cycles);
+    t.p50_cycles = std::max(t.p50_cycles, c.p50_cycles);
+    t.p99_cycles = std::max(t.p99_cycles, c.p99_cycles);
+    t.reloads += c.reloads;
+    t.reload_cycles += c.reload_cycles;
+  }
+  return t;
+}
+
+CellReport run_cell(const FarmConfig& cfg, u32 cell) {
+  Cell c(cfg.cell_config(cell));
+  for (u32 t = 0; t < cfg.ttis; ++t) c.step(t);
+  return c.report();
+}
+
+std::vector<std::string> cell_report_header() {
+  return {"cell",       "ues",          "ttis",           "pdus",
+          "new_tx",     "retx",         "acks",           "drops",
+          "stalls",     "crc_fail",     "offered_bits",   "delivered_bits",
+          "dropped_bits", "soft_peak_bits", "unresolved", "bits",
+          "errors",     "slots",        "misses",         "worst_cycles",
+          "p50_cycles", "p99_cycles",   "reloads",        "reload_cycles"};
+}
+
+std::vector<std::string> cell_report_row(const CellReport& rep) {
+  const auto u = [](u64 v) {
+    return sim::strf("%llu", static_cast<unsigned long long>(v));
+  };
+  return {u(rep.cell),
+          u(rep.ues),
+          u(rep.ttis),
+          u(rep.pdus),
+          u(rep.harq.new_tx),
+          u(rep.harq.retx),
+          u(rep.harq.acks),
+          u(rep.harq.drops),
+          u(rep.harq.stalls),
+          u(rep.crc_fail),
+          u(rep.harq.offered_bits),
+          u(rep.harq.delivered_bits),
+          u(rep.harq.dropped_bits),
+          u(rep.harq.soft_buffer_peak_bits),
+          u(rep.unresolved),
+          u(rep.bits),
+          u(rep.errors),
+          u(rep.slots),
+          u(rep.misses),
+          u(rep.worst_cycles),
+          u(rep.p50_cycles),
+          u(rep.p99_cycles),
+          u(rep.reloads),
+          u(rep.reload_cycles)};
+}
+
+CellReport cell_report_from_row(
+    const std::vector<std::pair<std::string, std::string>>& row) {
+  const auto field = [&](const char* key) -> u64 {
+    for (const auto& [k, v] : row) {
+      if (k == key) {
+        char* end = nullptr;
+        const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+        check(end != v.c_str() && *end == '\0',
+              std::string("farm row: non-integer value for '") + key + "'");
+        return static_cast<u64>(parsed);
+      }
+    }
+    throw SimError(std::string("farm row: missing field '") + key + "'");
+  };
+  CellReport rep;
+  rep.cell = static_cast<u32>(field("cell"));
+  rep.ues = static_cast<u32>(field("ues"));
+  rep.ttis = static_cast<u32>(field("ttis"));
+  rep.pdus = field("pdus");
+  rep.harq.new_tx = field("new_tx");
+  rep.harq.retx = field("retx");
+  rep.harq.acks = field("acks");
+  rep.harq.drops = field("drops");
+  rep.harq.stalls = field("stalls");
+  rep.crc_fail = field("crc_fail");
+  rep.harq.offered_bits = field("offered_bits");
+  rep.harq.delivered_bits = field("delivered_bits");
+  rep.harq.dropped_bits = field("dropped_bits");
+  rep.harq.soft_buffer_peak_bits = field("soft_peak_bits");
+  rep.unresolved = field("unresolved");
+  rep.bits = field("bits");
+  rep.errors = field("errors");
+  rep.slots = field("slots");
+  rep.misses = field("misses");
+  rep.worst_cycles = field("worst_cycles");
+  rep.p50_cycles = field("p50_cycles");
+  rep.p99_cycles = field("p99_cycles");
+  rep.reloads = field("reloads");
+  rep.reload_cycles = field("reload_cycles");
+  return rep;
+}
+
+namespace {
+
+FarmResult run_farm_inline(const FarmConfig& cfg) {
+  FarmResult result;
+  result.cells.reserve(cfg.cells);
+  for (u32 c = 0; c < cfg.cells; ++c) result.cells.push_back(run_cell(cfg, c));
+  return result;
+}
+
+}  // namespace
+
+#if TSIM_FARM_HAS_FORK
+
+FarmResult run_farm(const FarmConfig& cfg) {
+  cfg.validate();
+  const u32 shards = std::min(cfg.shards, cfg.cells);
+  if (shards <= 1) return run_farm_inline(cfg);
+
+  // Fork one worker per shard. Shard s owns cells {c : c % shards == s} and
+  // streams their reports back as JSON rows over its pipe. stdio buffers
+  // are flushed before forking so a worker cannot replay buffered output.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+  };
+  std::vector<Worker> workers(shards);
+  for (u32 s = 0; s < shards; ++s) {
+    int fds[2];
+    check(::pipe(fds) == 0, "run_farm: pipe() failed");
+    const pid_t pid = ::fork();
+    check(pid >= 0, "run_farm: fork() failed");
+    if (pid == 0) {
+      // Worker process. _exit (not exit) so the parent's atexit/stdio state
+      // is never touched twice; exit status reports failure.
+      ::close(fds[0]);
+      for (u32 prev = 0; prev < s; ++prev) ::close(workers[prev].fd);
+      int status = 0;
+      std::FILE* out = ::fdopen(fds[1], "w");
+      if (out == nullptr) ::_exit(3);
+      std::vector<std::vector<std::string>> rows;
+      try {
+        for (u32 c = s; c < cfg.cells; c += shards)
+          rows.push_back(cell_report_row(run_cell(cfg, c)));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "farm shard %u: %s\n", s, e.what());
+        status = 4;
+      }
+      if (status == 0) sim::write_json_rows(out, cell_report_header(), rows);
+      std::fclose(out);
+      ::_exit(status);
+    }
+    ::close(fds[1]);
+    workers[s] = Worker{pid, fds[0]};
+  }
+
+  // Gather: drain every pipe and reap every worker before deciding the
+  // outcome, so a failing shard cannot leak children or block siblings.
+  FarmResult result;
+  result.cells.resize(cfg.cells);
+  std::vector<u8> filled(cfg.cells, 0);
+  std::string error;
+  for (u32 s = 0; s < shards; ++s) {
+    std::string text;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(workers[s].fd, buf, sizeof buf)) > 0)
+      text.append(buf, static_cast<size_t>(n));
+    ::close(workers[s].fd);
+    int status = 0;
+    ::waitpid(workers[s].pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      if (error.empty())
+        error = sim::strf("run_farm: shard %u worker failed (status %d)", s,
+                          status);
+      continue;
+    }
+    std::vector<std::vector<std::pair<std::string, std::string>>> rows;
+    if (!sim::parse_json_rows(text, rows)) {
+      if (error.empty())
+        error = sim::strf("run_farm: shard %u returned malformed JSON", s);
+      continue;
+    }
+    try {
+      for (const auto& row : rows) {
+        CellReport rep = cell_report_from_row(row);
+        check(rep.cell < cfg.cells && filled[rep.cell] == 0,
+              "run_farm: duplicate or out-of-range cell in shard output");
+        filled[rep.cell] = 1;
+        result.cells[rep.cell] = rep;
+      }
+    } catch (const std::exception& e) {
+      if (error.empty()) error = e.what();
+    }
+  }
+  check(error.empty(), error);
+  for (u32 c = 0; c < cfg.cells; ++c)
+    check(filled[c] != 0, sim::strf("run_farm: no report for cell %u", c));
+  return result;
+}
+
+#else  // !TSIM_FARM_HAS_FORK
+
+FarmResult run_farm(const FarmConfig& cfg) {
+  cfg.validate();
+  if (cfg.shards > 1)
+    std::fprintf(stderr,
+                 "run_farm: no fork() on this platform, running inline\n");
+  return run_farm_inline(cfg);
+}
+
+#endif
+
+}  // namespace tsim::mac

@@ -1,0 +1,72 @@
+// Multi-cell gNB farm: N independent mac::Cell closed-loop simulations,
+// shard-parallel across host worker processes.
+//
+// Scaling model: cells never interact (each has its own UE population,
+// HARQ state and cluster pool), so the farm is embarrassingly parallel at
+// cell granularity. `shards` partitions the cells round-robin across forked
+// worker processes; each worker simulates its cells to completion, encodes
+// the integer-only CellReports as JSON rows (the repo's shared
+// sim::write_json_rows format), streams them through a pipe, and exits. The
+// parent gathers, parses and reassembles the reports in cell order.
+//
+// Determinism: a cell's entire simulation is keyed by
+// (FarmConfig::seed, cell id, tti) via Rng::keyed streams - nothing depends
+// on which shard (or host thread) runs it, every report field is an exact
+// integer, and the pipe carries decimal integers - so farm aggregates are
+// bit-identical for every shard count and host thread count. That is the
+// property the soak tests pin (tests/mac_test.cpp) and the CI farm-smoke
+// step validates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mac/cell.h"
+
+namespace tsim::mac {
+
+struct FarmConfig {
+  u32 cells = 4;
+  u32 shards = 1;        // worker processes (clamped to the cell count)
+  u64 seed = 0xFA21;     // farm seed; cell c uses derive_seed(seed, cell c)
+  u32 ttis = 32;         // closed-loop TTIs per cell
+  u32 ues_per_cell = 64;
+  u32 sc_per_pdu = 4;
+  phy::CarrierConfig carrier;
+  std::vector<ran::UeGroup> groups;  // defaulted in validate-time helper
+  HarqConfig harq;
+  BurstConfig burst;
+  ran::ClusterPoolConfig pool;
+  double clock_hz = 1e9;
+
+  void validate() const;
+  /// The per-cell config of cell `cell` (shared parameters + cell identity).
+  CellConfig cell_config(u32 cell) const;
+};
+
+struct FarmResult {
+  std::vector<CellReport> cells;  // indexed by cell id
+
+  /// Element-wise sum of every cell's integer counters (timing fields take
+  /// the max/percentile-of-worst semantics noted per field).
+  CellReport total() const;
+};
+
+/// Runs every cell of the farm. shards == 1 runs inline on this process;
+/// shards > 1 forks one worker per shard and gathers reports over pipes.
+/// Throws SimError if a worker fails.
+FarmResult run_farm(const FarmConfig& cfg);
+
+/// Runs one cell inline (the worker path; also handy for tests).
+CellReport run_cell(const FarmConfig& cfg, u32 cell);
+
+/// The JSON row schema of one CellReport (shared by the pipe wire format
+/// and the farm driver's trajectory output): integer fields only.
+std::vector<std::string> cell_report_header();
+std::vector<std::string> cell_report_row(const CellReport& rep);
+/// Rebuilds a report from a parsed JSON row. Throws SimError on a missing
+/// or malformed field.
+CellReport cell_report_from_row(
+    const std::vector<std::pair<std::string, std::string>>& row);
+
+}  // namespace tsim::mac

@@ -1,0 +1,202 @@
+// Per-UE HARQ state machine: the slot-to-slot persistent state that turns
+// independent slots into closed-loop traffic (ROADMAP "multi-cell gNB farm").
+//
+// Each UE owns `HarqConfig::num_processes` stop-and-wait HARQ processes. A
+// process carries one transport block from its first transmission until the
+// block is ACKed (CRC pass) or dropped after `max_attempts` transmissions;
+// while it waits for a retransmission opportunity its soft-buffer copy stays
+// resident (Chase combining keeps one LLR-sized buffer per process, so
+// occupancy is pdu_bits per active process, not per attempt). Retransmission
+// combining is modelled as an effective-SNR boost: transmission k of a block
+// is generated at phy::Channel::chase_combined_snr_db(base, k).
+//
+// The entity is pure bookkeeping - no RNG, no PHY - so every edge case
+// (max-attempt drop, soft-buffer release, all-processes-busy stall) is unit
+// testable without a simulation behind it (tests/mac_test.cpp).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace tsim::mac {
+
+struct HarqConfig {
+  u32 num_processes = 8;  // concurrent stop-and-wait processes per UE
+  u32 max_attempts = 4;   // transmissions per block (incl. the first), then drop
+  bool enabled = true;    // false = single-shot: every CRC failure drops (A/B)
+
+  /// Transmissions a block may use: max_attempts, or 1 with HARQ disabled.
+  u32 attempt_budget() const { return enabled ? max_attempts : 1; }
+
+  void validate() const {
+    check(num_processes >= 1, "HarqConfig: need at least one HARQ process");
+    check(max_attempts >= 1, "HarqConfig: need at least one attempt");
+  }
+};
+
+/// Lifetime counters of one HARQ entity (all monotone; integers only, so
+/// farm aggregates built from them round-trip shards exactly).
+struct HarqStats {
+  u64 new_tx = 0;         // first transmissions (new transport blocks)
+  u64 retx = 0;           // retransmissions
+  u64 acks = 0;           // blocks delivered (CRC pass)
+  u64 drops = 0;          // blocks abandoned after the attempt budget
+  u64 stalls = 0;         // slots where new data found no free process
+  u64 offered_bits = 0;   // bits of every new transport block
+  u64 delivered_bits = 0; // bits of ACKed blocks
+  u64 dropped_bits = 0;   // bits of dropped blocks
+  u64 soft_buffer_peak_bits = 0;  // worst-case combined soft-buffer occupancy
+
+  u64 transmissions() const { return new_tx + retx; }
+  u64 finished() const { return acks + drops; }
+  /// Residual block error rate after HARQ: blocks still lost at the MAC.
+  double residual_bler() const {
+    return finished() == 0
+               ? 0.0
+               : static_cast<double>(drops) / static_cast<double>(finished());
+  }
+  double retx_fraction() const {
+    return transmissions() == 0
+               ? 0.0
+               : static_cast<double>(retx) / static_cast<double>(transmissions());
+  }
+};
+
+class HarqEntity {
+ public:
+  explicit HarqEntity(const HarqConfig& cfg) : cfg_(cfg) {
+    cfg_.validate();
+    processes_.resize(cfg_.num_processes);
+  }
+
+  /// Lowest-id process with a retransmission pending (NACKed, attempt budget
+  /// left), or nullopt. Retransmissions take priority over new data.
+  std::optional<u32> pending_retx() const {
+    for (u32 p = 0; p < processes_.size(); ++p) {
+      if (processes_[p].active && !processes_[p].in_flight &&
+          processes_[p].attempts > 0)
+        return p;
+    }
+    return std::nullopt;
+  }
+
+  /// Starts a new transport block of `bits` on the lowest-id free process and
+  /// marks its first transmission in flight. Returns the process id, or
+  /// nullopt (and counts a stall) when every process is busy - the
+  /// all-processes-busy stall of a UE whose feedback is all NACKs.
+  std::optional<u32> start_new_data(u64 bits) {
+    for (u32 p = 0; p < processes_.size(); ++p) {
+      Process& proc = processes_[p];
+      if (proc.active) continue;
+      proc.active = true;
+      proc.in_flight = true;
+      proc.attempts = 1;
+      proc.bits = bits;
+      stats_.new_tx += 1;
+      stats_.offered_bits += bits;
+      note_occupancy();
+      return p;
+    }
+    stats_.stalls += 1;
+    return std::nullopt;
+  }
+
+  /// Marks process `p`'s pending retransmission in flight (transmission
+  /// number attempts+1). Only valid for a process pending_retx() returned.
+  u32 grant_retx(u32 p) {
+    Process& proc = process(p);
+    check(proc.active && !proc.in_flight && proc.attempts > 0,
+          "HarqEntity: grant_retx on a process with no pending retransmission");
+    proc.attempts += 1;
+    proc.in_flight = true;
+    stats_.retx += 1;
+    return proc.attempts;
+  }
+
+  /// Applies the CRC outcome of process `p`'s in-flight transmission.
+  /// ACK frees the process (soft buffer released, bits delivered). NACK
+  /// keeps the block for retransmission, or drops it - freeing the soft
+  /// buffer and counting residual loss - when the attempt budget is spent.
+  void on_feedback(u32 p, bool crc_pass) {
+    Process& proc = process(p);
+    check(proc.active && proc.in_flight,
+          "HarqEntity: feedback for a process with nothing in flight");
+    proc.in_flight = false;
+    if (crc_pass) {
+      stats_.acks += 1;
+      stats_.delivered_bits += proc.bits;
+      proc = Process{};  // soft buffer released
+      return;
+    }
+    if (proc.attempts >= cfg_.attempt_budget()) {
+      stats_.drops += 1;
+      stats_.dropped_bits += proc.bits;
+      proc = Process{};  // block abandoned: soft buffer released
+      return;
+    }
+    // Block stays resident awaiting a retransmission grant.
+  }
+
+  /// Transmission number (1-based) the next grant of process `p` would use;
+  /// process must be active. Drives the Chase effective-SNR boost.
+  u32 attempts(u32 p) const { return process(p).attempts; }
+  bool active(u32 p) const { return process(p).active; }
+
+  /// Soft-buffer occupancy right now: one block-sized buffer per process
+  /// holding a transport block (Chase combining accumulates in place).
+  u64 soft_buffer_bits() const {
+    u64 bits = 0;
+    for (const Process& p : processes_)
+      if (p.active) bits += p.bits;
+    return bits;
+  }
+
+  /// True when no process can take new data.
+  bool all_busy() const {
+    for (const Process& p : processes_)
+      if (!p.active) return false;
+    return true;
+  }
+
+  /// Blocks still unresolved (active processes) - the farm flushes these
+  /// out of the residual-BLER denominator at end of run.
+  u32 unresolved() const {
+    u32 n = 0;
+    for (const Process& p : processes_) n += p.active ? 1 : 0;
+    return n;
+  }
+
+  const HarqStats& stats() const { return stats_; }
+  const HarqConfig& config() const { return cfg_; }
+
+ private:
+  struct Process {
+    bool active = false;     // holds a transport block
+    bool in_flight = false;  // transmitted this slot, awaiting CRC
+    u32 attempts = 0;        // transmissions so far
+    u64 bits = 0;
+  };
+
+  Process& process(u32 p) {
+    check(p < processes_.size(), "HarqEntity: process id out of range");
+    return processes_[p];
+  }
+  const Process& process(u32 p) const {
+    check(p < processes_.size(), "HarqEntity: process id out of range");
+    return processes_[p];
+  }
+  void note_occupancy() {
+    stats_.soft_buffer_peak_bits =
+        std::max(stats_.soft_buffer_peak_bits, soft_buffer_bits());
+  }
+
+  HarqConfig cfg_;
+  std::vector<Process> processes_;
+  HarqStats stats_;
+};
+
+}  // namespace tsim::mac

@@ -36,6 +36,21 @@ class Channel {
     return std::pow(10.0, -snr_db / 10.0);
   }
 
+  /// HARQ retransmission hook (used by the MAC layer, src/mac/): effective
+  /// post-combining SNR after `transmissions` Chase-combined copies of the
+  /// same transport block. Chase combining adds the copies' signal energy
+  /// coherently while their independent noise adds in power, so the
+  /// effective SNR grows linearly with the copy count:
+  ///   SNR_eff(dB) = SNR(dB) + 10 log10(transmissions).
+  /// The MAC feeds this back into traffic generation: a retransmitted
+  /// allocation is generated (channel + noise) at the boosted SNR instead
+  /// of carrying soft buffers through the bit-true detector.
+  static double chase_combined_snr_db(double snr_db, u32 transmissions) {
+    return transmissions <= 1
+               ? snr_db
+               : snr_db + 10.0 * std::log10(static_cast<double>(transmissions));
+  }
+
  private:
   ChannelType type_;
   u32 nrx_;

@@ -8,6 +8,10 @@
 // in Mb/s, per-cluster utilization) as a sim::Table.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "phy/ofdm.h"
 #include "ran/scheduler.h"
 #include "sim/report.h"
@@ -74,6 +78,72 @@ inline DeadlineReport deadline_report(const SlotResult& result,
   rep.reload_cycles = result.total_reload_cycles;
   for (const u64 busy : result.cluster_busy_cycles) rep.busy_cycles += busy;
   return rep;
+}
+
+/// Multi-slot aggregation: deadline misses, latency percentiles and reload
+/// totals over a run of processed slots (a soak, one farm cell, a sweep
+/// point). Percentiles are nearest-rank over the exact integer slot-cycle
+/// counts, so aggregates are bit-identical wherever the slots were computed
+/// (any host thread count, any farm shard).
+struct AggregateReport {
+  u64 slots = 0;
+  u64 misses = 0;          // slots whose latency exceeded the TTI deadline
+  u64 reloads = 0;         // program switches, summed over slots
+  u64 reload_cycles = 0;   // modeled DMA cycles of those switches
+  u64 worst_cycles = 0;    // worst slot critical path
+  u64 p50_cycles = 0;      // nearest-rank median slot critical path
+  u64 p99_cycles = 0;      // nearest-rank 99th-percentile slot critical path
+  u64 total_bits = 0;      // payload bits over all slots
+  u64 total_errors = 0;    // hard-decision bit errors over all slots
+  double clock_hz = 1e9;
+  double tti_seconds = 5e-4;
+
+  double worst_latency_seconds() const { return worst_cycles / clock_hz; }
+  double p50_latency_seconds() const { return p50_cycles / clock_hz; }
+  double p99_latency_seconds() const { return p99_cycles / clock_hz; }
+  double miss_fraction() const {
+    return slots == 0 ? 0.0
+                      : static_cast<double>(misses) / static_cast<double>(slots);
+  }
+  double ber() const {
+    return total_bits == 0 ? 0.0
+                           : static_cast<double>(total_errors) /
+                                 static_cast<double>(total_bits);
+  }
+};
+
+/// Nearest-rank percentile of a non-empty sorted sample: the smallest value
+/// whose rank covers fraction `q` of the sample (q in (0, 1]).
+inline u64 nearest_rank(const std::vector<u64>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+inline AggregateReport aggregate_report(const std::vector<SlotResult>& results,
+                                        const phy::CarrierConfig& carrier,
+                                        double clock_hz = 1e9) {
+  AggregateReport agg;
+  agg.clock_hz = clock_hz;
+  agg.tti_seconds = carrier.numerology.slot_seconds();
+  agg.slots = results.size();
+  std::vector<u64> cycles;
+  cycles.reserve(results.size());
+  for (const SlotResult& r : results) {
+    cycles.push_back(r.slot_cycles);
+    agg.worst_cycles = std::max(agg.worst_cycles, r.slot_cycles);
+    agg.reloads += r.total_reloads;
+    agg.reload_cycles += r.total_reload_cycles;
+    agg.total_bits += r.bits;
+    agg.total_errors += r.errors;
+    if (static_cast<double>(r.slot_cycles) / clock_hz > agg.tti_seconds)
+      ++agg.misses;
+  }
+  std::sort(cycles.begin(), cycles.end());
+  agg.p50_cycles = nearest_rank(cycles, 0.50);
+  agg.p99_cycles = nearest_rank(cycles, 0.99);
+  return agg;
 }
 
 /// Fraction of the slot's critical path during which cluster `c` was busy.

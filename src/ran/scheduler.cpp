@@ -391,6 +391,7 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
 
   u32 symbols = 0;
   result.detected_bits.resize(slot.allocations.size());
+  result.allocation_errors.assign(slot.allocations.size(), 0);
   for (size_t a = 0; a < slot.allocations.size(); ++a) {
     result.detected_bits[a].assign(slot.allocations[a].batch.tx_bits.size(), 0);
     symbols = std::max(symbols, slot.allocations[a].symbol + 1);
@@ -529,6 +530,7 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
     const BatchTrace& t = result.trace[i];
     const u64 busy_cycles = t.cycles + t.reload_cycles;
     result.errors += batch_errors_scratch_[i];
+    result.allocation_errors[t.allocation] += batch_errors_scratch_[i];
     result.cluster_busy_cycles[t.cluster] += busy_cycles;
     result.cluster_batches[t.cluster] += 1;
     result.cluster_reloads[t.cluster] += t.reloads;

@@ -117,6 +117,12 @@ struct SlotResult {
   /// Hard-decision detected bits, per allocation (same shape as tx_bits).
   std::vector<std::vector<u8>> detected_bits;
 
+  /// Bit errors per allocation (sum over the allocation's batches; indexed
+  /// like SlotWorkload::allocations, sums to `errors`). This is the per-PDU
+  /// outcome the MAC layer's FAPI CRC indication is built from: an
+  /// allocation "passes CRC" iff its entry here is zero (see src/mac/).
+  std::vector<u64> allocation_errors;
+
   /// Busy cycles include the reload cycles charged to the cluster.
   std::vector<u64> cluster_busy_cycles;    // per cluster
   std::vector<u32> cluster_batches;        // batches run per cluster

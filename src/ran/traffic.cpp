@@ -74,23 +74,33 @@ std::vector<u32> TrafficGenerator::split_subcarriers(u32 occupied) const {
   return counts;
 }
 
+namespace {
+// Stream domain tags for Rng::keyed: occupancy and payload generation draw
+// from disjoint key spaces, so adding draws to one never shifts the other.
+constexpr u64 kOccupancyStream = 0x0CC0;
+constexpr u64 kAllocationStream = 0xA110C;
+}  // namespace
+
 SlotWorkload TrafficGenerator::slot(u64 tti) const {
   const u32 nsc = cfg_.carrier.num_subcarriers();
   SlotWorkload out;
   out.tti = tti;
 
-  Rng slot_rng = Rng(cfg_.seed).split(tti);
+  // Every sub-stream is keyed by identity - (seed, tti, symbol[, group]) -
+  // rather than derived from sequential draws, so a symbol's occupancy draw
+  // count can never shift an allocation's payload stream, and any TTI can be
+  // generated in any order (or in any host process) with identical bits.
   for (u32 sym = 0; sym < cfg_.carrier.symbols_per_slot; ++sym) {
-    Rng sym_rng = slot_rng.split(sym);
     u32 occupied = nsc;
     if (cfg_.arrival == ArrivalModel::kPoisson) {
+      Rng sym_rng = Rng::keyed(cfg_.seed, {kOccupancyStream, tti, sym});
       occupied = std::min(nsc, poisson_sample(sym_rng, cfg_.offered_load * nsc));
     }
     const std::vector<u32> counts = split_subcarriers(occupied);
     u32 next_sc = 0;
     for (size_t g = 0; g < cfg_.groups.size(); ++g) {
       if (counts[g] == 0) continue;
-      Rng alloc_rng = sym_rng.split(g + 1);
+      Rng alloc_rng = Rng::keyed(cfg_.seed, {kAllocationStream, tti, sym, g});
       Allocation a;
       a.group = static_cast<u32>(g);
       a.symbol = sym;

@@ -13,9 +13,13 @@
 //    configurable offered load, for latency/utilization studies below the
 //    deadline cliff.
 //
-// Generation is deterministic: the same TrafficConfig::seed reproduces the
-// same bits, channels and noise, TTI after TTI, regardless of host threading
-// (each allocation derives its own Rng sub-stream).
+// Generation is deterministic AND order-independent: every sub-stream is
+// keyed by identity via Rng::keyed - occupancy by (seed, tti, symbol),
+// payloads by (seed, tti, symbol, group) - never by sequential draw order.
+// The same TrafficConfig::seed therefore reproduces the same bits, channels
+// and noise for any TTI whether slots are generated forward, shuffled, or
+// split across host processes/shards (the property the mac:: farm's
+// deterministic sharding is built on).
 #pragma once
 
 #include <string>

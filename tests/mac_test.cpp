@@ -1,0 +1,347 @@
+// MAC subsystem tests: HARQ entity edge cases (max-retransmission drop,
+// soft-buffer release, all-processes-busy stall), burst-model sanity, the
+// closed-loop cell (determinism, HARQ vs single-shot residual BLER), the
+// farm's shard/thread bit-invariance contract, and the JSON row wire format
+// the shard gather rides on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mac/cell.h"
+#include "mac/farm.h"
+#include "mac/harq.h"
+#include "sim/report.h"
+
+namespace tsim::mac {
+namespace {
+
+// ------------------------------------------------------------ HarqEntity ---
+
+TEST(HarqEntityTest, NewDataOccupiesLowestFreeProcess) {
+  HarqEntity h(HarqConfig{4, 4, true});
+  EXPECT_EQ(h.start_new_data(100).value(), 0u);
+  EXPECT_EQ(h.start_new_data(100).value(), 1u);
+  EXPECT_TRUE(h.active(0));
+  EXPECT_TRUE(h.active(1));
+  EXPECT_FALSE(h.active(2));
+  EXPECT_EQ(h.soft_buffer_bits(), 200u);
+}
+
+TEST(HarqEntityTest, AckReleasesSoftBuffer) {
+  HarqEntity h(HarqConfig{2, 4, true});
+  h.start_new_data(100);
+  h.on_feedback(0, true);
+  EXPECT_FALSE(h.active(0));
+  EXPECT_EQ(h.soft_buffer_bits(), 0u);
+  EXPECT_EQ(h.stats().acks, 1u);
+  EXPECT_EQ(h.stats().delivered_bits, 100u);
+  // The freed process starts the next block clean: transmission 1, new bits.
+  EXPECT_EQ(h.start_new_data(60).value(), 0u);
+  EXPECT_EQ(h.attempts(0), 1u);
+  EXPECT_EQ(h.soft_buffer_bits(), 60u);
+}
+
+TEST(HarqEntityTest, NackRetransmitsWithBoostedAttemptCount) {
+  HarqEntity h(HarqConfig{2, 4, true});
+  h.start_new_data(100);
+  h.on_feedback(0, false);  // NACK 1: block stays resident
+  EXPECT_TRUE(h.active(0));
+  EXPECT_EQ(h.soft_buffer_bits(), 100u);
+  ASSERT_TRUE(h.pending_retx().has_value());
+  EXPECT_EQ(*h.pending_retx(), 0u);
+  EXPECT_EQ(h.grant_retx(0), 2u);  // second transmission
+  h.on_feedback(0, true);
+  EXPECT_EQ(h.stats().retx, 1u);
+  EXPECT_EQ(h.stats().acks, 1u);
+  EXPECT_FALSE(h.pending_retx().has_value());
+}
+
+TEST(HarqEntityTest, MaxAttemptsDropsBlockAndFreesProcess) {
+  HarqEntity h(HarqConfig{1, 3, true});
+  h.start_new_data(100);
+  h.on_feedback(0, false);  // attempt 1 NACK
+  h.grant_retx(0);
+  h.on_feedback(0, false);  // attempt 2 NACK
+  h.grant_retx(0);
+  h.on_feedback(0, false);  // attempt 3 NACK: budget spent -> drop
+  EXPECT_FALSE(h.active(0));
+  EXPECT_EQ(h.soft_buffer_bits(), 0u);
+  EXPECT_EQ(h.stats().drops, 1u);
+  EXPECT_EQ(h.stats().dropped_bits, 100u);
+  EXPECT_EQ(h.stats().retx, 2u);
+  EXPECT_FALSE(h.pending_retx().has_value());
+  EXPECT_DOUBLE_EQ(h.stats().residual_bler(), 1.0);
+}
+
+TEST(HarqEntityTest, AllProcessesBusyStalls) {
+  HarqEntity h(HarqConfig{2, 4, true});
+  EXPECT_TRUE(h.start_new_data(10).has_value());
+  EXPECT_TRUE(h.start_new_data(10).has_value());
+  EXPECT_TRUE(h.all_busy());
+  EXPECT_FALSE(h.start_new_data(10).has_value());
+  EXPECT_EQ(h.stats().stalls, 1u);
+  EXPECT_EQ(h.stats().new_tx, 2u);
+  EXPECT_EQ(h.unresolved(), 2u);
+}
+
+TEST(HarqEntityTest, DisabledHarqDropsOnFirstNack) {
+  HarqEntity h(HarqConfig{4, 4, false});  // single-shot baseline
+  h.start_new_data(100);
+  h.on_feedback(0, false);
+  EXPECT_EQ(h.stats().drops, 1u);
+  EXPECT_FALSE(h.active(0));
+  EXPECT_FALSE(h.pending_retx().has_value());
+}
+
+TEST(HarqEntityTest, SoftBufferPeakTracksConcurrentBlocks) {
+  HarqEntity h(HarqConfig{4, 4, true});
+  h.start_new_data(100);
+  h.start_new_data(200);
+  EXPECT_EQ(h.stats().soft_buffer_peak_bits, 300u);
+  h.on_feedback(0, true);
+  h.on_feedback(1, true);
+  EXPECT_EQ(h.soft_buffer_bits(), 0u);
+  EXPECT_EQ(h.stats().soft_buffer_peak_bits, 300u);  // peak is monotone
+}
+
+// ----------------------------------------------------------- BurstConfig ---
+
+TEST(BurstConfigTest, StationaryOnProbabilityMatchesDuty) {
+  BurstConfig b;
+  b.enabled = true;
+  b.duty = 0.5;
+  b.mean_on_slots = 8.0;
+  b.validate();
+  // Two-state Markov chain: stationary P(on) = p_on / (p_on + p_off).
+  const double p_on = b.p_on(0);
+  const double p_off = b.p_off();
+  EXPECT_NEAR(p_on / (p_on + p_off), b.duty, 1e-12);
+}
+
+TEST(BurstConfigTest, DiurnalModulationStaysWithinBounds) {
+  BurstConfig b;
+  b.enabled = true;
+  b.duty = 0.9;
+  b.mean_on_slots = 4.0;
+  b.diurnal_period_ttis = 20.0;
+  b.diurnal_depth = 1.0;
+  b.validate();
+  for (u64 t = 0; t < 40; ++t) {
+    const double p = b.p_on(t);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+// ------------------------------------------------------------- Cell/farm ---
+
+/// A farm small enough for unit tests: 16-subcarrier carrier, 2 symbols,
+/// tiny clusters - but enough TTIs for retransmission chains to resolve.
+FarmConfig tiny_farm() {
+  FarmConfig cfg;
+  cfg.cells = 4;
+  cfg.ttis = 24;
+  cfg.ues_per_cell = 8;
+  cfg.carrier.bandwidth_hz = 0.5e6;  // 16 subcarriers
+  cfg.carrier.symbols_per_slot = 2;
+  cfg.seed = 0xFA21;
+  return cfg;
+}
+
+TEST(CellTest, ClosedLoopRunsAndAccounts) {
+  const FarmConfig cfg = tiny_farm();
+  Cell cell(cfg.cell_config(0));
+  for (u32 t = 0; t < cfg.ttis; ++t) cell.step(t);
+  const CellReport rep = cell.report();
+  EXPECT_EQ(rep.ttis, cfg.ttis);
+  EXPECT_EQ(rep.slots, cfg.ttis);
+  EXPECT_EQ(rep.pdus, rep.harq.transmissions());
+  EXPECT_GT(rep.pdus, 0u);
+  EXPECT_GT(rep.bits, 0u);
+  // Feedback bookkeeping closes: every transmission either passed CRC (and
+  // was an ACK), failed (and became a retx, a drop, or is unresolved).
+  EXPECT_EQ(rep.harq.new_tx, rep.harq.acks + rep.harq.drops + rep.unresolved);
+  EXPECT_LE(rep.p50_cycles, rep.p99_cycles);
+  EXPECT_LE(rep.p99_cycles, rep.worst_cycles);
+}
+
+TEST(CellTest, SameConfigIsBitIdentical) {
+  const FarmConfig cfg = tiny_farm();
+  Cell a(cfg.cell_config(1));
+  Cell b(cfg.cell_config(1));
+  for (u32 t = 0; t < cfg.ttis; ++t) {
+    a.step(t);
+    b.step(t);
+  }
+  EXPECT_TRUE(a.report() == b.report());
+}
+
+TEST(CellTest, DistinctCellsGetDistinctTraffic) {
+  const FarmConfig cfg = tiny_farm();
+  const CellReport a = run_cell(cfg, 0);
+  const CellReport b = run_cell(cfg, 1);
+  // Same shape, different keyed streams: the error counts should differ.
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FarmTest, ShardCountDoesNotChangeAnyReport) {
+  FarmConfig cfg = tiny_farm();
+  cfg.shards = 1;
+  const FarmResult r1 = run_farm(cfg);
+  cfg.shards = 2;
+  const FarmResult r2 = run_farm(cfg);
+  cfg.shards = 4;
+  const FarmResult r4 = run_farm(cfg);
+  cfg.shards = 3;  // uneven partition
+  const FarmResult r3 = run_farm(cfg);
+  ASSERT_EQ(r1.cells.size(), cfg.cells);
+  ASSERT_EQ(r2.cells.size(), cfg.cells);
+  ASSERT_EQ(r4.cells.size(), cfg.cells);
+  for (u32 c = 0; c < cfg.cells; ++c) {
+    EXPECT_TRUE(r1.cells[c] == r2.cells[c]) << "cell " << c << " shards 1 vs 2";
+    EXPECT_TRUE(r1.cells[c] == r4.cells[c]) << "cell " << c << " shards 1 vs 4";
+    EXPECT_TRUE(r1.cells[c] == r3.cells[c]) << "cell " << c << " shards 1 vs 3";
+  }
+}
+
+TEST(FarmTest, HostThreadCountDoesNotChangeAnyReport) {
+  FarmConfig cfg = tiny_farm();
+  cfg.pool.host_threads = 1;
+  const FarmResult r1 = run_farm(cfg);
+  cfg.pool.host_threads = 4;
+  cfg.shards = 2;
+  const FarmResult r4 = run_farm(cfg);
+  for (u32 c = 0; c < cfg.cells; ++c)
+    EXPECT_TRUE(r1.cells[c] == r4.cells[c]) << "cell " << c;
+}
+
+TEST(FarmTest, HarqLowersResidualBlerAtSameSnr) {
+  FarmConfig cfg = tiny_farm();
+  cfg.cells = 2;
+  cfg.ttis = 40;
+  const CellReport with = run_farm(cfg).total();
+  cfg.harq.enabled = false;
+  const CellReport without = run_farm(cfg).total();
+  ASSERT_GT(with.harq.retx, 0u) << "test needs CRC failures to exercise HARQ";
+  ASSERT_GT(without.harq.finished(), 0u);
+  // Retransmissions at Chase-boosted SNR recover blocks single-shot loses.
+  EXPECT_LT(with.residual_bler(), without.residual_bler());
+  EXPECT_EQ(without.harq.retx, 0u);
+}
+
+TEST(FarmTest, BurstyArrivalsThinTheOfferedLoad) {
+  FarmConfig cfg = tiny_farm();
+  const CellReport full = run_farm(cfg).total();
+  cfg.burst.enabled = true;
+  cfg.burst.duty = 0.4;
+  cfg.burst.arrival_prob = 0.7;
+  const CellReport burst = run_farm(cfg).total();
+  EXPECT_LT(burst.harq.new_tx, full.harq.new_tx);
+  EXPECT_GT(burst.harq.new_tx, 0u);
+  // Bursty runs stay shard-invariant too.
+  cfg.shards = 2;
+  const CellReport burst2 = run_farm(cfg).total();
+  EXPECT_TRUE(burst == burst2);
+}
+
+TEST(FarmTest, TotalSumsCounters) {
+  FarmConfig cfg = tiny_farm();
+  const FarmResult r = run_farm(cfg);
+  const CellReport t = r.total();
+  u64 pdus = 0, misses = 0, worst = 0;
+  for (const CellReport& c : r.cells) {
+    pdus += c.pdus;
+    misses += c.misses;
+    worst = std::max(worst, c.worst_cycles);
+  }
+  EXPECT_EQ(t.pdus, pdus);
+  EXPECT_EQ(t.misses, misses);
+  EXPECT_EQ(t.worst_cycles, worst);
+  EXPECT_EQ(t.ues, cfg.cells * cfg.ues_per_cell);
+}
+
+// ------------------------------------------------------- row wire format ---
+
+TEST(FarmWireFormatTest, ReportRowRoundTrips) {
+  const FarmConfig cfg = tiny_farm();
+  const CellReport rep = run_cell(cfg, 2);
+  const std::vector<std::string> header = cell_report_header();
+  const std::vector<std::string> row = cell_report_row(rep);
+  ASSERT_EQ(header.size(), row.size());
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (size_t i = 0; i < header.size(); ++i) pairs.emplace_back(header[i], row[i]);
+  EXPECT_TRUE(cell_report_from_row(pairs) == rep);
+}
+
+TEST(FarmWireFormatTest, JsonPipeRoundTripsThroughParser) {
+  // The exact writer/parser pair the shard gather uses, including the
+  // multi-row comma path.
+  const FarmConfig cfg = tiny_farm();
+  std::vector<CellReport> reps = {run_cell(cfg, 0), run_cell(cfg, 1),
+                                  run_cell(cfg, 3)};
+  std::vector<std::vector<std::string>> rows;
+  for (const CellReport& r : reps) rows.push_back(cell_report_row(r));
+
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  sim::write_json_rows(f, cell_report_header(), rows);
+  std::rewind(f);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::vector<std::vector<std::pair<std::string, std::string>>> parsed;
+  ASSERT_TRUE(sim::parse_json_rows(text, parsed));
+  ASSERT_EQ(parsed.size(), reps.size());
+  for (size_t i = 0; i < reps.size(); ++i)
+    EXPECT_TRUE(cell_report_from_row(parsed[i]) == reps[i]) << "row " << i;
+}
+
+TEST(FarmWireFormatTest, ParserRejectsMalformedInput) {
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows;
+  EXPECT_FALSE(sim::parse_json_rows("", rows));
+  EXPECT_FALSE(sim::parse_json_rows("not json", rows));
+  EXPECT_FALSE(sim::parse_json_rows("[{\"a\": 1}]", rows));  // non-string value
+  EXPECT_FALSE(sim::parse_json_rows("[{\"a\": \"1\"", rows));  // truncated
+  EXPECT_TRUE(sim::parse_json_rows("[\n]\n", rows));
+  EXPECT_TRUE(rows.empty());
+  EXPECT_TRUE(sim::parse_json_rows("[{\"a\": \"1\"}, {\"a\": \"2\"}]", rows));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0].second, "2");
+}
+
+TEST(FarmWireFormatTest, MissingFieldThrows) {
+  EXPECT_THROW(cell_report_from_row({{"cell", "0"}}), SimError);
+  EXPECT_THROW(cell_report_from_row({{"cell", "abc"}}), SimError);
+}
+
+// ------------------------------------------------------------------ FAPI ---
+
+TEST(FapiTest, SlotRequestTotalsAndIndicationFailures) {
+  SlotRequest req;
+  req.cell = 1;
+  req.tti = 7;
+  req.pdus.push_back(PduDescriptor{0, 0, true, 1, 0, 0, 0, 4, 10.0, 96});
+  req.pdus.push_back(PduDescriptor{1, 2, false, 3, 0, 0, 4, 4, 14.8, 96});
+  EXPECT_EQ(req.total_bits(), 192u);
+
+  SlotIndication ind;
+  ind.crcs.push_back(CrcResult{0, 0, true, 0, 96});
+  ind.crcs.push_back(CrcResult{1, 2, false, 5, 96});
+  EXPECT_EQ(ind.failed(), 1u);
+  EXPECT_NEAR(ind.crcs[1].ber(), 5.0 / 96.0, 1e-12);
+}
+
+TEST(FapiTest, ChaseCombiningBoostsEffectiveSnr) {
+  EXPECT_DOUBLE_EQ(phy::Channel::chase_combined_snr_db(10.0, 1), 10.0);
+  EXPECT_NEAR(phy::Channel::chase_combined_snr_db(10.0, 2), 13.0103, 1e-3);
+  EXPECT_NEAR(phy::Channel::chase_combined_snr_db(10.0, 4), 16.0206, 1e-3);
+}
+
+}  // namespace
+}  // namespace tsim::mac

@@ -611,5 +611,118 @@ TEST(Deadline, UtilizationAndReportsAreWellFormed) {
   for (const u64 c : result.symbol_cycles) EXPECT_GT(c, 0u);
 }
 
+/// Exact (bit-level) workload equality over everything the detector
+/// consumes: allocation geometry, ground-truth bits/symbols, and the staged
+/// problems' received vectors and noise estimates.
+void expect_identical_workloads(const SlotWorkload& a, const SlotWorkload& b) {
+  ASSERT_EQ(a.tti, b.tti);
+  ASSERT_EQ(a.allocations.size(), b.allocations.size());
+  for (size_t i = 0; i < a.allocations.size(); ++i) {
+    const Allocation& x = a.allocations[i];
+    const Allocation& y = b.allocations[i];
+    EXPECT_EQ(x.group, y.group);
+    EXPECT_EQ(x.symbol, y.symbol);
+    EXPECT_EQ(x.first_subcarrier, y.first_subcarrier);
+    ASSERT_EQ(x.batch.tx_bits, y.batch.tx_bits);
+    ASSERT_EQ(x.batch.problems.size(), y.batch.problems.size());
+    for (size_t p = 0; p < x.batch.problems.size(); ++p) {
+      EXPECT_EQ(x.batch.problems[p].sigma2, y.batch.problems[p].sigma2);
+      ASSERT_EQ(x.batch.problems[p].y.size(), y.batch.problems[p].y.size());
+      for (size_t k = 0; k < x.batch.problems[p].y.size(); ++k)
+        EXPECT_EQ(x.batch.problems[p].y[k], y.batch.problems[p].y[k]);
+    }
+  }
+}
+
+TEST(Traffic, SlotsAreOrderIndependent) {
+  // Every allocation's RNG sub-stream is keyed by (seed, tti, symbol, group)
+  // identity, so generating TTIs out of order - as farm shards and the DSE
+  // sweep do - must reproduce the forward sequence bit-for-bit.
+  TrafficConfig tcfg = one_group_traffic();
+  tcfg.groups = mixed_geometry_groups();
+  tcfg.arrival = ArrivalModel::kPoisson;
+  tcfg.offered_load = 0.8;
+  const TrafficGenerator forward(tcfg);
+  const TrafficGenerator shuffled(tcfg);
+  std::vector<SlotWorkload> slots(10);
+  for (u64 t = 0; t < 10; ++t) slots[t] = forward.slot(t);
+  for (const u64 t : {7ull, 2ull, 9ull, 0ull, 5ull, 1ull, 8ull, 3ull, 6ull, 4ull})
+    expect_identical_workloads(shuffled.slot(t), slots[t]);
+}
+
+TEST(Traffic, NextSlotMatchesRandomAccess) {
+  const TrafficConfig tcfg = one_group_traffic();
+  TrafficGenerator sequential(tcfg);
+  const TrafficGenerator random_access(tcfg);
+  for (u64 t = 0; t < 4; ++t)
+    expect_identical_workloads(sequential.next_slot(), random_access.slot(t));
+}
+
+TEST(Scheduler, AllocationErrorsSumToSlotErrors) {
+  TrafficConfig tcfg = one_group_traffic();
+  tcfg.groups[0].snr_db = 8.0;  // low enough that some bits flip
+  TrafficGenerator gen(tcfg);
+  const SlotWorkload slot = gen.next_slot();
+  SlotScheduler sched(small_pool(2, 2), tcfg.groups);
+  const SlotResult result = sched.run_slot(slot);
+  ASSERT_EQ(result.allocation_errors.size(), slot.allocations.size());
+  u64 sum = 0;
+  for (const u64 e : result.allocation_errors) sum += e;
+  EXPECT_EQ(sum, result.errors);
+  EXPECT_GT(result.errors, 0u);  // the per-PDU split carries real signal
+}
+
+TEST(Deadline, NearestRankPercentiles) {
+  const std::vector<u64> sorted = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_EQ(nearest_rank(sorted, 0.50), 50u);
+  EXPECT_EQ(nearest_rank(sorted, 0.99), 100u);
+  EXPECT_EQ(nearest_rank(sorted, 1.00), 100u);
+  EXPECT_EQ(nearest_rank(sorted, 0.01), 10u);
+  EXPECT_EQ(nearest_rank({42}, 0.5), 42u);
+  EXPECT_EQ(nearest_rank({}, 0.5), 0u);
+}
+
+TEST(Deadline, AggregateReportFromHandBuiltResults) {
+  // paper_50mhz slot budget is 0.5 ms = 500k cycles at 1 GHz: one of the
+  // three hand-built slots overruns.
+  std::vector<SlotResult> results(3);
+  results[0].slot_cycles = 400'000;
+  results[0].bits = 100;
+  results[0].errors = 2;
+  results[0].total_reloads = 1;
+  results[0].total_reload_cycles = 1000;
+  results[1].slot_cycles = 450'000;
+  results[1].bits = 100;
+  results[1].errors = 0;
+  results[2].slot_cycles = 600'000;
+  results[2].bits = 200;
+  results[2].errors = 6;
+  results[2].total_reloads = 2;
+  results[2].total_reload_cycles = 3000;
+
+  const AggregateReport agg =
+      aggregate_report(results, phy::CarrierConfig::paper_50mhz(), 1e9);
+  EXPECT_EQ(agg.slots, 3u);
+  EXPECT_EQ(agg.misses, 1u);
+  EXPECT_EQ(agg.worst_cycles, 600'000u);
+  EXPECT_EQ(agg.p50_cycles, 450'000u);
+  EXPECT_EQ(agg.p99_cycles, 600'000u);
+  EXPECT_EQ(agg.reloads, 3u);
+  EXPECT_EQ(agg.reload_cycles, 4000u);
+  EXPECT_EQ(agg.total_bits, 400u);
+  EXPECT_EQ(agg.total_errors, 8u);
+  EXPECT_DOUBLE_EQ(agg.ber(), 0.02);
+  EXPECT_NEAR(agg.miss_fraction(), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(agg.p50_latency_seconds(), 4.5e-4);
+  EXPECT_DOUBLE_EQ(agg.worst_latency_seconds(), 6e-4);
+
+  // Empty run: all-zero aggregates, no division by zero.
+  const AggregateReport none =
+      aggregate_report({}, phy::CarrierConfig::paper_50mhz(), 1e9);
+  EXPECT_EQ(none.slots, 0u);
+  EXPECT_DOUBLE_EQ(none.miss_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(none.ber(), 0.0);
+}
+
 }  // namespace
 }  // namespace tsim::ran
