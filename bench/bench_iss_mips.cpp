@@ -22,10 +22,16 @@
 // scheduler's batch pattern, so these rows predict scheduler throughput.
 //
 // --guard: A/B regression guard for CI. Exits non-zero when the batched
-// path's simulated MIPS falls below 0.9x the serial path at the largest
-// quick-mode hart count (generous threshold: CI runners are noisy; a real
-// regression shows up as batched << serial, not a few percent).
+// path's simulated MIPS falls below 1.25x the serial path at the largest
+// quick-mode hart count. The floor is a real speedup requirement, not a
+// noise tolerance: the SoA vectorized sweep holds ~1.3x+ on this workload,
+// and the interleaved A/B rounds in measure_ab cancel most runner drift, so
+// a ratio under 1.25x means the lockstep sweep stopped paying for itself.
+//
+// --threads LIST: comma-separated host thread counts for the sweep rows
+// (e.g. --threads 1,2,4,8), replacing the default {1, host_threads()}.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench_common.h"
@@ -100,10 +106,26 @@ int main(int argc, char** argv) {
   using namespace tsim::bench;
   const BenchOptions opt = BenchOptions::parse(
       argc, argv,
-      {{"--guard", false, "exit 1 if simulated MIPS regresses below the floor"}});
+      {{"--guard", false, "exit 1 if simulated MIPS regresses below the floor"},
+       {"--threads", true, "comma-separated host thread counts to sweep"}});
   bool guard = false;
-  for (int i = 1; i < argc; ++i)
+  std::vector<u32> thread_counts;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--guard") == 0) guard = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      for (const char* p = argv[i + 1]; *p != '\0';) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p || v == 0 || (*end != ',' && *end != '\0')) {
+          std::fprintf(stderr, "%s: bad --threads list '%s' (want e.g. 1,2,4)\n",
+                       argv[0], argv[i + 1]);
+          return 2;
+        }
+        thread_counts.push_back(static_cast<u32>(v));
+        p = *end == ',' ? end + 1 : end;
+      }
+    }
+  }
 
   const auto cluster = tera::TeraPoolConfig::full();
   const u32 max_fit = kern::MmseLayout::max_parallel_cores(
@@ -111,15 +133,15 @@ int main(int argc, char** argv) {
   const double min_seconds = opt.full ? 2.0 : 0.5;
 
   if (guard) {
-    // CI smoke guard: the batched dispatch must not be slower than the
-    // serial fast path it wraps (0.9x tolerance for runner noise).
+    // CI speedup guard: the vectorized lockstep sweep must keep a real
+    // margin over the serial fast path it wraps (see the header note).
     const auto [s, b] = measure_ab(cluster, 256, 1, min_seconds);
     const double ratio = b.mips() / s.mips();
     std::printf("bench_iss_mips --guard | serial %.2f MIPS, batched %.2f MIPS, "
-                "ratio %.2fx (threshold 0.90x)\n",
+                "ratio %.2fx (threshold 1.25x)\n",
                 s.mips(), b.mips(), ratio);
-    if (ratio < 0.9) {
-      std::fprintf(stderr, "FAIL: batched dispatch regressed below the serial path\n");
+    if (ratio < 1.25) {
+      std::fprintf(stderr, "FAIL: batched dispatch fell below the 1.25x speedup floor\n");
       return 1;
     }
     std::printf("OK\n");
@@ -128,8 +150,10 @@ int main(int argc, char** argv) {
 
   std::vector<u32> core_counts = {16, 64, 256};
   if (opt.full && max_fit > 256) core_counts.push_back(std::min(max_fit, 1024u));
-  std::vector<u32> thread_counts = {1};
-  if (host_threads() > 1) thread_counts.push_back(host_threads());
+  if (thread_counts.empty()) {
+    thread_counts.push_back(1);
+    if (host_threads() > 1) thread_counts.push_back(host_threads());
+  }
 
   sim::Table table({"cores", "host_threads", "path", "repeats", "instructions",
                     "wall_s", "sim_MIPS", "speedup", "lockstep_frac",

@@ -1,16 +1,40 @@
-// One emulated hart of the fast ISS: architectural state + the static
-// timing scoreboard and per-class instruction statistics.
+// Per-hart execution state of the fast ISS, laid out as structure-of-arrays.
+//
+// The hot per-hart quantities - pc, cycle, instret, the 32-entry RAW
+// scoreboard, stall counters, wake timestamp, instruction-mix histogram -
+// live in machine-owned parallel arrays indexed by hart id (`HartArrays`).
+// This is the SIMD-lane layout: the convergence-batch follower sweep in
+// machine.cpp iterates lane-major over these columns, so the per-member
+// scoreboard/retire arithmetic of one SbEntry is a handful of unit-stride
+// loops over u64 columns that auto-vectorize, instead of strided loads from
+// per-hart structs.
+//
+// Two views exist over the arrays:
+//  - `HartLane` is a thin mutable per-lane view with rv::HartState's field
+//    names; rv::execute runs against it directly, so instruction semantics
+//    stay single-source (rv/exec_inl.h) and the serial oracle path executes
+//    byte-for-byte the same state transitions as before the layout change.
+//  - `Hart` is a value snapshot assembled on demand (Machine::hart()) for
+//    tests, benches, and reporting; it carries the pre-SoA shape.
+//
+// The architectural register file stays AoS (one 32-word block per lane,
+// in `HartArrays::Arch` next to the rarely-written flags): rv semantics
+// read/write 2-3 registers of ONE lane per instruction, so per-lane
+// contiguity - not column contiguity - is what keeps pass B of the sweep
+// inside a couple of cache lines.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <vector>
 
 #include "rv/hart_state.h"
-#include "rv/inst.h"
 
 namespace tsim::iss {
 
 constexpr size_t kMixCount = 10;  // matches rv::Mix enumerators
 
+/// Value snapshot of one hart (see Machine::hart()).
 struct Hart {
   rv::HartState state;
 
@@ -27,17 +51,142 @@ struct Hart {
 
   u64 instructions() const { return state.instret; }
   u64 cycles() const { return state.cycle; }
+};
 
-  void reset(u32 hartid, u32 pc) {
-    state = rv::HartState{};
-    state.hartid = hartid;
-    state.pc = pc;
-    ready.fill(0);
-    raw_stall_cycles = 0;
-    wfi_stall_cycles = 0;
-    wake_cycle = 0;
-    mix.fill(0);
+/// Mutable per-lane view over a HartArrays: the serial oracle path, the
+/// trace hook path, and the generic member sweep execute rv semantics
+/// through this. Field names mirror rv::HartState so rv::execute<> works on
+/// either (the State template parameter of rv::execute_impl).
+struct HartLane {
+  u32* x;  // this lane's 32-entry register file block
+  u32& pc;
+  u32 hartid;
+  u64& cycle;
+  u64& instret;
+  bool& halted;
+  bool& in_wfi;
+  bool& trapped;
+  bool& has_reservation;
+  u32& reservation_addr;
+
+  u32 read_reg(u8 i) const { return x[i & 31]; }
+  void write_reg(u8 i, u32 v) {
+    if ((i & 31) != 0) x[i & 31] = v;
   }
+};
+
+/// Machine-owned structure-of-arrays hart state, indexed by hart id.
+struct HartArrays {
+  // Hot timing columns. The follower sweep's vector passes read/write these
+  // as flat unit-stride arrays when the batch members are consecutive ids.
+  std::vector<u32> pc;
+  std::vector<u64> cycle;
+  std::vector<u64> instret;
+  std::vector<u64> raw_stall;   // cycles lost to RAW hazards
+  std::vector<u64> wfi_stall;   // cycles asleep at barriers
+  std::vector<u64> wake_cycle;  // waker timestamp, consumed on resume
+
+  // RAW scoreboard, register-major: ready[r * stride + i] is the cycle at
+  // which lane i's register r becomes available. Register-major because one
+  // sweep reads the SAME 2-4 registers for every member - each pass touches
+  // a few contiguous column windows instead of 32-entry per-hart blocks.
+  // The column stride is padded by one cache line over the lane count: at
+  // power-of-two lane counts an exact-n stride puts column pairs at the
+  // same offset modulo 4K, and the sweep's store-to-one-column /
+  // load-from-another pattern then stalls on false 4K-aliasing
+  // dependencies.
+  std::vector<u64> ready;
+  // Instruction-mix histogram, class-major (same reasoning: one sweep
+  // increments the same class for every member).
+  std::vector<u64> mix;
+
+  /// Per-lane architectural block: the register file plus the flags the
+  /// vector passes never touch. AoS by design (see header note).
+  struct Arch {
+    std::array<u32, 32> x{};
+    bool halted = false;
+    bool in_wfi = false;
+    bool trapped = false;
+    bool has_reservation = false;
+    u32 reservation_addr = 0;
+  };
+  std::vector<Arch> arch;
+
+  explicit HartArrays(u32 n = 0) { resize(n); }
+
+  u32 size() const { return n_; }
+
+  void resize(u32 n) {
+    n_ = n;
+    stride_ = n + 8;  // +1 cache line of u64s; keeps columns 64B-aligned
+    pc.assign(n, 0);
+    cycle.assign(n, 0);
+    instret.assign(n, 0);
+    raw_stall.assign(n, 0);
+    wfi_stall.assign(n, 0);
+    wake_cycle.assign(n, 0);
+    ready.assign(static_cast<size_t>(32) * stride_, 0);
+    mix.assign(kMixCount * stride_, 0);
+    arch.assign(n, Arch{});
+  }
+
+  /// Re-arms every lane at `entry_pc` with cleared state (reset_harts).
+  void reset(u32 entry_pc) {
+    std::fill(pc.begin(), pc.end(), entry_pc);
+    std::fill(cycle.begin(), cycle.end(), 0u);
+    std::fill(instret.begin(), instret.end(), 0u);
+    std::fill(raw_stall.begin(), raw_stall.end(), 0u);
+    std::fill(wfi_stall.begin(), wfi_stall.end(), 0u);
+    std::fill(wake_cycle.begin(), wake_cycle.end(), 0u);
+    std::fill(ready.begin(), ready.end(), 0u);
+    std::fill(mix.begin(), mix.end(), 0u);
+    std::fill(arch.begin(), arch.end(), Arch{});
+  }
+
+  /// Scoreboard column of register `r` (ready_col(r)[i] = lane i's entry).
+  u64* ready_col(u32 r) { return ready.data() + static_cast<size_t>(r) * stride_; }
+  const u64* ready_col(u32 r) const {
+    return ready.data() + static_cast<size_t>(r) * stride_;
+  }
+  /// Mix-histogram column of instruction class `c`.
+  u64* mix_col(u32 c) { return mix.data() + static_cast<size_t>(c) * stride_; }
+  const u64* mix_col(u32 c) const {
+    return mix.data() + static_cast<size_t>(c) * stride_;
+  }
+
+  /// Mutable view of lane `i` (references stay valid until resize()).
+  HartLane lane(u32 i) {
+    Arch& a = arch[i];
+    return HartLane{a.x.data(),  pc[i],    i,         cycle[i],
+                    instret[i],  a.halted, a.in_wfi,  a.trapped,
+                    a.has_reservation,     a.reservation_addr};
+  }
+
+  /// Value snapshot of lane `i` in the pre-SoA shape.
+  Hart snapshot(u32 i) const {
+    Hart out;
+    const Arch& a = arch[i];
+    out.state.x = a.x;
+    out.state.pc = pc[i];
+    out.state.hartid = i;
+    out.state.cycle = cycle[i];
+    out.state.instret = instret[i];
+    out.state.halted = a.halted;
+    out.state.in_wfi = a.in_wfi;
+    out.state.trapped = a.trapped;
+    out.state.has_reservation = a.has_reservation;
+    out.state.reservation_addr = a.reservation_addr;
+    for (u32 r = 0; r < 32; ++r) out.ready[r] = ready_col(r)[i];
+    out.raw_stall_cycles = raw_stall[i];
+    out.wfi_stall_cycles = wfi_stall[i];
+    out.wake_cycle = wake_cycle[i];
+    for (u32 c = 0; c < kMixCount; ++c) out.mix[c] = mix_col(c)[i];
+    return out;
+  }
+
+ private:
+  u32 n_ = 0;
+  u32 stride_ = 8;  // column stride of `ready`/`mix` (see layout note)
 };
 
 }  // namespace tsim::iss

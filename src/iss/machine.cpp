@@ -32,16 +32,16 @@ const TranslationCache& empty_translation() {
   return empty;
 }
 
-/// Scoreboard: earliest cycle the instruction can issue, charging RAW
-/// stalls to the hart.
-inline u64 compute_issue(Hart& h, const SbEntry& e, bool scoreboard) {
-  u64 issue = h.state.cycle;
+/// Scoreboard: earliest cycle lane `i`'s instruction can issue, charging
+/// RAW stalls to the lane.
+inline u64 compute_issue(HartArrays& s, u32 i, const SbEntry& e, bool scoreboard) {
+  u64 issue = s.cycle[i];
   if (scoreboard) {
-    u64 ready = std::max(h.ready[e.d.rs1], h.ready[e.d.rs2]);
-    if (e.flags & kSbReadsRs3) ready = std::max(ready, h.ready[e.d.rs3]);
-    if (e.flags & kSbReadsRdSrc) ready = std::max(ready, h.ready[e.d.rd]);
+    u64 ready = std::max(s.ready_col(e.d.rs1)[i], s.ready_col(e.d.rs2)[i]);
+    if (e.flags & kSbReadsRs3) ready = std::max(ready, s.ready_col(e.d.rs3)[i]);
+    if (e.flags & kSbReadsRdSrc) ready = std::max(ready, s.ready_col(e.d.rd)[i]);
     if (ready > issue) {
-      h.raw_stall_cycles += ready - issue;
+      s.raw_stall[i] += ready - issue;
       issue = ready;
     }
   }
@@ -63,21 +63,23 @@ inline u32 memory_access_latency(u32 addr, u32 hartid, const TimingConfig& timin
   return timing.static_mem_latency;
 }
 
-/// Static-latency accounting for one retired instruction: advances the hart
-/// clock and marks the destination busy until its result latency elapses.
-inline void retire_timing(Hart& h, const SbEntry& e, const rv::StepInfo& info,
-                          u64 issue, const TimingConfig& timing,
+/// Static-latency accounting for one retired instruction of lane `i`:
+/// advances the lane clock and marks the destination busy until its result
+/// latency elapses.
+inline void retire_timing(HartArrays& s, u32 i, const SbEntry& e,
+                          const rv::StepInfo& info, u64 issue,
+                          const TimingConfig& timing,
                           const tera::TeraPoolConfig& cluster,
                           const tera::ClusterMemory& mem) {
-  auto& st = h.state;
-  st.cycle = issue + e.issue_cycles;
-  if (info.branch_taken) st.cycle += timing.branch_taken_penalty;
+  u64 cyc = issue + e.issue_cycles;
+  if (info.branch_taken) cyc += timing.branch_taken_penalty;
+  s.cycle[i] = cyc;
 
   u64 result_at = issue + e.result_latency;
   if (info.is_load || info.is_amo)
-    result_at += memory_access_latency(info.mem_addr, st.hartid, timing, cluster, mem);
-  if ((e.flags & kSbWritesRd) && e.d.rd != 0) h.ready[e.d.rd] = result_at;
-  if ((e.flags & kSbPostIncLoad) && e.d.rs1 != 0) h.ready[e.d.rs1] = issue + 1;
+    result_at += memory_access_latency(info.mem_addr, i, timing, cluster, mem);
+  if ((e.flags & kSbWritesRd) && e.d.rd != 0) s.ready_col(e.d.rd)[i] = result_at;
+  if ((e.flags & kSbPostIncLoad) && e.d.rs1 != 0) s.ready_col(e.d.rs1)[i] = issue + 1;
 }
 
 /// True when `op` has any path to fault()/halt in rv::execute (memory ops
@@ -114,6 +116,21 @@ constexpr bool op_may_fault(rv::Op op) {
     default:
       return true;  // conservative: loads/stores/amo, ebreak, invalid, ...
   }
+}
+
+// Op classes of the specialized lockstep sweeps: which pass-C columns an op
+// touches and which pass-B side channels it needs are compile-time facts of
+// the opcode, so each sweep instantiation keeps only its own buffers/loops.
+constexpr bool op_is_branch(rv::Op op) {
+  return op == rv::Op::kBeq || op == rv::Op::kBne || op == rv::Op::kBlt ||
+         op == rv::Op::kBge;
+}
+constexpr bool op_is_load_cls(rv::Op op) {
+  return op == rv::Op::kLw || op == rv::Op::kLh || op == rv::Op::kPLw ||
+         op == rv::Op::kPLh;
+}
+constexpr bool op_is_store_cls(rv::Op op) {
+  return op == rv::Op::kSh || op == rv::Op::kSw || op == rv::Op::kPSw;
 }
 
 }  // namespace
@@ -168,8 +185,8 @@ Machine::Machine(const tera::TeraPoolConfig& cluster, TimingConfig timing, u32 a
       timing_(timing),
       mem_(std::make_unique<tera::ClusterMemory>(cluster)),
       tcache_(&empty_translation()),
-      harts_(active_harts == 0 ? cluster.num_cores() : active_harts),
-      sleep_(harts_.size()) {
+      soa_(active_harts == 0 ? cluster.num_cores() : active_harts),
+      sleep_(soa_.size()) {
   mem_->set_exit_handler([this](u32 code) { on_exit(code); });
   mem_->set_wake_handler([this](u32 target) { on_wake(target, t_current_cycle); });
   for (auto& s : sleep_) s.store(0, std::memory_order_relaxed);
@@ -218,7 +235,7 @@ void Machine::select_program(ProgramHandle handle) {
 }
 
 void Machine::reset_harts() {
-  for (u32 i = 0; i < harts_.size(); ++i) harts_[i].reset(i, entry_pc_);
+  soa_.reset(entry_pc_);
   for (auto& s : sleep_) s.store(static_cast<u8>(SleepState::kAwake), std::memory_order_relaxed);
   stop_.store(false, std::memory_order_relaxed);
   exited_.store(false, std::memory_order_relaxed);
@@ -233,8 +250,8 @@ void Machine::on_exit(u32 code) {
 
 void Machine::on_wake(u32 target, u64 waker_cycle) {
   const auto wake_one = [&](u32 i) {
-    if (i >= harts_.size()) return;
-    harts_[i].wake_cycle = waker_cycle;
+    if (i >= soa_.size()) return;
+    soa_.wake_cycle[i] = waker_cycle;
     auto& s = sleep_[i];
     u8 expected = static_cast<u8>(SleepState::kSleeping);
     if (s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kAwake))) {
@@ -265,14 +282,13 @@ void Machine::on_wake(u32 target, u64 waker_cycle) {
     s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kWakePending));
   };
   if (target == ~0u) {
-    for (u32 i = 0; i < harts_.size(); ++i) wake_one(i);
+    for (u32 i = 0; i < soa_.size(); ++i) wake_one(i);
   } else {
     wake_one(target);
   }
 }
 
 bool Machine::park_in_wfi(u32 hart_index) {
-  Hart& h = harts_[hart_index];
   auto& s = sleep_[hart_index];
   u8 expected = static_cast<u8>(SleepState::kWakePending);
   if (s.compare_exchange_strong(expected, static_cast<u8>(SleepState::kAwake))) {
@@ -286,51 +302,50 @@ bool Machine::park_in_wfi(u32 hart_index) {
   }
   // A wake raced in during the transition: consume it.
   s.store(static_cast<u8>(SleepState::kAwake), std::memory_order_relaxed);
-  h.state.in_wfi = false;
+  soa_.arch[hart_index].in_wfi = false;
   return false;
 }
 
 void Machine::resume_from_wfi(u32 hart_index) {
-  Hart& h = harts_[hart_index];
-  h.state.in_wfi = false;
-  const u64 resume = h.wake_cycle + timing_.barrier_wake_cost;
-  if (resume > h.state.cycle) {
-    h.wfi_stall_cycles += resume - h.state.cycle;
-    h.state.cycle = resume;
+  soa_.arch[hart_index].in_wfi = false;
+  const u64 resume = soa_.wake_cycle[hart_index] + timing_.barrier_wake_cost;
+  if (resume > soa_.cycle[hart_index]) {
+    soa_.wfi_stall[hart_index] += resume - soa_.cycle[hart_index];
+    soa_.cycle[hart_index] = resume;
   }
 }
 
 template <bool kRecord>
 u64 Machine::exec_quantum_impl(u32 hart_index, u64 budget, TurnEnd& end,
                                std::vector<TraceRun>* trace) {
-  Hart& h = harts_[hart_index];
-  auto& st = h.state;
+  const u32 i = hart_index;
+  HartLane h = soa_.lane(i);
   const bool scoreboard = timing_.scoreboard;
   u64 executed = 0;
   end = TurnEnd::kBudget;
   while (budget != 0) {
-    const SbEntry* e = tcache_->entry(st.pc);
+    const SbEntry* e = tcache_->entry(h.pc);
     if (e == nullptr || e->d.op == rv::Op::kInvalid) {
-      st.halted = true;
-      st.trapped = true;
+      h.halted = true;
+      h.trapped = true;
       end = TurnEnd::kHalted;
       return executed;
     }
     // Retire the whole straight-line run: only its last instruction can
     // branch or enter wfi, so pc tracks the entry pointer implicitly. Any
-    // instruction may still fault, which shows up as st.halted.
+    // instruction may still fault, which shows up as h.halted.
     const u32 n = static_cast<u32>(std::min<u64>(e->run_len, budget));
-    if constexpr (kRecord) trace->push_back(TraceRun{e, st.pc, n});
+    if constexpr (kRecord) trace->push_back(TraceRun{e, h.pc, n});
     budget -= n;
     for (u32 k = 0; k < n; ++k, ++e) {
-      const u64 issue = compute_issue(h, *e, scoreboard);
-      st.cycle = issue;
+      const u64 issue = compute_issue(soa_, i, *e, scoreboard);
+      h.cycle = issue;
       if (e->flags & kSbStore) t_current_cycle = issue;
-      const rv::StepInfo info = rv::execute(e->d, st, *mem_);
-      h.mix[e->mix]++;
-      retire_timing(h, *e, info, issue, timing_, cluster_, *mem_);
+      const rv::StepInfo info = rv::execute(e->d, h, *mem_);
+      soa_.mix_col(e->mix)[i]++;
+      retire_timing(soa_, i, *e, info, issue, timing_, cluster_, *mem_);
       ++executed;
-      if (st.halted) {
+      if (h.halted) {
         if constexpr (kRecord) trace->back().n = k + 1;
         end = TurnEnd::kHalted;
         return executed;
@@ -341,7 +356,7 @@ u64 Machine::exec_quantum_impl(u32 hart_index, u64 budget, TurnEnd& end,
         return executed;
       }
     }
-    if (st.in_wfi && park_in_wfi(hart_index)) {
+    if (h.in_wfi && park_in_wfi(i)) {
       end = TurnEnd::kAsleep;
       return executed;
     }
@@ -359,32 +374,32 @@ u64 Machine::exec_quantum_record(u32 hart_index, u64 budget, TurnEnd& end,
 }
 
 u64 Machine::exec_quantum_traced(u32 hart_index, u64 budget, TurnEnd& end) {
-  Hart& h = harts_[hart_index];
-  auto& st = h.state;
+  const u32 i = hart_index;
+  HartLane h = soa_.lane(i);
   u64 executed = 0;
   end = TurnEnd::kBudget;
   while (budget != 0) {
-    const SbEntry* e = tcache_->entry(st.pc);
+    const SbEntry* e = tcache_->entry(h.pc);
     if (e == nullptr || e->d.op == rv::Op::kInvalid) {
-      st.halted = true;
-      st.trapped = true;
+      h.halted = true;
+      h.trapped = true;
       end = TurnEnd::kHalted;
       return executed;
     }
-    const u64 issue = compute_issue(h, *e, timing_.scoreboard);
-    st.cycle = issue;
+    const u64 issue = compute_issue(soa_, i, *e, timing_.scoreboard);
+    h.cycle = issue;
     t_current_cycle = issue;
-    if (trace_) trace_(hart_index, st.pc, e->d);
-    const rv::StepInfo info = rv::execute(e->d, st, *mem_);
-    h.mix[e->mix]++;
-    retire_timing(h, *e, info, issue, timing_, cluster_, *mem_);
+    if (trace_) trace_(hart_index, h.pc, e->d);
+    const rv::StepInfo info = rv::execute(e->d, h, *mem_);
+    soa_.mix_col(e->mix)[i]++;
+    retire_timing(soa_, i, *e, info, issue, timing_, cluster_, *mem_);
     ++executed;
     --budget;
-    if (st.halted) {
+    if (h.halted) {
       end = TurnEnd::kHalted;
       return executed;
     }
-    if (st.in_wfi && park_in_wfi(hart_index)) {
+    if (h.in_wfi && park_in_wfi(i)) {
       end = TurnEnd::kAsleep;
       return executed;
     }
@@ -397,9 +412,9 @@ u64 Machine::exec_quantum_traced(u32 hart_index, u64 budget, TurnEnd& end) {
 }
 
 u32 Machine::scan_convergent(const std::vector<u32>& list, size_t pos, u32 limit) const {
-  const u32 pc = harts_[list[pos]].state.pc;
+  const u32 pc = soa_.pc[list[pos]];
   u32 width = 1;
-  while (width < limit && harts_[list[pos + width]].state.pc == pc) ++width;
+  while (width < limit && soa_.pc[list[pos + width]] == pc) ++width;
   return width;
 }
 
@@ -407,14 +422,14 @@ u64 Machine::exec_followers_replay(const u32* ids, u32 count, u64 budget,
                                    const std::vector<TraceRun>& trace,
                                    BatchEnd* ends, u64* rems,
                                    BatchStats& stats) {
-  // Live followers with order-preserving compaction; orig[] maps a live
-  // slot back to its formation index so ends/rems stay addressable as
-  // followers drop out.
-  Hart* hs[kMaxBatchWidth];
+  // Live followers with order-preserving compaction; lid[k] is the hart id
+  // (= SoA lane) of live member k, orig[k] its formation index so ends/rems
+  // stay addressable as followers drop out.
+  u32 lid[kMaxBatchWidth];
   u16 orig[kMaxBatchWidth];
   u32 live = count;
   for (u32 k = 0; k < count; ++k) {
-    hs[k] = &harts_[ids[k]];
+    lid[k] = ids[k];
     orig[k] = static_cast<u16>(k);
     ends[k] = BatchEnd::kRun;
     rems[k] = budget;
@@ -427,7 +442,7 @@ u64 Machine::exec_followers_replay(const u32* ids, u32 count, u64 budget,
   const auto drop = [&](u32 k, BatchEnd why) {
     ends[orig[k]] = why;
     for (u32 t = k + 1; t < live; ++t) {
-      hs[t - 1] = hs[t];
+      lid[t - 1] = lid[t];
       orig[t - 1] = orig[t];
     }
     --live;
@@ -444,13 +459,20 @@ u64 Machine::exec_followers_replay(const u32* ids, u32 count, u64 budget,
     st_batch_active_ = true;
   }
 
+  // Per-sweep scratch handing results between the three passes, indexed by
+  // live member slot.
+  u64 issue_buf[kMaxBatchWidth];
+  u32 addr_buf[kMaxBatchWidth];
+  u8 taken_buf[kMaxBatchWidth];
+  u8 halt_buf[kMaxBatchWidth];
+
   for (size_t r = 0; r < trace.size() && live != 0 && !ended_early; ++r) {
     const TraceRun& run = trace[r];
     if (r != 0) {
       // Run boundary: a follower whose branch outcome left the leader's
       // path falls out and finishes its turn on the serial path.
       for (u32 k = 0; k < live;) {
-        if (hs[k]->state.pc != run.pc) {
+        if (soa_.pc[lid[k]] != run.pc) {
           diverged = true;
           rems[orig[k]] = budget - consumed;
           drop(k, BatchEnd::kRun);
@@ -473,81 +495,235 @@ u64 Machine::exec_followers_replay(const u32* ids, u32 count, u64 budget,
     const SbEntry* e = run.base;
     for (u32 s = 0; s < run.n; ++s, ++e) {
       const SbEntry ent = *e;  // per-sweep constants stay in registers
-      const bool is_store = (ent.flags & kSbStore) != 0;
-      // Member sweep, templated on the (loop-invariant) opcode: the hot ops
-      // below dispatch ONCE per SbEntry to a straight-line per-op kernel
-      // (rv::execute_known folds the decode switch and the untaken timing
-      // branches away), so the member loop carries no per-instruction
-      // dispatch at all. Everything else takes the generic rv::execute -
-      // bit-identical semantics either way (execute_impl is the single
-      // source of truth).
-      const auto sweep = [&]<bool kKnown, rv::Op kOp>() {
+      // Member sweep, templated on the (loop-invariant) opcode, split into
+      // three lane-major passes over the SoA columns:
+      //   A. scoreboard issue + RAW stall        (vector, u64 columns)
+      //   B. architectural semantics             (scalar, member order)
+      //   C. retire clock/ready/mix              (vector, u64 columns)
+      // The split is sound because pass A/C touch only per-lane timing
+      // columns no other lane reads, and pass B runs in member order, so
+      // the DUT-visible memory-access order is exactly the serial path's
+      // (the bit-exactness contract in machine.h). The hot ops below
+      // dispatch ONCE per SbEntry to a straight-line per-op kernel
+      // (rv::execute_known folds the decode switch away); everything else
+      // takes the generic member loop - bit-identical semantics either way
+      // (execute_impl is the single source of truth).
+      // Generic member loop for everything off the specialized list: per
+      // member, the exact serial-path helper sequence.
+      const auto sweep_generic = [&]() {
+        const bool is_store = (ent.flags & kSbStore) != 0;
+        for (u32 k = 0; k < live;) {
+          const u32 i = lid[k];
+          HartLane h = soa_.lane(i);
+          const u64 issue = compute_issue(soa_, i, ent, scoreboard);
+          if (is_store) t_current_cycle = issue;
+          h.cycle = issue;  // mcycle-visible (CSR reads take this path)
+          const rv::StepInfo info = rv::execute(ent.d, h, mem);
+          soa_.mix_col(ent.mix)[i] += 1;
+          retire_timing(soa_, i, ent, info, issue, timing_, cluster_, mem);
+          ++executed;
+          if (h.halted) [[unlikely]] {
+            drop(k, BatchEnd::kHalted);
+            continue;
+          }
+          ++k;
+        }
+      };
+      const auto sweep_vec = [&]<rv::Op kOp>() {
+        constexpr bool kBranch = op_is_branch(kOp);
+        constexpr bool kLoad = op_is_load_cls(kOp);
+        constexpr bool kStoreCls = op_is_store_cls(kOp);
         // Per-entry invariants of the timing model, hoisted out of the
-        // member loop (values identical to what compute_issue/retire_timing
-        // read per member on the serial path; the inlined twin below is the
-        // same arithmetic in the same order).
-        const u8 r1 = ent.d.rs1, r2 = ent.d.rs2, r3 = ent.d.rs3, rd = ent.d.rd;
-        const bool reads_rs3 = (ent.flags & kSbReadsRs3) != 0;
-        const bool reads_rd_src = (ent.flags & kSbReadsRdSrc) != 0;
+        // passes (values identical to what compute_issue/retire_timing read
+        // per member on the serial path; the pass bodies are the same
+        // arithmetic in the same per-lane order).
+        const u8 r1 = ent.d.rs1, r2 = ent.d.rs2, rd = ent.d.rd;
         const bool writes_rd = (ent.flags & kSbWritesRd) != 0 && rd != 0;
         const bool post_inc = (ent.flags & kSbPostIncLoad) != 0 && r1 != 0;
         const u64 issue_add = ent.issue_cycles;
         const u64 latency_add = ent.result_latency;
-        const u8 mix_class = ent.mix;
-        for (u32 k = 0; k < live;) {
-          Hart& h = *hs[k];
-          if (k + 1 < live) __builtin_prefetch(&hs[k + 1]->state.cycle);
-          u64 issue = h.state.cycle;
+        u64* __restrict const cyc = soa_.cycle.data();
+        // Pin the member count in a local: `live`'s address escapes into
+        // drop(), so loop bounds on it defeat the vectorizer's iteration
+        // count analysis (no store in the passes can change `n`).
+        const u32 n = live;
+
+        // Lane addressing: batches form over sorted run lists, so the live
+        // members are almost always a window of consecutive hart ids - the
+        // passes iterate unit-stride directly over the columns (the shape
+        // the compiler vectorizes). A window fragmented by a mid-trace
+        // drop-out takes the generic member loop instead: gather-indexed
+        // pass variants would double every kernel's code size for a case
+        // that occurs only after a fault or serial-finish split.
+        const u32 lane0 = lid[0];
+        if (lid[n - 1] - lane0 != n - 1) {
+          sweep_generic();
+          return;
+        }
+
+        const auto passes = [&](auto at) {
+          if constexpr (!kBranch && !kLoad && !kStoreCls) {
+            // Pure ALU/FP shape: the timing pass fuses A and C into ONE
+            // vector loop per member window. Running it before the
+            // semantics is sound for exactly this class - the op reads
+            // neither cycle nor ready (no CSR access on the specialized
+            // list), makes no memory access (no t_current_cycle refresh, no
+            // wake handler), and cannot fault - and the fused loop is the
+            // same per-lane arithmetic in the same order as split passes.
+            // (kSbPostIncLoad never occurs here: the flag is only set on
+            // post-increment loads, which take the kLoad shape.)
+            u64* __restrict const mx = soa_.mix_col(ent.mix);
+            u64* __restrict const out = soa_.ready_col(rd);
+            const auto fused = [&](auto wr) {
+              if (scoreboard) {
+                u64* __restrict const stall = soa_.raw_stall.data();
+                const u64* __restrict c1 = soa_.ready_col(r1);
+                const u64* __restrict c2 = soa_.ready_col(r2);
+                const u64* __restrict c3 =
+                    (ent.flags & kSbReadsRs3) ? soa_.ready_col(ent.d.rs3) : c1;
+                const u64* __restrict cd =
+                    (ent.flags & kSbReadsRdSrc) ? soa_.ready_col(rd) : c1;
+                for (u32 k = 0; k < n; ++k) {
+                  const size_t i = at(k);
+                  const u64 c = cyc[i];
+                  const u64 ready =
+                      std::max(std::max(c1[i], c2[i]), std::max(c3[i], cd[i]));
+                  const u64 st = ready > c ? ready - c : 0;
+                  stall[i] += st;
+                  const u64 issue = c + st;
+                  cyc[i] = issue + issue_add;
+                  if constexpr (wr()) out[i] = issue + latency_add;
+                  mx[i] += 1;
+                }
+              } else {
+                for (u32 k = 0; k < n; ++k) {
+                  const size_t i = at(k);
+                  const u64 issue = cyc[i];
+                  cyc[i] = issue + issue_add;
+                  if constexpr (wr()) out[i] = issue + latency_add;
+                  mx[i] += 1;
+                }
+              }
+            };
+            if (writes_rd) {
+              fused([] { return true; });
+            } else {
+              fused([] { return false; });
+            }
+            for (u32 k = 0; k < n; ++k) {
+              HartLane h = soa_.lane(at(k));
+              rv::execute_known<kOp>(ent.d, h, mem);
+            }
+            return;
+          }
+
           if (scoreboard) {
-            u64 ready = std::max(h.ready[r1], h.ready[r2]);
-            if (reads_rs3) ready = std::max(ready, h.ready[r3]);
-            if (reads_rd_src) ready = std::max(ready, h.ready[rd]);
-            if (ready > issue) {
-              h.raw_stall_cycles += ready - issue;
-              issue = ready;
+            u64* __restrict const stall = soa_.raw_stall.data();
+            const u64* __restrict c1 = soa_.ready_col(r1);
+            const u64* __restrict c2 = soa_.ready_col(r2);
+            // Columns the entry does not read alias c1: max() against an
+            // already-included column is a no-op, keeping pass A branch-free
+            // (and vectorizable) for every operand shape.
+            const u64* __restrict c3 =
+                (ent.flags & kSbReadsRs3) ? soa_.ready_col(ent.d.rs3) : c1;
+            const u64* __restrict cd =
+                (ent.flags & kSbReadsRdSrc) ? soa_.ready_col(rd) : c1;
+            for (u32 k = 0; k < n; ++k) {
+              const u32 i = at(k);
+              const u64 c = cyc[i];
+              const u64 ready =
+                  std::max(std::max(c1[i], c2[i]), std::max(c3[i], cd[i]));
+              const u64 st = ready > c ? ready - c : 0;
+              stall[i] += st;
+              issue_buf[k] = c + st;
             }
-          }
-          // The pre-execute cycle store is observable only through the
-          // mcycle CSR reads of the generic path (none of the specialized
-          // ops read CSRs) - the retire store below overwrites it either
-          // way, so the specialized sweeps elide it.
-          rv::StepInfo info;
-          if (is_store) t_current_cycle = issue;
-          if constexpr (kKnown) {
-            info = rv::execute_known<kOp>(ent.d, h.state, mem);
           } else {
-            h.state.cycle = issue;
-            info = rv::execute(ent.d, h.state, mem);
+            for (u32 k = 0; k < n; ++k) issue_buf[k] = cyc[at(k)];
           }
-          h.mix[mix_class]++;
-          u64 cyc = issue + issue_add;
-          if (info.branch_taken) cyc += timing_.branch_taken_penalty;
-          h.state.cycle = cyc;
-          if (writes_rd | post_inc) {
-            u64 result_at = issue + latency_add;
-            if (info.is_load || info.is_amo)
-              result_at += memory_access_latency(info.mem_addr, h.state.hartid,
-                                                 timing_, cluster_, mem);
-            if (writes_rd) h.ready[rd] = result_at;
-            if (post_inc) h.ready[r1] = issue + 1;
+
+          // Pass B, member order. The pre-execute cycle store is observable
+          // only through the mcycle CSR reads of the generic path (none of
+          // the specialized ops read CSRs) - pass C overwrites it either
+          // way, so the specialized sweeps elide it.
+          for (u32 k = 0; k < n; ++k) {
+            if constexpr (kStoreCls) t_current_cycle = issue_buf[k];
+            HartLane h = soa_.lane(at(k));
+            const rv::StepInfo info = rv::execute_known<kOp>(ent.d, h, mem);
+            if constexpr (kBranch) taken_buf[k] = info.branch_taken;
+            if constexpr (kLoad) addr_buf[k] = info.mem_addr;
+            if constexpr (kLoad || kStoreCls) halt_buf[k] = info.halted;
           }
-          ++executed;
-          if constexpr (!kKnown || op_may_fault(kOp)) {
-            if (h.state.halted) [[unlikely]] {
-              drop(k, BatchEnd::kHalted);
-              continue;
+
+          // Pass C retires every member that executed, faulted or not (the
+          // serial path charges timing before the halted check); faulting
+          // members drop after the passes.
+          if constexpr (kBranch) {
+            const u64 pen = timing_.branch_taken_penalty;
+            for (u32 k = 0; k < n; ++k)
+              cyc[at(k)] = issue_buf[k] + issue_add + (taken_buf[k] ? pen : 0);
+          } else {
+            for (u32 k = 0; k < n; ++k) cyc[at(k)] = issue_buf[k] + issue_add;
+          }
+          if (writes_rd) {
+            u64* __restrict const out = soa_.ready_col(rd);
+            if constexpr (kLoad) {
+              if (!timing_.numa_latency) {
+                // memory_access_latency's static leg, inlined so the loop
+                // stays branch-light and vectorizable.
+                const u64 l2lat = timing_.l2_latency;
+                const u64 slat = timing_.static_mem_latency;
+                for (u32 k = 0; k < n; ++k) {
+                  const u32 a = addr_buf[k];
+                  const u64 lat = a >= tera::kL2Base
+                                      ? l2lat
+                                      : (a >= tera::kMmioBase ? 1 : slat);
+                  out[at(k)] = issue_buf[k] + latency_add + lat;
+                }
+              } else {
+                for (u32 k = 0; k < n; ++k)
+                  out[at(k)] = issue_buf[k] + latency_add +
+                               memory_access_latency(addr_buf[k], at(k),
+                                                     timing_, cluster_, mem);
+              }
+            } else {
+              for (u32 k = 0; k < n; ++k)
+                out[at(k)] = issue_buf[k] + latency_add;
             }
           }
-          ++k;
+          if (post_inc) {
+            u64* __restrict const o1 = soa_.ready_col(r1);
+            for (u32 k = 0; k < n; ++k) o1[at(k)] = issue_buf[k] + 1;
+          }
+          u64* __restrict const mx = soa_.mix_col(ent.mix);
+          for (u32 k = 0; k < n; ++k) mx[at(k)] += 1;
+        };
+        // size_t index: a u32 `lane0 + k` may wrap (defined behaviour), so
+        // the vectorizer cannot treat the accesses as affine; 64-bit
+        // arithmetic keeps them provably unit-stride.
+        passes([lane0](u32 k) { return size_t{lane0} + k; });
+
+        executed += live;
+        if constexpr (kLoad || kStoreCls) {
+          // Deferred fault drop-outs; halt_buf is indexed by pre-drop slot,
+          // so walk it while compacting lid/orig in place.
+          const u32 was = live;
+          u32 k = 0;
+          for (u32 src = 0; src < was; ++src) {
+            if (halt_buf[src]) [[unlikely]] {
+              drop(k, BatchEnd::kHalted);
+            } else {
+              ++k;
+            }
+          }
         }
       };
 // Specialized sweeps for the ops that dominate the MMSE/barrier kernels
 // (addi/p.lw/vfccdotp.h/sh/pv.extract.h cover ~2/3 of retired instructions;
 // the rest of the list rounds out the kernels' inner loops across the
 // supported precisions). Adding an op here is a pure perf knob.
-#define TSIM_SWEEP_CASE(OP)                        \
-  case rv::Op::OP:                                 \
-    sweep.template operator()<true, rv::Op::OP>(); \
+#define TSIM_SWEEP_CASE(OP)                       \
+  case rv::Op::OP:                                \
+    sweep_vec.template operator()<rv::Op::OP>();  \
     break;
       switch (ent.d.op) {
         TSIM_SWEEP_CASE(kAddi)
@@ -581,7 +757,7 @@ u64 Machine::exec_followers_replay(const u32* ids, u32 count, u64 budget,
         TSIM_SWEEP_CASE(kBlt)
         TSIM_SWEEP_CASE(kBge)
         default:
-          sweep.template operator()<false, rv::Op::kInvalid>();
+          sweep_generic();
           break;
       }
 #undef TSIM_SWEEP_CASE
@@ -602,7 +778,7 @@ u64 Machine::exec_followers_replay(const u32* ids, u32 count, u64 budget,
         // serial turns would have ended. A follower that consumed a
         // pending wake inside park_in_wfi keeps running.
         for (u32 k = 0; k < live;) {
-          if (park_in_wfi(ids[orig[k]])) {
+          if (park_in_wfi(lid[k])) {
             drop(k, BatchEnd::kAsleep);
             continue;
           }
@@ -697,7 +873,7 @@ RunResult Machine::run(u64 max_instructions) {
   // sleep state - on_wake (same host thread) re-inserts woken harts.
   st_awake_.clear();
   for (u32 i = 0; i < num_harts(); ++i) {
-    if (harts_[i].state.halted) continue;
+    if (soa_.arch[i].halted) continue;
     if (sleep_[i].load(std::memory_order_relaxed) ==
         static_cast<u8>(SleepState::kSleeping))
       continue;
@@ -720,8 +896,8 @@ RunResult Machine::run(u64 max_instructions) {
       st_pos_ = 0;
       if (stop_.load(std::memory_order_acquire)) break;
       if (st_awake_.empty()) {
-        for (const Hart& h : harts_) {
-          if (!h.state.halted) {
+        for (u32 i = 0; i < num_harts(); ++i) {
+          if (!soa_.arch[i].halted) {
             res.deadlock = true;  // live harts asleep, nobody left to wake them
             break;
           }
@@ -730,7 +906,7 @@ RunResult Machine::run(u64 max_instructions) {
       }
     }
     const u32 i = st_awake_[st_pos_];
-    if (harts_[i].state.in_wfi) resume_from_wfi(i);
+    if (soa_.arch[i].in_wfi) resume_from_wfi(i);
     u64 budget = kQuantum;
     if (max_instructions != 0)
       budget = std::min<u64>(budget, max_instructions - executed);
@@ -754,7 +930,7 @@ RunResult Machine::run(u64 max_instructions) {
         // Turn-start wake accounting for the joining harts: it reads only
         // the hart's own wake_cycle, so resuming at formation is
         // bit-identical to resuming at the hart's serial turn.
-        if (k != 0 && harts_[batch_ids[k]].state.in_wfi) resume_from_wfi(batch_ids[k]);
+        if (k != 0 && soa_.arch[batch_ids[k]].in_wfi) resume_from_wfi(batch_ids[k]);
       }
       // Leader turn: a plain serial quantum (st_pos_ is parked on the
       // leader, so wakes it raises see the exact serial scan position) that
@@ -809,7 +985,7 @@ RunResult Machine::run_threads(u32 n_threads, u64 max_instructions) {
   inboxes_ = std::make_unique<WakeInbox[]>(n_shards);
   u32 awake = 0;
   for (u32 i = 0; i < num_harts(); ++i) {
-    if (harts_[i].state.halted) continue;
+    if (soa_.arch[i].halted) continue;
     if (sleep_[i].load(std::memory_order_relaxed) !=
         static_cast<u8>(SleepState::kSleeping))
       ++awake;
@@ -846,7 +1022,7 @@ RunResult Machine::run_threads(u32 n_threads, u64 max_instructions) {
       local_stats.width_hist.assign(kMaxBatchWidth + 1, 0);
       u32 shard_live = 0;
       for (u32 i = lo; i < hi; ++i) {
-        if (harts_[i].state.halted) continue;
+        if (soa_.arch[i].halted) continue;
         ++shard_live;
         if (sleep_[i].load(std::memory_order_relaxed) !=
             static_cast<u8>(SleepState::kSleeping))
@@ -913,7 +1089,7 @@ RunResult Machine::run_threads(u32 n_threads, u64 max_instructions) {
         idle_confirm = 0;
 
         const u32 i = awake_list[pos];
-        if (harts_[i].state.in_wfi) resume_from_wfi(i);
+        if (soa_.arch[i].in_wfi) resume_from_wfi(i);
 
         // Convergence batch inside this shard's list; a batch runs only on
         // a full width*kQuantum claim from the shared budget pool, so the
@@ -956,7 +1132,7 @@ RunResult Machine::run_threads(u32 n_threads, u64 max_instructions) {
           turn_claimed = static_cast<u64>(width) * kQuantum;
           for (u32 k = 0; k < width; ++k) {
             batch_ids[k] = awake_list[pos + k];
-            if (k != 0 && harts_[batch_ids[k]].state.in_wfi)
+            if (k != 0 && soa_.arch[batch_ids[k]].in_wfi)
               resume_from_wfi(batch_ids[k]);
           }
           // Leader turn: a plain serial quantum that records its superblock
@@ -1026,19 +1202,19 @@ RunResult Machine::run_threads(u32 n_threads, u64 max_instructions) {
 
 u64 Machine::total_instructions() const {
   u64 sum = 0;
-  for (const auto& h : harts_) sum += h.instructions();
+  for (const u64 n : soa_.instret) sum += n;
   return sum;
 }
 
 u64 Machine::estimated_cycles() const {
   u64 mx = 0;
-  for (const auto& h : harts_) mx = std::max(mx, h.cycles());
+  for (const u64 c : soa_.cycle) mx = std::max(mx, c);
   return mx;
 }
 
 u64 Machine::total_cycles() const {
   u64 sum = 0;
-  for (const auto& h : harts_) sum += h.cycles();
+  for (const u64 c : soa_.cycle) sum += c;
   return sum;
 }
 

@@ -35,6 +35,20 @@
 // re-selected without an explicit reload - the kernel programs in this repo
 // keep all mutable data in L1, while images live in L2.
 //
+// Structure-of-arrays hart state
+// ------------------------------
+// The hot per-hart state (pc, cycle, instret, the RAW scoreboard, stall
+// counters, wake timestamps, instruction mix) lives in machine-owned
+// parallel arrays indexed by hart id (iss::HartArrays, see hart.h); only
+// the register file and the rarely-touched flags stay per-lane blocks.
+// Scoreboard and mix arrays are register-/class-major, so the per-entry
+// arithmetic of a lockstep sweep reads and writes a few unit-stride u64
+// column windows. Serial turns and trace hooks run rv semantics through
+// iss::HartLane, a thin per-lane view with HartState's field names - the
+// state transitions are the same loads and stores as the pre-SoA layout,
+// which is what keeps the bit-exactness contract below layout-independent.
+// Machine::hart() assembles a value snapshot on demand.
+//
 // SPMD convergence batching
 // -------------------------
 // The DUT workloads are SPMD: every hart of a cluster runs the same kernel
@@ -45,11 +59,22 @@
 // shared superblock instruction-major, hart-minor - one translation lookup
 // and one predecoded-metadata read per SbEntry per *batch* instead of per
 // hart. The member sweep dispatches on the (loop-invariant) opcode ONCE per
-// entry: hot ops run a straight-line rv::execute_known kernel with the
-// decode switch constant-folded away and the timing model's per-entry
-// invariants (flags, latencies, register indices) hoisted out of the
-// member loop; everything else takes the generic rv::execute with the same
-// single-source semantics.
+// entry: hot ops run a three-pass vectorized sweep over the SoA columns -
+// pass A computes every member's issue cycle and RAW stall from the
+// scoreboard columns, pass B runs the architectural semantics member-by-
+// member in member order through a straight-line rv::execute_known kernel
+// (decode switch constant-folded away, per-entry invariants hoisted), and
+// pass C retires cycle/scoreboard/mix columns. Batches form from
+// consecutive entries of a sorted run list, so member lanes are usually
+// consecutive hart ids: passes A and C then run as unit-stride column loops
+// the compiler auto-vectorizes; after a drop-out the same passes run
+// through the member indirection. Everything else takes the generic
+// rv::execute with the same single-source semantics. The pass split is
+// sound because per-hart timing reads only that hart's own state (the
+// timing.h locality contract): reordering pass A across members commutes,
+// and pass B keeps the member-order memory accesses that the bit-exactness
+// contract pins. Members that fault in pass B still retire pass C (the
+// serial path retires timing before the halted check) and drop out after.
 //
 // Batch invariants (the serial path stays the bit-exactness oracle):
 //  - A batch FORMS only from consecutive entries of the run list, all at one
@@ -194,8 +219,9 @@ class Machine {
   /// budget is shared across shards and never overshoots).
   RunResult run_threads(u32 n_threads, u64 max_instructions = 0);
 
-  u32 num_harts() const { return static_cast<u32>(harts_.size()); }
-  const Hart& hart(u32 i) const { return harts_[i]; }
+  u32 num_harts() const { return soa_.size(); }
+  /// Value snapshot of hart `i`, assembled from the SoA state (hart.h).
+  Hart hart(u32 i) const { return soa_.snapshot(i); }
   const TimingConfig& timing() const { return timing_; }
 
   /// Harts per convergence batch, capped to bound the lockstep working set
@@ -325,7 +351,7 @@ class Machine {
   const TranslationCache* tcache_;  // active program's cache (never null)
   u64 program_switches_ = 0;
   u32 entry_pc_ = 0;
-  std::vector<Hart> harts_;
+  HartArrays soa_;  // per-hart state, structure-of-arrays (see hart.h)
   std::vector<std::atomic<u8>> sleep_;  // SleepState per hart
   std::atomic<bool> stop_{false};
   std::atomic<u32> exit_code_{0};

@@ -6,6 +6,13 @@
 // `execute` is a template on the memory type: calling it with a concrete
 // final memory class (tera::ClusterMemory) devirtualizes every access on
 // the hot path; calling it with rv::MemIface& keeps the generic interface.
+//
+// It is also a template on the hart-state type: any type exposing
+// HartState's member names (pc, cycle, instret, halted, in_wfi, trapped,
+// hartid, has_reservation, reservation_addr, read_reg/write_reg) works.
+// The uarch model passes rv::HartState; the fast ISS passes iss::HartLane,
+// a per-lane view over its structure-of-arrays state - either way the
+// semantics exist exactly once.
 #pragma once
 
 #include "rv/hart_state.h"
@@ -29,15 +36,15 @@ struct StepInfo {
 /// Executes one decoded instruction: updates registers and pc, performs
 /// memory accesses through `mem`. Does NOT advance cycle counts (timing is
 /// engine-specific) but increments `instret`.
-template <typename Mem>
-[[gnu::always_inline]] inline StepInfo execute(const Decoded& d, HartState& h, Mem& mem);
+template <typename Mem, typename State = HartState>
+[[gnu::always_inline]] inline StepInfo execute(const Decoded& d, State& h, Mem& mem);
 
 /// Same semantics with the opcode as a compile-time constant: the dispatch
 /// switch folds to the single case, yielding a straight-line per-op kernel
 /// (the ISS convergence-batch sweep dispatches once per SbEntry, then runs
 /// this in a tight per-hart loop; see machine.cpp). `d.op` must equal `kOp`.
-template <Op kOp, typename Mem>
-[[gnu::always_inline]] inline StepInfo execute_known(const Decoded& d, HartState& h,
+template <Op kOp, typename Mem, typename State = HartState>
+[[gnu::always_inline]] inline StepInfo execute_known(const Decoded& d, State& h,
                                                      Mem& mem);
 
 }  // namespace tsim::rv

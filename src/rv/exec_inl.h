@@ -85,9 +85,10 @@ inline u32 cdotp_h(u32 acc, u32 a, u32 b, bool conj_a) {
 // to be false, which in turn folds the caller's timing branches. This is
 // what the ISS convergence-batch sweep dispatches to (see machine.cpp):
 // one runtime switch per SbEntry per *batch*, then a tight per-op member
-// loop. Semantics exist exactly once - both paths execute this body.
-template <typename Mem, bool kStaticOp, Op kOp>
-[[gnu::always_inline]] inline StepInfo execute_impl(const Decoded& d, HartState& h,
+// loop. Semantics exist exactly once - every path and every State type
+// (rv::HartState or the ISS's SoA lane view) executes this body.
+template <typename Mem, bool kStaticOp, Op kOp, typename State>
+[[gnu::always_inline]] inline StepInfo execute_impl(const Decoded& d, State& h,
                                                     Mem& mem) {
   using namespace exec_detail;  // fp helpers
   StepInfo info;
@@ -584,16 +585,16 @@ template <typename Mem, bool kStaticOp, Op kOp>
   return info;
 }
 
-template <typename Mem>
-[[gnu::always_inline]] inline StepInfo execute(const Decoded& d, HartState& h, Mem& mem) {
-  return execute_impl<Mem, /*kStaticOp=*/false, Op::kInvalid>(d, h, mem);
+template <typename Mem, typename State>
+[[gnu::always_inline]] inline StepInfo execute(const Decoded& d, State& h, Mem& mem) {
+  return execute_impl<Mem, /*kStaticOp=*/false, Op::kInvalid, State>(d, h, mem);
 }
 
-template <Op kOp, typename Mem>
-[[gnu::always_inline]] inline StepInfo execute_known(const Decoded& d, HartState& h,
+template <Op kOp, typename Mem, typename State>
+[[gnu::always_inline]] inline StepInfo execute_known(const Decoded& d, State& h,
                                                      Mem& mem) {
   static_assert(kOp != Op::kInvalid, "specialize real ops only");
-  return execute_impl<Mem, /*kStaticOp=*/true, kOp>(d, h, mem);
+  return execute_impl<Mem, /*kStaticOp=*/true, kOp, State>(d, h, mem);
 }
 
 }  // namespace tsim::rv

@@ -9,6 +9,25 @@
 //                      (paper Fig. 4: per-core intermediates G, L).
 //   0x4000_0000        MMIO           : exit / putchar / wake registers.
 //   0x8000_0000 +l2    L2             : program image and bulk data.
+//
+// Host backing-store layout (de-interleaved)
+// -------------------------------------------
+// `Route::phys_word` indexes the host word array backing L1. The store is
+// laid out so that DUT-consecutive words of the INTERLEAVED region are
+// host-contiguous: `phys_word(interleaved word wi) == wi`. The DUT-visible
+// semantics are unchanged - `bank`/`tile` are still derived exactly as
+// before and drive all timing (NUMA distance in the fast ISS, bank-conflict
+// accounting in the cycle-accurate model); only where a word *lives on the
+// host* moved. Bank striping is therefore a pure view transform of the
+// routing, not a property of the storage, which makes host-side bulk access
+// (program staging, DMA, result readback) and the ISS's sweeps over DUT
+// vectors plain contiguous memcpys/loops instead of bank-strided gathers.
+//
+// The sequential region addresses the SAME physical words as the seed
+// layout did: sequential (bank b, word-in-bank s) aliases interleaved word
+// s*num_banks + b, so `phys_word(sequential) = s*num_banks + b`. Aliasing
+// between the two views is bit-for-bit the seed relation (pinned by
+// tera_test).
 #pragma once
 
 #include <bit>
@@ -43,14 +62,12 @@ class AddrMap {
  public:
   explicit AddrMap(const TeraPoolConfig& cfg) : cfg_(cfg) {
     cfg_.validate();
-    bank_words_ = cfg_.tile_l1_bytes / 4 / cfg_.banks_per_tile;
     l1_bytes_ = cfg_.l1_bytes();
     // Power-of-two bank counts (every practical topology) let the per-access
-    // bank routing use shifts instead of integer division - this is the
+    // bank routing use masks instead of integer modulo - this is the
     // hottest address-decode path of both simulation engines.
     num_banks_ = cfg_.num_banks();
     banks_pow2_ = is_pow2(num_banks_);
-    bank_shift_ = banks_pow2_ ? static_cast<u32>(std::countr_zero(num_banks_)) : 0;
   }
 
   const TeraPoolConfig& config() const { return cfg_; }
@@ -79,28 +96,26 @@ class AddrMap {
     return std::nullopt;
   }
 
-  /// Interleaved region: word i lives in bank (i mod nbanks).
+  /// Interleaved region: word i lives in bank (i mod nbanks). The bank is a
+  /// timing-only view transform; the word itself is stored at host index i,
+  /// so DUT-consecutive interleaved words are host-contiguous.
   Route route_interleaved(u32 off) const {
     const u32 wi = off / 4;
-    u32 bank, slot;
-    if (banks_pow2_) {
-      bank = wi & (num_banks_ - 1);
-      slot = wi >> bank_shift_;
-    } else {
-      bank = wi % num_banks_;
-      slot = wi / num_banks_;
-    }
-    return Route{Space::kL1, bank, bank / cfg_.banks_per_tile, bank * bank_words_ + slot};
+    const u32 bank = banks_pow2_ ? (wi & (num_banks_ - 1)) : (wi % num_banks_);
+    return Route{Space::kL1, bank, bank / cfg_.banks_per_tile, wi};
   }
 
   /// Sequential region: tile-major; words interleave across that tile's
-  /// banks only, so a contiguous block stays tile-local.
+  /// banks only, so a contiguous block stays tile-local. Physical storage is
+  /// shared with the interleaved view: (bank, word-in-bank slot) is the
+  /// interleaved word slot*num_banks + bank, preserving the seed aliasing
+  /// relation between the two views word-for-word.
   Route route_sequential(u32 off) const {
     const u32 tile = off / cfg_.tile_l1_bytes;
     const u32 wt = (off % cfg_.tile_l1_bytes) / 4;
     const u32 bank = tile * cfg_.banks_per_tile + (wt % cfg_.banks_per_tile);
     const u32 slot = wt / cfg_.banks_per_tile;
-    return Route{Space::kL1, bank, tile, bank * bank_words_ + slot};
+    return Route{Space::kL1, bank, tile, slot * num_banks_ + bank};
   }
 
   /// Base byte address of `tile`'s scratchpad in the sequential region.
@@ -110,11 +125,9 @@ class AddrMap {
 
  private:
   TeraPoolConfig cfg_;
-  u32 bank_words_ = 0;
   u32 l1_bytes_ = 0;
   u32 num_banks_ = 0;
   bool banks_pow2_ = false;
-  u32 bank_shift_ = 0;
 };
 
 }  // namespace tsim::tera

@@ -1,5 +1,6 @@
 #include "tera/memory.h"
 
+#include <bit>
 #include <cstring>
 
 #include "common/error.h"
@@ -72,7 +73,32 @@ rv::MemResult ClusterMemory::fetch(u32 addr) {
   return load(addr, 4);
 }
 
+// Both bulk regions are host-contiguous: the interleaved L1 view stores
+// word i at l1_[i] (bank striping is a routing view transform, see
+// addr_map.h) and L2 always was a flat array. Host-side bulk access over
+// either region is therefore a single memcpy; only the tile-major
+// sequential view still needs the per-word route loop.
+const u32* ClusterMemory::contiguous_words(u32 addr, size_t nwords) const {
+  const u64 end = static_cast<u64>(addr) + static_cast<u64>(nwords) * 4;
+  if (addr < kL1SequentialBase && end <= static_cast<u64>(map_.l1_words()) * 4)
+    return l1_.data() + addr / 4;
+  if (addr >= kL2Base && end - kL2Base <= static_cast<u64>(map_.l2_words()) * 4)
+    return l2_.data() + (addr - kL2Base) / 4;
+  return nullptr;
+}
+
 void ClusterMemory::host_write(u32 addr, std::span<const u8> bytes) {
+  if constexpr (std::endian::native == std::endian::little) {
+    // Byte offset k of a contiguous word region is host byte k on a
+    // little-endian host, so byte spans copy directly too.
+    const u32 base = addr & ~3u;
+    const size_t span = (addr - base) + bytes.size();
+    if (const u32* w = contiguous_words(base, (span + 3) / 4)) {
+      std::memcpy(const_cast<u8*>(reinterpret_cast<const u8*>(w)) + (addr & 3),
+                  bytes.data(), bytes.size());
+      return;
+    }
+  }
   for (size_t i = 0; i < bytes.size(); ++i) {
     const u32 a = addr + static_cast<u32>(i);
     const auto r = map_.route(a);
@@ -84,6 +110,14 @@ void ClusterMemory::host_write(u32 addr, std::span<const u8> bytes) {
 }
 
 void ClusterMemory::host_read(u32 addr, std::span<u8> out) const {
+  if constexpr (std::endian::native == std::endian::little) {
+    const u32 base = addr & ~3u;
+    const size_t span = (addr - base) + out.size();
+    if (const u32* w = contiguous_words(base, (span + 3) / 4)) {
+      std::memcpy(out.data(), reinterpret_cast<const u8*>(w) + (addr & 3), out.size());
+      return;
+    }
+  }
   for (size_t i = 0; i < out.size(); ++i) {
     const u32 a = addr + static_cast<u32>(i);
     const auto r = map_.route(a);
@@ -95,6 +129,10 @@ void ClusterMemory::host_read(u32 addr, std::span<u8> out) const {
 
 void ClusterMemory::host_write_words(u32 addr, std::span<const u32> words) {
   check((addr & 3) == 0, "host_write_words: unaligned");
+  if (const u32* w = contiguous_words(addr, words.size())) {
+    std::memcpy(const_cast<u32*>(w), words.data(), words.size() * 4);
+    return;
+  }
   for (size_t i = 0; i < words.size(); ++i) {
     const auto r = map_.route(addr + static_cast<u32>(i * 4));
     check(r.has_value() && r->space != Space::kMmio, "host_write_words: unmapped");

@@ -120,6 +120,10 @@ class ClusterMemory final : public rv::MemIface {
   }
   void mmio_store(u32 word_index, u32 value);  // cold: exit/putchar/wake
 
+  /// Backing words for [addr, addr + 4*nwords) when that range is entirely
+  /// inside a host-contiguous region (interleaved L1 or L2); else nullptr.
+  const u32* contiguous_words(u32 addr, size_t nwords) const;
+
   AddrMap map_;
   std::vector<u32> l1_;
   std::vector<u32> l2_;

@@ -2,6 +2,8 @@
 // sequential views), NUMA latencies, MMIO side effects, host access, DMA.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "tera/dma.h"
 #include "tera/memory.h"
 
@@ -70,6 +72,81 @@ TEST(AddrMap, PhysicalWordsAreUniqueWithinEachView) {
     seen[r->phys_word] = true;
   }
   // The sequential view is a permutation of the same physical words.
+  std::fill(seen.begin(), seen.end(), false);
+  for (u32 off = 0; off < cfg.l1_bytes(); off += 4) {
+    const auto r = map.route(kL1SequentialBase + off);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_FALSE(seen[r->phys_word]) << "sequential collision at off " << off;
+    seen[r->phys_word] = true;
+  }
+}
+
+TEST(AddrMap, InterleavedWordsAreHostContiguous) {
+  // The de-interleaved backing layout: interleaved word wi is stored at host
+  // index wi (bank striping is a routing view transform, not a storage
+  // property). Host bulk accessors and the ISS's vector sweeps rely on this.
+  const TeraPoolConfig cfg = TeraPoolConfig::tiny();
+  const AddrMap map(cfg);
+  for (u32 wi = 0; wi < cfg.l1_bytes() / 4; wi += 7) {
+    const auto r = map.route(kL1InterleavedBase + wi * 4);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->phys_word, wi);
+  }
+}
+
+TEST(AddrMap, SequentialAliasesSeedLayoutWordForWord) {
+  // The sequential view must address the SAME physical words the seed
+  // (bank-major) layout did: sequential offset -> (tile, word-in-tile wt)
+  // -> bank = tile*bpt + wt%bpt, slot = wt/bpt -> interleaved word
+  // slot*num_banks + bank. This is the DUT-visible aliasing contract
+  // between the two L1 views; the backing-store refactor must not move it.
+  const TeraPoolConfig cfg = TeraPoolConfig::tiny();
+  const AddrMap map(cfg);
+  const u32 nbanks = cfg.num_banks();
+  for (u32 off = 0; off < cfg.l1_bytes(); off += 4 * 5) {
+    const u32 tile = off / cfg.tile_l1_bytes;
+    const u32 wt = (off % cfg.tile_l1_bytes) / 4;
+    const u32 bank = tile * cfg.banks_per_tile + (wt % cfg.banks_per_tile);
+    const u32 slot = wt / cfg.banks_per_tile;
+    const u32 aliased_wi = slot * nbanks + bank;
+    const auto seq = map.route(kL1SequentialBase + off);
+    const auto il = map.route(kL1InterleavedBase + aliased_wi * 4);
+    ASSERT_TRUE(seq.has_value() && il.has_value());
+    EXPECT_EQ(seq->bank, bank);
+    EXPECT_EQ(seq->tile, tile);
+    EXPECT_EQ(seq->phys_word, il->phys_word) << "aliasing broken at off " << off;
+    EXPECT_EQ(il->bank, bank) << "views disagree on the owning bank";
+  }
+}
+
+TEST(AddrMap, NonPow2BankCountRoutesByModulo) {
+  // Non-power-of-two TOTAL bank counts are legal (banks_per_tile must be a
+  // power of two, the tile count need not be): groups=3 gives 12 tiles x 4
+  // banks = 48. The routing falls back from mask to modulo; the contiguous
+  // phys_word layout and the view aliasing hold unchanged.
+  TeraPoolConfig cfg = TeraPoolConfig::tiny();
+  cfg.groups = 3;
+  cfg.validate();
+  const u32 nbanks = cfg.num_banks();
+  ASSERT_EQ(nbanks, 48u);
+  ASSERT_FALSE(is_pow2(nbanks));
+  const AddrMap map(cfg);
+  for (u32 wi = 0; wi < nbanks * 3 + 5; ++wi) {
+    const auto r = map.route(kL1InterleavedBase + wi * 4);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->bank, wi % nbanks);
+    EXPECT_EQ(r->tile, (wi % nbanks) / cfg.banks_per_tile);
+    EXPECT_EQ(r->phys_word, wi);
+  }
+  // Both views stay collision-free permutations of the physical words.
+  std::vector<bool> seen(map.l1_words(), false);
+  for (u32 off = 0; off < cfg.l1_bytes(); off += 4) {
+    const auto r = map.route(kL1InterleavedBase + off);
+    ASSERT_TRUE(r.has_value());
+    ASSERT_LT(r->phys_word, map.l1_words());
+    EXPECT_FALSE(seen[r->phys_word]) << "interleaved collision at off " << off;
+    seen[r->phys_word] = true;
+  }
   std::fill(seen.begin(), seen.end(), false);
   for (u32 off = 0; off < cfg.l1_bytes(); off += 4) {
     const auto r = map.route(kL1SequentialBase + off);
@@ -148,6 +225,63 @@ TEST(Memory, HostAccessRoundTripsThroughInterleaving) {
   EXPECT_EQ(back, data);
   // And the DUT-visible view agrees.
   EXPECT_EQ(mem.load(0x344, 1).value, data[3]);
+}
+
+TEST(Memory, ViewsAliasAcrossStoreAndLoad) {
+  // Data written through one L1 view reads back through the other at the
+  // seed aliasing relation (and vice versa) - on the DUT path and the host
+  // bulk path alike.
+  const TeraPoolConfig cfg = TeraPoolConfig::tiny();
+  ClusterMemory mem(cfg);
+  const u32 nbanks = cfg.num_banks();
+  // Sequential word 5 of tile 1 -> bank/slot -> interleaved alias.
+  const u32 tile = 1, wt = 5;
+  const u32 seq_addr = kL1SequentialBase + tile * cfg.tile_l1_bytes + wt * 4;
+  const u32 bank = tile * cfg.banks_per_tile + (wt % cfg.banks_per_tile);
+  const u32 slot = wt / cfg.banks_per_tile;
+  const u32 il_addr = kL1InterleavedBase + (slot * nbanks + bank) * 4;
+  EXPECT_FALSE(mem.store(seq_addr, 0xCAFEF00D, 4));
+  EXPECT_EQ(mem.load(il_addr, 4).value, 0xCAFEF00Du);
+  EXPECT_EQ(mem.host_read_word(il_addr), 0xCAFEF00Du);
+  mem.host_write_words(il_addr, std::array<u32, 1>{0xDEADBEEF});
+  EXPECT_EQ(mem.load(seq_addr, 4).value, 0xDEADBEEFu);
+}
+
+TEST(Memory, BulkAccessorsAtRegionBoundary) {
+  // The memcpy fast path must hold right up to the last interleaved word
+  // and fall back cleanly for sequential-region spans (per-word route loop).
+  const TeraPoolConfig cfg = TeraPoolConfig::tiny();
+  ClusterMemory mem(cfg);
+  const u32 end = cfg.l1_bytes();
+  std::vector<u8> data(64);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i ^ 0x5A);
+  mem.host_write(end - 64, data);
+  std::vector<u8> back(64);
+  mem.host_read(end - 64, back);
+  EXPECT_EQ(back, data);
+  // The very last word is DUT-visible at the matching interleaved address.
+  EXPECT_EQ(mem.load(end - 4, 4).value, mem.host_read_word(end - 4));
+  // A sequential-region span (not host-contiguous) round-trips too.
+  const u32 seq = kL1SequentialBase + cfg.tile_l1_bytes - 32;
+  std::vector<u8> sdata(48);  // crosses into the next tile's block
+  for (size_t i = 0; i < sdata.size(); ++i) sdata[i] = static_cast<u8>(i * 7 + 3);
+  mem.host_write(seq, sdata);
+  std::vector<u8> sback(48);
+  mem.host_read(seq, sback);
+  EXPECT_EQ(sback, sdata);
+  // Word accessors agree with the byte path in the sequential view.
+  EXPECT_EQ(mem.host_read_word(seq), mem.load(seq, 4).value);
+}
+
+TEST(Memory, NonPow2BankCountRoundTrips) {
+  TeraPoolConfig cfg = TeraPoolConfig::tiny();
+  cfg.groups = 3;  // 48 banks: modulo routing path
+  ClusterMemory mem(cfg);
+  std::vector<u32> words(100);
+  for (size_t i = 0; i < words.size(); ++i) words[i] = static_cast<u32>(i * 0x9E3779B9u);
+  mem.host_write_words(0x40, words);
+  for (size_t i = 0; i < words.size(); ++i)
+    ASSERT_EQ(mem.load(0x40 + static_cast<u32>(i) * 4, 4).value, words[i]) << i;
 }
 
 TEST(Memory, L2HoldsProgramImage) {
