@@ -15,6 +15,14 @@
 // Flags: --cells N, --ues N, --ttis N, --shards N, --threads N, --seed S,
 // --quick | --full, --no-harq (single-shot A/B baseline), --burst (on/off
 // arrival bursts + diurnal modulation), --json [DIR], --csv DIR.
+//
+// Fault injection & supervision (sim/fault.h + the mac/farm.h supervisor):
+// --policy fail_fast|retry|degrade, --attempts N, --shard-timeout SECS,
+// --inject-shard-crash/stall/garble S (host-level worker faults; recovery
+// under --policy retry is byte-identical to a clean run - CI's fault-smoke
+// step diffs the JSON), --fault-seed S, --hart-trap-rate/--hart-hang-rate R,
+// --l1-flip-rate R, --no-ecc, --cluster-fail TTI [--cluster-fail-cluster C],
+// --drop-ind/--delay-ind R, --delay-slots N, --harq-timeout SLOTS.
 // Unknown flags exit 2.
 #include <cctype>
 #include <cstdio>
@@ -42,6 +50,13 @@ struct Options {
   bool burst = false;
   std::string json_dir;
   std::string csv_dir;
+  // Supervisor + fault-injection knobs (defaults = clean run).
+  mac::FarmPolicy policy = mac::FarmPolicy::kRetry;
+  u32 attempts = 2;
+  double shard_timeout_s = 0.0;
+  sim::HostFaultConfig host_fault;
+  sim::FaultConfig fault;
+  u32 harq_timeout_slots = 0;
 };
 
 u32 parse_positive_u32(const char* flag, const char* text) {
@@ -61,6 +76,21 @@ u64 parse_u64(const char* flag, const char* text) {
   return static_cast<u64>(v);
 }
 
+u32 parse_u32(const char* flag, const char* text) {
+  const u64 v = parse_u64(flag, text);
+  check(v <= 0xFFFFFFFFull,
+        std::string(flag) + " value out of range: '" + text + "'");
+  return static_cast<u32>(v);
+}
+
+double parse_rate(const char* flag, const char* text) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  check(end != text && *end == '\0' && v >= 0.0,
+        std::string(flag) + " expects a non-negative number, got '" + text + "'");
+  return v;
+}
+
 void print_usage(std::FILE* f, const char* prog) {
   std::fprintf(f, "usage: %s [flags]\n", prog);
   std::fprintf(f, "  --cells N      gNB cells in the farm (default 4)\n");
@@ -75,6 +105,25 @@ void print_usage(std::FILE* f, const char* prog) {
   std::fprintf(f, "  --burst        on/off arrival bursts + diurnal modulation\n");
   std::fprintf(f, "  --json [DIR]   write DIR/farm_soak.json (default DIR: .)\n");
   std::fprintf(f, "  --csv DIR      write DIR/farm_soak.csv\n");
+  std::fprintf(f, "supervisor / fault injection:\n");
+  std::fprintf(f, "  --policy P     fail_fast | retry | degrade (default retry)\n");
+  std::fprintf(f, "  --attempts N   forked attempts per shard under retry\n");
+  std::fprintf(f, "  --shard-timeout SECS  wall-clock bound per worker (0 = off)\n");
+  std::fprintf(f, "  --inject-shard-crash S   shard S crashes mid-stream\n");
+  std::fprintf(f, "  --inject-shard-stall S   shard S hangs (needs a timeout)\n");
+  std::fprintf(f, "  --inject-shard-garble S  shard S emits truncated JSON\n");
+  std::fprintf(f, "  --fault-attempts N  host faults fire while attempt <= N\n");
+  std::fprintf(f, "  --fault-seed S      fault stream seed (default 0xF417)\n");
+  std::fprintf(f, "  --hart-trap-rate R  P(transient hart trap | batch run)\n");
+  std::fprintf(f, "  --hart-hang-rate R  P(stuck hart | batch run)\n");
+  std::fprintf(f, "  --l1-flip-rate R    expected L1 bit upsets per batch run\n");
+  std::fprintf(f, "  --no-ecc            disable the SECDED model (silent upsets)\n");
+  std::fprintf(f, "  --cluster-fail TTI  kill one cluster per cell from this TTI\n");
+  std::fprintf(f, "  --cluster-fail-cluster C  which cluster dies (default 0)\n");
+  std::fprintf(f, "  --drop-ind R        P(SlotIndication lost | TTI)\n");
+  std::fprintf(f, "  --delay-ind R       P(SlotIndication delayed | TTI)\n");
+  std::fprintf(f, "  --delay-slots N     delivery delay of a delayed indication\n");
+  std::fprintf(f, "  --harq-timeout N    HARQ feedback timeout in slots (0 = off)\n");
   std::fprintf(f, "  --help         this message\n");
 }
 
@@ -109,6 +158,59 @@ Options parse_args(int argc, char** argv) {
       opt.no_harq = true;
     } else if (std::strcmp(arg, "--burst") == 0) {
       opt.burst = true;
+    } else if (std::strcmp(arg, "--policy") == 0) {
+      opt.policy = mac::parse_farm_policy(next("--policy"));
+    } else if (std::strcmp(arg, "--attempts") == 0) {
+      opt.attempts = parse_positive_u32("--attempts", next("--attempts"));
+    } else if (std::strcmp(arg, "--shard-timeout") == 0) {
+      opt.shard_timeout_s = parse_rate("--shard-timeout", next("--shard-timeout"));
+    } else if (std::strcmp(arg, "--inject-shard-crash") == 0) {
+      opt.host_fault.crash_shard =
+          parse_u32("--inject-shard-crash", next("--inject-shard-crash"));
+    } else if (std::strcmp(arg, "--inject-shard-stall") == 0) {
+      opt.host_fault.stall_shard =
+          parse_u32("--inject-shard-stall", next("--inject-shard-stall"));
+    } else if (std::strcmp(arg, "--inject-shard-garble") == 0) {
+      opt.host_fault.garble_shard =
+          parse_u32("--inject-shard-garble", next("--inject-shard-garble"));
+    } else if (std::strcmp(arg, "--fault-attempts") == 0) {
+      opt.host_fault.fault_attempts =
+          parse_positive_u32("--fault-attempts", next("--fault-attempts"));
+    } else if (std::strcmp(arg, "--fault-seed") == 0) {
+      opt.fault.seed = parse_u64("--fault-seed", next("--fault-seed"));
+    } else if (std::strcmp(arg, "--hart-trap-rate") == 0) {
+      opt.fault.hart_trap_rate =
+          parse_rate("--hart-trap-rate", next("--hart-trap-rate"));
+      opt.fault.enabled = true;
+    } else if (std::strcmp(arg, "--hart-hang-rate") == 0) {
+      opt.fault.hart_hang_rate =
+          parse_rate("--hart-hang-rate", next("--hart-hang-rate"));
+      opt.fault.enabled = true;
+    } else if (std::strcmp(arg, "--l1-flip-rate") == 0) {
+      opt.fault.l1_flip_rate =
+          parse_rate("--l1-flip-rate", next("--l1-flip-rate"));
+      opt.fault.enabled = true;
+    } else if (std::strcmp(arg, "--no-ecc") == 0) {
+      opt.fault.ecc = false;
+    } else if (std::strcmp(arg, "--cluster-fail") == 0) {
+      opt.fault.cluster_fail_tti =
+          parse_u32("--cluster-fail", next("--cluster-fail"));
+      opt.fault.enabled = true;
+    } else if (std::strcmp(arg, "--cluster-fail-cluster") == 0) {
+      opt.fault.cluster_fail_id = parse_u32("--cluster-fail-cluster",
+                                            next("--cluster-fail-cluster"));
+    } else if (std::strcmp(arg, "--drop-ind") == 0) {
+      opt.fault.drop_indication_rate = parse_rate("--drop-ind", next("--drop-ind"));
+      opt.fault.enabled = true;
+    } else if (std::strcmp(arg, "--delay-ind") == 0) {
+      opt.fault.delay_indication_rate =
+          parse_rate("--delay-ind", next("--delay-ind"));
+      opt.fault.enabled = true;
+    } else if (std::strcmp(arg, "--delay-slots") == 0) {
+      opt.fault.delay_slots =
+          parse_positive_u32("--delay-slots", next("--delay-slots"));
+    } else if (std::strcmp(arg, "--harq-timeout") == 0) {
+      opt.harq_timeout_slots = parse_u32("--harq-timeout", next("--harq-timeout"));
     } else if (std::strcmp(arg, "--json") == 0) {
       // Optional operand, as in dse_driver: bare --json writes into ".".
       opt.json_dir = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i] : ".";
@@ -150,6 +252,12 @@ mac::FarmConfig farm_config(const Options& opt) {
     cfg.burst.diurnal_depth = 0.5;
   }
   cfg.pool.host_threads = opt.host_threads;
+  cfg.policy = opt.policy;
+  cfg.max_shard_attempts = opt.attempts;
+  cfg.shard_timeout_s = opt.shard_timeout_s;
+  cfg.host_fault = opt.host_fault;
+  cfg.fault = opt.fault;
+  cfg.harq.feedback_timeout_slots = opt.harq_timeout_slots;
   return cfg;
 }
 
@@ -217,6 +325,32 @@ int run(int argc, char** argv) {
   std::printf("host: %u cell-TTIs in %.2f s wall clock (%.0f TTI/s)\n",
               cfg.cells * cfg.ttis, wall_s,
               wall_s > 0 ? cfg.cells * cfg.ttis / wall_s : 0.0);
+
+  if (cfg.fault.enabled) {
+    std::printf("faults: %llu degraded slot(s), %llu hart fault(s), "
+                "ECC %llu corrected / %llu detected / %llu silent, "
+                "FAPI %llu dropped / %llu delayed, %llu HARQ timeout(s)\n",
+                static_cast<unsigned long long>(total.degraded_slots),
+                static_cast<unsigned long long>(total.hart_faults),
+                static_cast<unsigned long long>(total.ecc_corrected),
+                static_cast<unsigned long long>(total.ecc_detected),
+                static_cast<unsigned long long>(total.ecc_silent),
+                static_cast<unsigned long long>(total.dropped_ind),
+                static_cast<unsigned long long>(total.delayed_ind),
+                static_cast<unsigned long long>(total.harq.timeouts));
+  }
+  if (!result.failures.empty()) {
+    std::printf("supervisor: %zu failed shard attempt(s) under policy %s\n",
+                result.failures.size(), mac::farm_policy_name(cfg.policy));
+    for (const mac::ShardFailure& f : result.failures)
+      std::printf("  shard %u attempt %u: %s%s\n", f.shard, f.attempt,
+                  f.reason.c_str(), f.recovered ? " (recovered)" : " (LOST)");
+    const std::vector<u32> missing = result.missing_cells();
+    if (!missing.empty()) {
+      std::printf("  %zu cell(s) degraded to zero-filled reports\n",
+                  missing.size());
+    }
+  }
 
   if (!opt.json_dir.empty()) {
     const std::string path =

@@ -240,6 +240,45 @@ void Machine::reset_harts() {
   stop_.store(false, std::memory_order_relaxed);
   exited_.store(false, std::memory_order_relaxed);
   exit_code_.store(0, std::memory_order_relaxed);
+  if (faults_armed_) {
+    // Re-arm scheduled faults: a faulted run replays bit-for-bit.
+    for (HartFault& f : hart_faults_) f.applied = false;
+    std::fill(hart_hung_.begin(), hart_hung_.end(), u8{0});
+    faults_applied_ = 0;
+  }
+}
+
+void Machine::inject_hart_fault(u32 hart, u64 at_instret, bool hang) {
+  check(hart < num_harts(), "inject_hart_fault: hart out of range");
+  if (hart_hung_.size() != num_harts()) hart_hung_.assign(num_harts(), 0);
+  hart_faults_.push_back(HartFault{hart, at_instret, hang, false});
+  faults_armed_ = true;
+}
+
+void Machine::clear_hart_faults() {
+  hart_faults_.clear();
+  std::fill(hart_hung_.begin(), hart_hung_.end(), u8{0});
+  faults_armed_ = false;
+  faults_applied_ = 0;
+}
+
+void Machine::apply_hart_fault(HartFault& f) {
+  f.applied = true;
+  ++faults_applied_;
+  if (f.hang) {
+    // Stuck hart: parked asleep with the hung mark set, so on_wake ignores
+    // it forever. Peers blocked on it at a barrier deadlock - run() detects
+    // the empty run list and reports it, exactly like a real hung core
+    // stalls its cluster.
+    soa_.arch[f.hart].in_wfi = true;
+    hart_hung_[f.hart] = 1;
+    sleep_[f.hart].store(static_cast<u8>(SleepState::kSleeping),
+                         std::memory_order_relaxed);
+  } else {
+    // Transient trap: the hart halts like an architectural fault.
+    soa_.arch[f.hart].halted = true;
+    soa_.arch[f.hart].trapped = true;
+  }
 }
 
 void Machine::on_exit(u32 code) {
@@ -251,6 +290,7 @@ void Machine::on_exit(u32 code) {
 void Machine::on_wake(u32 target, u64 waker_cycle) {
   const auto wake_one = [&](u32 i) {
     if (i >= soa_.size()) return;
+    if (faults_armed_ && hart_hung_[i] != 0) return;  // stuck harts ignore wakes
     soa_.wake_cycle[i] = waker_cycle;
     auto& s = sleep_[i];
     u8 expected = static_cast<u8>(SleepState::kSleeping);
@@ -911,12 +951,34 @@ RunResult Machine::run(u64 max_instructions) {
     if (max_instructions != 0)
       budget = std::min<u64>(budget, max_instructions - executed);
 
+    // Scheduled fault hook (cold branch; see inject_hart_fault): a due
+    // fault lands at this turn boundary, a pending one clamps the turn's
+    // budget so the NEXT visit of this hart sits exactly at its instret.
+    if (faults_armed_) {
+      bool fault_applied = false;
+      for (HartFault& f : hart_faults_) {
+        if (f.applied || f.hart != i) continue;
+        const u64 done = soa_.instret[i];
+        if (done >= f.at_instret) {
+          apply_hart_fault(f);
+          fault_applied = true;
+          break;
+        }
+        budget = std::min(budget, f.at_instret - done);
+      }
+      if (fault_applied) {
+        st_awake_.erase(st_awake_.begin() + static_cast<ptrdiff_t>(st_pos_));
+        continue;
+      }
+    }
+
     // Convergence batch: consecutive same-pc harts from st_pos_ (see the
     // SPMD batching note in the header). Every member needs a full quantum
     // of budget headroom, so a max_instructions cut always lands on a
-    // serial turn and budget semantics stay exactly serial.
+    // serial turn and budget semantics stay exactly serial. Armed faults
+    // force the serial oracle: exact instret boundaries, no replay.
     u32 width = 1;
-    if (batching_ && !trace_ && budget == kQuantum &&
+    if (batching_ && !trace_ && !faults_armed_ && budget == kQuantum &&
         st_awake_.size() - st_pos_ >= 2) {
       u64 limit = std::min<u64>(kMaxBatchWidth, st_awake_.size() - st_pos_);
       if (max_instructions != 0)
@@ -977,6 +1039,8 @@ RunResult Machine::run(u64 max_instructions) {
 }
 
 RunResult Machine::run_threads(u32 n_threads, u64 max_instructions) {
+  check(!faults_armed_,
+        "run_threads: hart faults are applied by the serial run() oracle");
   n_threads = std::max(1u, std::min<u32>(n_threads, num_harts()));
   const u32 per = (num_harts() + n_threads - 1) / n_threads;
   const u32 n_shards = (num_harts() + per - 1) / per;

@@ -239,6 +239,27 @@ class Machine {
   const BatchStats& batch_stats() const { return bstats_; }
   void reset_batch_stats();
 
+  // ---- deterministic fault injection (see sim/fault.h) ----
+  /// Schedules a fault on `hart`, applied when its retired-instruction count
+  /// reaches `at_instret` during a later run(): a transient trap (the hart
+  /// halts with trapped set, exactly like an architectural fault) or a
+  /// stuck-hart hang (the hart parks forever and ignores wakes, so peers
+  /// waiting on it at a barrier deadlock - which run() detects and reports).
+  /// Faults persist across reset_harts() (each reset re-arms them, so a
+  /// faulted run is re-runnable bit-for-bit) until clear_hart_faults().
+  /// Armed faults disable the convergence-batch fast path - the serial
+  /// oracle applies them at exact instruction boundaries - and are supported
+  /// on the single-threaded run() only (run_threads refuses). A fault whose
+  /// at_instret the hart never reaches simply does not fire. When no fault
+  /// is armed every hook is one cold branch per scheduler turn: the hot loop
+  /// is untouched (pinned by bench_iss_mips --guard).
+  void inject_hart_fault(u32 hart, u64 at_instret, bool hang);
+  /// Clears every scheduled hart fault (pending and applied).
+  void clear_hart_faults();
+  /// Faults applied since the last clear_hart_faults()/reset_harts().
+  u32 hart_faults_applied() const { return faults_applied_; }
+  bool hart_faults_armed() const { return faults_armed_; }
+
   /// Per-instruction trace hook: called before each instruction executes
   /// with (hart id, pc, decoded instruction). Intended for debugging and
   /// trace tooling; when set, execution takes the per-instruction reference
@@ -357,6 +378,20 @@ class Machine {
   std::atomic<u32> exit_code_{0};
   std::atomic<bool> exited_{false};
   TraceFn trace_;
+
+  // ---- deterministic fault injection ----
+  struct HartFault {
+    u32 hart = 0;
+    u64 at_instret = 0;
+    bool hang = false;
+    bool applied = false;
+  };
+  /// Applies fault `f` to its (runnable) hart at a turn boundary.
+  void apply_hart_fault(HartFault& f);
+  bool faults_armed_ = false;  // any fault scheduled (cold-path gate)
+  std::vector<HartFault> hart_faults_;
+  std::vector<u8> hart_hung_;  // lanes stuck by an applied hang fault
+  u32 faults_applied_ = 0;
 
   // ---- convergence batching ----
   bool batching_ = true;

@@ -22,6 +22,23 @@ const CellConfig& validated(const CellConfig& cfg) {
   cfg.validate();
   return cfg;
 }
+
+/// The cell's fault plan: the farm-level FaultConfig re-seeded with the
+/// per-cell fault seed, so cells draw independent fault streams.
+sim::FaultConfig cell_fault(const CellConfig& cfg) {
+  sim::FaultConfig f = cfg.fault;
+  f.seed = cfg.fault.cell_fault_seed(cfg.cell);
+  return f;
+}
+
+/// The cell's cluster-pool config with the fault plan installed. A fault
+/// plan set directly on cfg.pool.fault (scheduler-level tests) is left
+/// alone when the cell-level plan is disabled.
+ran::ClusterPoolConfig pool_with_fault(const CellConfig& cfg) {
+  ran::ClusterPoolConfig pool = cfg.pool;
+  if (cfg.fault.enabled) pool.fault = cell_fault(cfg);
+  return pool;
+}
 }  // namespace
 
 void BurstConfig::validate() const {
@@ -59,6 +76,13 @@ void CellConfig::validate() const {
   harq.validate();
   burst.validate();
   pool.validate();
+  fault.validate();
+  if (fault.enabled && fault.cluster_fail_tti != sim::FaultConfig::kNever) {
+    check(fault.cluster_fail_id < pool.num_clusters,
+          "CellConfig: fault.cluster_fail_id out of range");
+    check(pool.num_clusters >= 2,
+          "CellConfig: cluster failure needs a survivor cluster");
+  }
 }
 
 u64 CellConfig::cell_seed() const {
@@ -79,12 +103,16 @@ bool CellReport::operator==(const CellReport& o) const {
          slots == o.slots && misses == o.misses &&
          worst_cycles == o.worst_cycles && p50_cycles == o.p50_cycles &&
          p99_cycles == o.p99_cycles && reloads == o.reloads &&
-         reload_cycles == o.reload_cycles;
+         reload_cycles == o.reload_cycles && harq.timeouts == o.harq.timeouts &&
+         dropped_ind == o.dropped_ind && delayed_ind == o.delayed_ind &&
+         degraded_slots == o.degraded_slots && hart_faults == o.hart_faults &&
+         ecc_corrected == o.ecc_corrected && ecc_detected == o.ecc_detected &&
+         ecc_silent == o.ecc_silent;
 }
 
 Cell::Cell(const CellConfig& cfg)
-    : cfg_(validated(cfg)), seed_(cfg.cell_seed()),
-      scheduler_(cfg.pool, cfg.groups) {
+    : cfg_(validated(cfg)), seed_(cfg.cell_seed()), fault_(cell_fault(cfg)),
+      scheduler_(pool_with_fault(cfg), cfg.groups) {
   ues_.reserve(cfg_.num_ues);
   for (u32 ue = 0; ue < cfg_.num_ues; ++ue) {
     const u32 group = ue % static_cast<u32>(cfg_.groups.size());
@@ -161,7 +189,7 @@ SlotRequest Cell::build_request(u64 tti) {
     const u32 ue = (start + k) % cfg_.num_ues;
     const std::optional<u32> pid = ues_[ue].harq.pending_retx();
     if (!pid.has_value()) continue;
-    const u32 transmission = ues_[ue].harq.grant_retx(*pid);
+    const u32 transmission = ues_[ue].harq.grant_retx(*pid, tti);
     granted[ue] = 1;
     place(ue, *pid, false, transmission);
   }
@@ -177,7 +205,7 @@ SlotRequest Cell::build_request(u64 tti) {
       Rng rng = Rng::keyed(seed_, {kArrivalStream, tti, ue});
       if (rng.uniform() >= cfg_.burst.arrival_prob) continue;
     }
-    const std::optional<u32> pid = ues_[ue].harq.start_new_data(pdu_bits(ue));
+    const std::optional<u32> pid = ues_[ue].harq.start_new_data(pdu_bits(ue), tti);
     if (!pid.has_value()) continue;  // all processes busy: stall recorded
     granted[ue] = 1;
     place(ue, *pid, true, 1);
@@ -250,17 +278,63 @@ SlotIndication Cell::run_slot(const SlotRequest& req) {
 }
 
 void Cell::apply_indication(const SlotIndication& ind) {
+  const bool guarded =
+      fault_.any_indication_faults() || cfg_.harq.feedback_timeout_slots > 0;
   for (const CrcResult& c : ind.crcs) {
     check(c.ue < ues_.size(), "Cell: CRC indication for an unknown UE");
-    ues_[c.ue].harq.on_feedback(c.harq_process, c.crc_pass);
+    HarqEntity& harq = ues_[c.ue].harq;
+    if (guarded) {
+      // Stale-feedback guard: a delayed indication must only resolve the
+      // attempt it belongs to - the timeout may already have NACKed the
+      // attempt (and a later grant re-used the process). On the clean path
+      // the attempt's sent TTI always matches, so the guard never fires.
+      if (!harq.in_flight(c.harq_process) ||
+          harq.sent_tti(c.harq_process) != ind.tti)
+        continue;
+    }
+    harq.on_feedback(c.harq_process, c.crc_pass);
     crc_fail_ += c.crc_pass ? 0 : 1;
   }
 }
 
 void Cell::step(u64 tti) {
+  // Deliver fault-delayed indications that are due, in insertion order,
+  // before this TTI's scheduling decision (their ACKs free HARQ processes
+  // the new request can use).
+  if (!delayed_.empty()) {
+    std::vector<DelayedInd> keep;
+    keep.reserve(delayed_.size());
+    for (DelayedInd& d : delayed_) {
+      if (d.due_tti <= tti) {
+        apply_indication(d.ind);
+      } else {
+        keep.push_back(std::move(d));
+      }
+    }
+    delayed_ = std::move(keep);
+  }
+
   const SlotRequest req = build_request(tti);
   const SlotIndication ind = run_slot(req);
-  apply_indication(ind);
+
+  // FAPI transport fault: this TTI's indication can be lost or postponed
+  // (drawn per TTI from the cell's fault stream). The HARQ feedback timeout
+  // below absorbs the loss.
+  const sim::IndicationFaultDraw draw = sim::draw_indication_fault(fault_, tti);
+  if (draw.drop) {
+    dropped_ind_ += 1;
+  } else if (draw.delay > 0) {
+    delayed_ind_ += 1;
+    delayed_.push_back(DelayedInd{tti + draw.delay, ind});
+  } else {
+    apply_indication(ind);
+  }
+
+  // Resolve attempts whose feedback is overdue as NACKs (no-op with the
+  // timeout disabled).
+  if (cfg_.harq.feedback_timeout_slots > 0) {
+    for (Ue& ue : ues_) ue.harq.expire_overdue(tti);
+  }
   ++ttis_run_;
 }
 
@@ -276,6 +350,7 @@ CellReport Cell::report() const {
     rep.harq.acks += s.acks;
     rep.harq.drops += s.drops;
     rep.harq.stalls += s.stalls;
+    rep.harq.timeouts += s.timeouts;
     rep.harq.offered_bits += s.offered_bits;
     rep.harq.delivered_bits += s.delivered_bits;
     rep.harq.dropped_bits += s.dropped_bits;
@@ -298,6 +373,13 @@ CellReport Cell::report() const {
   rep.p99_cycles = agg.p99_cycles;
   rep.reloads = agg.reloads;
   rep.reload_cycles = agg.reload_cycles;
+  rep.dropped_ind = dropped_ind_;
+  rep.delayed_ind = delayed_ind_;
+  rep.degraded_slots = agg.degraded_slots;
+  rep.hart_faults = agg.hart_faults;
+  rep.ecc_corrected = agg.ecc_corrected;
+  rep.ecc_detected = agg.ecc_detected;
+  rep.ecc_silent = agg.ecc_silent;
   return rep;
 }
 

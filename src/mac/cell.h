@@ -70,6 +70,11 @@ struct CellConfig {
   BurstConfig burst;
   ran::ClusterPoolConfig pool;
   double clock_hz = 1e9;
+  /// Farm-level fault plan (sim/fault.h). When enabled it is re-seeded per
+  /// cell (cell_fault_seed) and installed into the cell's cluster pool, so
+  /// every cell draws independent fault streams from one farm-level knob;
+  /// FAPI indication faults are drawn from the same per-cell seed.
+  sim::FaultConfig fault;
 
   void validate() const;
   /// The cell's deterministic seed: keyed by (farm_seed, cell) only, so a
@@ -97,6 +102,15 @@ struct CellReport {
   u64 p99_cycles = 0;
   u64 reloads = 0;
   u64 reload_cycles = 0;
+  // Fault-injection outcome (all zero with faults off; harq.timeouts carries
+  // the feedback-timeout count).
+  u64 dropped_ind = 0;     // FAPI SlotIndications lost
+  u64 delayed_ind = 0;     // FAPI SlotIndications delivered late
+  u64 degraded_slots = 0;  // slots run degraded (dead cluster / failed batch)
+  u64 hart_faults = 0;     // injected ISS hart faults that fired
+  u64 ecc_corrected = 0;   // SECDED single-bit L1 upsets scrubbed
+  u64 ecc_detected = 0;    // double-bit L1 upsets detected (corrupting)
+  u64 ecc_silent = 0;      // ECC-off L1 upsets (silent corruption)
 
   double residual_bler() const { return harq.residual_bler(); }
   double retx_fraction() const { return harq.retx_fraction(); }
@@ -153,12 +167,24 @@ class Cell {
 
   CellConfig cfg_;
   u64 seed_ = 0;  // cell_seed(), cached
+  /// cfg_.fault re-seeded with the per-cell fault seed (drives the FAPI
+  /// indication draws; the pool carries its own copy).
+  sim::FaultConfig fault_;
   std::vector<Ue> ues_;
   std::vector<phy::Channel> channels_;   // one per group
   std::vector<phy::QamModulator> mods_;  // one per group
   ran::SlotScheduler scheduler_;
   std::vector<ran::SlotResult> results_;
+  /// Indications delayed by the fault plan, awaiting their delivery TTI
+  /// (flushed in insertion order at the start of each step).
+  struct DelayedInd {
+    u64 due_tti = 0;
+    SlotIndication ind;
+  };
+  std::vector<DelayedInd> delayed_;
   u64 crc_fail_ = 0;
+  u64 dropped_ind_ = 0;
+  u64 delayed_ind_ = 0;
   u32 ttis_run_ = 0;
 };
 

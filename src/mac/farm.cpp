@@ -9,18 +9,48 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define TSIM_FARM_HAS_FORK 1
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
-#else
+#endif
+
+#ifndef TSIM_FARM_HAS_FORK
 #define TSIM_FARM_HAS_FORK 0
 #endif
 
 namespace tsim::mac {
 
+const char* farm_policy_name(FarmPolicy p) {
+  switch (p) {
+    case FarmPolicy::kFailFast: return "fail_fast";
+    case FarmPolicy::kRetry: return "retry";
+    case FarmPolicy::kDegrade: return "degrade";
+  }
+  return "?";
+}
+
+FarmPolicy parse_farm_policy(const std::string& name) {
+  if (name == "fail_fast") return FarmPolicy::kFailFast;
+  if (name == "retry") return FarmPolicy::kRetry;
+  if (name == "degrade") return FarmPolicy::kDegrade;
+  throw SimError("unknown farm policy '" + name +
+                 "' (expected fail_fast, retry or degrade)");
+}
+
 void FarmConfig::validate() const {
   check(cells >= 1, "FarmConfig: need at least one cell");
   check(shards >= 1, "FarmConfig: need at least one shard");
   check(ttis >= 1, "FarmConfig: need at least one TTI");
+  check(max_shard_attempts >= 1, "FarmConfig: need at least one shard attempt");
+  check(shard_timeout_s >= 0.0, "FarmConfig: negative shard timeout");
+  // A stalled worker writes nothing and never exits: only the wall-clock
+  // timeout can resolve it, so injecting a stall requires one.
+  check(host_fault.stall_shard == sim::HostFaultConfig::kNone ||
+            shard_timeout_s > 0.0,
+        "FarmConfig: stall injection needs shard_timeout_s > 0");
   // Everything else is validated per cell when the Cell is built.
   cell_config(0).validate();
 }
@@ -37,7 +67,19 @@ CellConfig FarmConfig::cell_config(u32 cell) const {
   c.burst = burst;
   c.pool = pool;
   c.clock_hz = clock_hz;
+  c.fault = fault;
   return c;
+}
+
+std::vector<u32> FarmResult::missing_cells() const {
+  std::vector<u32> out;
+  for (const ShardFailure& f : failures) {
+    if (f.recovered) continue;
+    out.insert(out.end(), f.cells.begin(), f.cells.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 CellReport FarmResult::total() const {
@@ -50,6 +92,7 @@ CellReport FarmResult::total() const {
     t.harq.acks += c.harq.acks;
     t.harq.drops += c.harq.drops;
     t.harq.stalls += c.harq.stalls;
+    t.harq.timeouts += c.harq.timeouts;
     t.harq.offered_bits += c.harq.offered_bits;
     t.harq.delivered_bits += c.harq.delivered_bits;
     t.harq.dropped_bits += c.harq.dropped_bits;
@@ -68,6 +111,13 @@ CellReport FarmResult::total() const {
     t.p99_cycles = std::max(t.p99_cycles, c.p99_cycles);
     t.reloads += c.reloads;
     t.reload_cycles += c.reload_cycles;
+    t.dropped_ind += c.dropped_ind;
+    t.delayed_ind += c.delayed_ind;
+    t.degraded_slots += c.degraded_slots;
+    t.hart_faults += c.hart_faults;
+    t.ecc_corrected += c.ecc_corrected;
+    t.ecc_detected += c.ecc_detected;
+    t.ecc_silent += c.ecc_silent;
   }
   return t;
 }
@@ -79,12 +129,14 @@ CellReport run_cell(const FarmConfig& cfg, u32 cell) {
 }
 
 std::vector<std::string> cell_report_header() {
-  return {"cell",       "ues",          "ttis",           "pdus",
-          "new_tx",     "retx",         "acks",           "drops",
-          "stalls",     "crc_fail",     "offered_bits",   "delivered_bits",
-          "dropped_bits", "soft_peak_bits", "unresolved", "bits",
-          "errors",     "slots",        "misses",         "worst_cycles",
-          "p50_cycles", "p99_cycles",   "reloads",        "reload_cycles"};
+  return {"cell",        "ues",           "ttis",           "pdus",
+          "new_tx",      "retx",          "acks",           "drops",
+          "stalls",      "crc_fail",      "offered_bits",   "delivered_bits",
+          "dropped_bits", "soft_peak_bits", "unresolved",   "bits",
+          "errors",      "slots",         "misses",         "worst_cycles",
+          "p50_cycles",  "p99_cycles",    "reloads",        "reload_cycles",
+          "timeouts",    "dropped_ind",   "delayed_ind",    "degraded_slots",
+          "hart_faults", "ecc_corrected", "ecc_detected",   "ecc_silent"};
 }
 
 std::vector<std::string> cell_report_row(const CellReport& rep) {
@@ -114,7 +166,15 @@ std::vector<std::string> cell_report_row(const CellReport& rep) {
           u(rep.p50_cycles),
           u(rep.p99_cycles),
           u(rep.reloads),
-          u(rep.reload_cycles)};
+          u(rep.reload_cycles),
+          u(rep.harq.timeouts),
+          u(rep.dropped_ind),
+          u(rep.delayed_ind),
+          u(rep.degraded_slots),
+          u(rep.hart_faults),
+          u(rep.ecc_corrected),
+          u(rep.ecc_detected),
+          u(rep.ecc_silent)};
 }
 
 CellReport cell_report_from_row(
@@ -156,6 +216,14 @@ CellReport cell_report_from_row(
   rep.p99_cycles = field("p99_cycles");
   rep.reloads = field("reloads");
   rep.reload_cycles = field("reload_cycles");
+  rep.harq.timeouts = field("timeouts");
+  rep.dropped_ind = field("dropped_ind");
+  rep.delayed_ind = field("delayed_ind");
+  rep.degraded_slots = field("degraded_slots");
+  rep.hart_faults = field("hart_faults");
+  rep.ecc_corrected = field("ecc_corrected");
+  rep.ecc_detected = field("ecc_detected");
+  rep.ecc_silent = field("ecc_silent");
   return rep;
 }
 
@@ -172,90 +240,314 @@ FarmResult run_farm_inline(const FarmConfig& cfg) {
 
 #if TSIM_FARM_HAS_FORK
 
+namespace {
+
+/// read(2) with EINTR retry: a signal mid-gather must not truncate a
+/// shard's JSON (it used to fail the whole farm).
+ssize_t read_eintr(int fd, char* buf, size_t n) {
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+pid_t waitpid_eintr(pid_t pid, int* status) {
+  for (;;) {
+    const pid_t r = ::waitpid(pid, status, 0);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+int poll_eintr(struct pollfd* fds, nfds_t n, int timeout_ms) {
+  for (;;) {
+    const int r = ::poll(fds, n, timeout_ms);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+/// The wire text of a shard's rows, rendered to a string for the crash and
+/// garble harnesses (which write a deliberately truncated prefix). Values
+/// here are decimal integers and 'x' padding, so no escaping is needed.
+std::string render_json_rows(const std::vector<std::string>& header,
+                             const std::vector<std::vector<std::string>>& rows) {
+  std::string text = "[\n";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    text += "  {";
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (i != 0) text += ", ";
+      text += "\"";
+      text += header[i];
+      text += "\": \"";
+      text += rows[r][i];
+      text += "\"";
+    }
+    text += (r + 1 < rows.size()) ? "},\n" : "}\n";
+  }
+  text += "]\n";
+  return text;
+}
+
+/// Worker process body: simulate the shard's cells and stream their JSON
+/// rows, or enact the injected host fault. Host faults live entirely in
+/// this harness - the simulated cells are untouched - so a retried or
+/// inline-fallback shard reproduces its reports byte-identically.
+[[noreturn]] void shard_worker(const FarmConfig& cfg, u32 shard, u32 attempt,
+                               u32 shards, int write_fd) {
+  const sim::HostFaultConfig& hf = cfg.host_fault;
+  if (hf.fires(hf.stall_shard, shard, attempt)) {
+    // Stalled worker: write nothing, keep the pipe open, hang until the
+    // supervisor's wall-clock timeout SIGKILLs us.
+    for (;;) ::pause();
+  }
+  std::FILE* out = ::fdopen(write_fd, "w");
+  if (out == nullptr) ::_exit(3);
+
+  std::vector<std::string> header = cell_report_header();
+  if (cfg.pad_row_bytes > 0) header.push_back("pad");
+  std::vector<std::vector<std::string>> rows;
+  try {
+    for (u32 c = shard; c < cfg.cells; c += shards) {
+      rows.push_back(cell_report_row(run_cell(cfg, c)));
+      if (cfg.pad_row_bytes > 0)
+        rows.back().push_back(std::string(cfg.pad_row_bytes, 'x'));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "farm shard %u: %s\n", shard, e.what());
+    std::fclose(out);
+    ::_exit(4);
+  }
+
+  const bool crash = hf.fires(hf.crash_shard, shard, attempt);
+  const bool garble = hf.fires(hf.garble_shard, shard, attempt);
+  if (crash || garble) {
+    // Crash: half the JSON, then die with a non-zero status (a worker that
+    // segfaulted mid-stream). Garble: the same truncated JSON but a clean
+    // exit - only the parse step can catch it.
+    const std::string text = render_json_rows(header, rows);
+    std::fwrite(text.data(), 1, text.size() / 2, out);
+    std::fclose(out);
+    ::_exit(crash ? 9 : 0);
+  }
+
+  sim::write_json_rows(out, header, rows);
+  std::fclose(out);
+  ::_exit(0);
+}
+
+}  // namespace
+
 FarmResult run_farm(const FarmConfig& cfg) {
   cfg.validate();
   const u32 shards = std::min(cfg.shards, cfg.cells);
-  if (shards <= 1) return run_farm_inline(cfg);
+  // Inline only when there is nothing to supervise: one shard with a host
+  // fault plan still forks, so the supervisor itself can be exercised.
+  if (shards <= 1 && !cfg.host_fault.any()) return run_farm_inline(cfg);
 
-  // Fork one worker per shard. Shard s owns cells {c : c % shards == s} and
-  // streams their reports back as JSON rows over its pipe. stdio buffers
-  // are flushed before forking so a worker cannot replay buffered output.
-  std::fflush(stdout);
-  std::fflush(stderr);
-  struct Worker {
+  using Clock = std::chrono::steady_clock;
+  struct Shard {
     pid_t pid = -1;
-    int fd = -1;
+    int fd = -1;  // read end of the worker's pipe; -1 = not running
+    u32 attempt = 0;
+    std::string text;  // bytes drained so far
+    Clock::time_point deadline;
+    bool has_deadline = false;
+    bool timed_out = false;
   };
-  std::vector<Worker> workers(shards);
-  for (u32 s = 0; s < shards; ++s) {
+  std::vector<Shard> sh(shards);
+
+  FarmResult result;
+  result.cells.resize(cfg.cells);
+  std::vector<u8> filled(cfg.cells, 0);
+  // Indices into result.failures per shard, so a later successful attempt
+  // (or the inline fallback) can flip its earlier failures to recovered.
+  std::vector<std::vector<size_t>> failure_idx(shards);
+
+  const auto owned_cells = [&](u32 s) {
+    std::vector<u32> cells;
+    for (u32 c = s; c < cfg.cells; c += shards) cells.push_back(c);
+    return cells;
+  };
+
+  const auto launch = [&](u32 s, u32 attempt) {
     int fds[2];
     check(::pipe(fds) == 0, "run_farm: pipe() failed");
+    // stdio buffers are flushed before forking so a worker cannot replay
+    // buffered output.
+    std::fflush(stdout);
+    std::fflush(stderr);
     const pid_t pid = ::fork();
     check(pid >= 0, "run_farm: fork() failed");
     if (pid == 0) {
       // Worker process. _exit (not exit) so the parent's atexit/stdio state
-      // is never touched twice; exit status reports failure.
+      // is never touched twice. Close every inherited pipe end that is not
+      // ours (including read ends of siblings still running).
       ::close(fds[0]);
-      for (u32 prev = 0; prev < s; ++prev) ::close(workers[prev].fd);
-      int status = 0;
-      std::FILE* out = ::fdopen(fds[1], "w");
-      if (out == nullptr) ::_exit(3);
-      std::vector<std::vector<std::string>> rows;
-      try {
-        for (u32 c = s; c < cfg.cells; c += shards)
-          rows.push_back(cell_report_row(run_cell(cfg, c)));
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "farm shard %u: %s\n", s, e.what());
-        status = 4;
-      }
-      if (status == 0) sim::write_json_rows(out, cell_report_header(), rows);
-      std::fclose(out);
-      ::_exit(status);
+      for (const Shard& other : sh)
+        if (other.fd >= 0) ::close(other.fd);
+      shard_worker(cfg, s, attempt, shards, fds[1]);
     }
     ::close(fds[1]);
-    workers[s] = Worker{pid, fds[0]};
-  }
+    sh[s] = Shard{};
+    sh[s].pid = pid;
+    sh[s].fd = fds[0];
+    sh[s].attempt = attempt;
+    if (cfg.shard_timeout_s > 0.0) {
+      sh[s].deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(cfg.shard_timeout_s));
+      sh[s].has_deadline = true;
+    }
+  };
 
-  // Gather: drain every pipe and reap every worker before deciding the
-  // outcome, so a failing shard cannot leak children or block siblings.
-  FarmResult result;
-  result.cells.resize(cfg.cells);
-  std::vector<u8> filled(cfg.cells, 0);
-  std::string error;
-  for (u32 s = 0; s < shards; ++s) {
-    std::string text;
-    char buf[4096];
-    ssize_t n;
-    while ((n = ::read(workers[s].fd, buf, sizeof buf)) > 0)
-      text.append(buf, static_cast<size_t>(n));
-    ::close(workers[s].fd);
-    int status = 0;
-    ::waitpid(workers[s].pid, &status, 0);
-    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-      if (error.empty())
-        error = sim::strf("run_farm: shard %u worker failed (status %d)", s,
-                          status);
-      continue;
-    }
+  // Evaluates a reaped shard attempt. Returns "" and commits the reports on
+  // success; the failure reason otherwise (nothing committed).
+  const auto evaluate = [&](u32 s, int status) -> std::string {
+    if (sh[s].timed_out)
+      return sim::strf("timeout after %.1fs (SIGKILL)", cfg.shard_timeout_s);
+    if (!WIFEXITED(status))
+      return sim::strf("killed by signal %d",
+                       WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+    if (WEXITSTATUS(status) != 0)
+      return sim::strf("exit status %d", WEXITSTATUS(status));
     std::vector<std::vector<std::pair<std::string, std::string>>> rows;
-    if (!sim::parse_json_rows(text, rows)) {
-      if (error.empty())
-        error = sim::strf("run_farm: shard %u returned malformed JSON", s);
-      continue;
-    }
+    if (!sim::parse_json_rows(sh[s].text, rows)) return "malformed JSON";
+    std::vector<std::pair<u32, CellReport>> staged;
     try {
       for (const auto& row : rows) {
         CellReport rep = cell_report_from_row(row);
-        check(rep.cell < cfg.cells && filled[rep.cell] == 0,
-              "run_farm: duplicate or out-of-range cell in shard output");
-        filled[rep.cell] = 1;
-        result.cells[rep.cell] = rep;
+        check(rep.cell < cfg.cells && rep.cell % shards == s,
+              "out-of-range or foreign cell in shard output");
+        for (const auto& [c, r] : staged)
+          check(c != rep.cell, "duplicate cell in shard output");
+        staged.emplace_back(rep.cell, rep);
       }
     } catch (const std::exception& e) {
-      if (error.empty()) error = e.what();
+      return e.what();
+    }
+    if (staged.size() != owned_cells(s).size())
+      return sim::strf("incomplete shard output (%zu of %zu cells)",
+                       staged.size(), owned_cells(s).size());
+    for (auto& [c, rep] : staged) {
+      result.cells[c] = rep;
+      filled[c] = 1;
+    }
+    for (const size_t i : failure_idx[s]) result.failures[i].recovered = true;
+    return "";
+  };
+
+  const auto kill_all = [&] {
+    for (Shard& w : sh) {
+      if (w.fd < 0) continue;
+      ::kill(w.pid, SIGKILL);
+      ::close(w.fd);
+      w.fd = -1;
+      int status = 0;
+      waitpid_eintr(w.pid, &status);
+    }
+  };
+
+  for (u32 s = 0; s < shards; ++s) launch(s, 1);
+
+  // Supervisor loop: drain every live pipe concurrently (poll; a shard's
+  // output can exceed the pipe buffer, and the supervisor must never block
+  // on one worker while another's writer blocks on a full pipe), enforce
+  // wall-clock deadlines, and resolve each shard as it finishes.
+  const auto any_running = [&] {
+    for (const Shard& w : sh)
+      if (w.fd >= 0) return true;
+    return false;
+  };
+  while (any_running()) {
+    std::vector<struct pollfd> pfds;
+    std::vector<u32> pfd_shard;
+    int timeout_ms = -1;
+    const Clock::time_point now = Clock::now();
+    for (u32 s = 0; s < shards; ++s) {
+      if (sh[s].fd < 0) continue;
+      pfds.push_back({sh[s].fd, POLLIN, 0});
+      pfd_shard.push_back(s);
+      if (sh[s].has_deadline && !sh[s].timed_out) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              sh[s].deadline - now)
+                              .count();
+        const int ms = left <= 0 ? 0 : static_cast<int>(std::min<long long>(
+                                           left + 1, 60'000));
+        timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+      }
+    }
+    check(poll_eintr(pfds.data(), pfds.size(), timeout_ms) >= 0,
+          "run_farm: poll() failed");
+
+    // Enforce deadlines first: an overdue worker is SIGKILLed; the kernel
+    // then closes its pipe end and the normal EOF path below reaps it.
+    const Clock::time_point after = Clock::now();
+    for (u32 s = 0; s < shards; ++s) {
+      if (sh[s].fd < 0 || !sh[s].has_deadline || sh[s].timed_out) continue;
+      if (after >= sh[s].deadline) {
+        sh[s].timed_out = true;
+        ::kill(sh[s].pid, SIGKILL);
+      }
+    }
+
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const u32 s = pfd_shard[i];
+      char buf[65536];
+      const ssize_t n = read_eintr(sh[s].fd, buf, sizeof buf);
+      check(n >= 0, "run_farm: read() failed");
+      if (n > 0) {
+        sh[s].text.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      // EOF: the worker closed its pipe (exit or SIGKILL). Reap and decide.
+      ::close(sh[s].fd);
+      sh[s].fd = -1;
+      int status = 0;
+      check(waitpid_eintr(sh[s].pid, &status) == sh[s].pid,
+            "run_farm: waitpid() failed");
+      const std::string reason = evaluate(s, status);
+      if (reason.empty()) continue;
+
+      ShardFailure failure;
+      failure.shard = s;
+      failure.attempt = sh[s].attempt;
+      failure.reason = reason;
+      failure.cells = owned_cells(s);
+      failure_idx[s].push_back(result.failures.size());
+      result.failures.push_back(std::move(failure));
+
+      switch (cfg.policy) {
+        case FarmPolicy::kFailFast:
+          kill_all();
+          throw SimError(sim::strf("run_farm: shard %u attempt %u failed: %s",
+                                   s, sh[s].attempt, reason.c_str()));
+        case FarmPolicy::kRetry:
+          if (sh[s].attempt < cfg.max_shard_attempts) {
+            launch(s, sh[s].attempt + 1);
+          } else {
+            // Out of forked attempts: run the shard's cells inline. Cells
+            // are deterministic in (seed, cell id) alone, so the fallback
+            // reports are byte-identical to a clean worker's.
+            for (const u32 c : owned_cells(s)) {
+              result.cells[c] = run_cell(cfg, c);
+              filled[c] = 1;
+            }
+            for (const size_t fi : failure_idx[s])
+              result.failures[fi].recovered = true;
+          }
+          break;
+        case FarmPolicy::kDegrade:
+          // Give up on the shard: zero-filled reports (cell id set) and an
+          // unrecovered failure entry mark the hole.
+          for (const u32 c : owned_cells(s)) {
+            result.cells[c].cell = c;
+            filled[c] = 1;
+          }
+          break;
+      }
     }
   }
-  check(error.empty(), error);
+
   for (u32 c = 0; c < cfg.cells; ++c)
     check(filled[c] != 0, sim::strf("run_farm: no report for cell %u", c));
   return result;

@@ -1,21 +1,59 @@
 // Multi-cell gNB farm: N independent mac::Cell closed-loop simulations,
-// shard-parallel across host worker processes.
+// shard-parallel across host worker processes under a supervising runner.
 //
 // Scaling model: cells never interact (each has its own UE population,
 // HARQ state and cluster pool), so the farm is embarrassingly parallel at
 // cell granularity. `shards` partitions the cells round-robin across forked
 // worker processes; each worker simulates its cells to completion, encodes
 // the integer-only CellReports as JSON rows (the repo's shared
-// sim::write_json_rows format), streams them through a pipe, and exits. The
-// parent gathers, parses and reassembles the reports in cell order.
+// sim::write_json_rows format), streams them through a pipe, and exits.
+//
+// Supervisor contract (run_farm)
+// ------------------------------
+// The parent is a supervisor, not a serial gatherer:
+//
+//  - All worker pipes are drained CONCURRENTLY via poll(), so a shard that
+//    produces more than one pipe buffer (64 KiB on Linux) can never
+//    deadlock against a parent blocked on a sibling's pipe, and a slow
+//    shard never delays reading a fast one.
+//  - read()/waitpid()/poll() are EINTR-safe (retried), so a signal landing
+//    mid-gather cannot truncate a shard's JSON.
+//  - FarmConfig::shard_timeout_s puts a wall-clock bound on each worker;
+//    an overdue worker is SIGKILLed and treated as failed. 0 disables the
+//    timeout (a stalled worker then blocks forever - only safe when host
+//    faults are impossible).
+//  - A shard fails when its worker is killed/non-zero, its JSON does not
+//    parse, or its cells are incomplete. What happens next is
+//    FarmConfig::policy:
+//      kFailFast  kill and reap every other worker, then throw SimError.
+//      kRetry     re-run the shard (fresh fork) up to max_shard_attempts
+//                 total attempts; if the last attempt still fails, run its
+//                 cells inline in the supervisor. Because every cell is a
+//                 deterministic function of (seed, cell id) alone, the
+//                 recovered FarmResult is BYTE-IDENTICAL to a fault-free
+//                 run at the same seed - the property tests and the CI
+//                 fault-smoke step pin.
+//      kDegrade   give up on the shard's cells: their reports stay
+//                 zero-filled (cell id set) and the failure is recorded.
+//    Every failed attempt - recovered or not - is appended to
+//    FarmResult::failures with the shard, attempt, reason and cell list,
+//    so callers can tell a clean run from a recovered one.
+//
+// Fault injection: FarmConfig::fault (sim/fault.h) forwards a deterministic
+// DUT-level fault plan to every cell; FarmConfig::host_fault crashes,
+// stalls or garbles a chosen shard's worker process to exercise the
+// supervisor itself. Host faults live entirely in the worker harness and
+// key on (shard, attempt), so a retried shard runs clean and reproduces
+// its reports exactly.
 //
 // Determinism: a cell's entire simulation is keyed by
 // (FarmConfig::seed, cell id, tti) via Rng::keyed streams - nothing depends
-// on which shard (or host thread) runs it, every report field is an exact
-// integer, and the pipe carries decimal integers - so farm aggregates are
-// bit-identical for every shard count and host thread count. That is the
-// property the soak tests pin (tests/mac_test.cpp) and the CI farm-smoke
-// step validates.
+// on which shard (or host thread, or attempt) runs it, every report field
+// is an exact integer, and the pipe carries decimal integers - so farm
+// aggregates are bit-identical for every shard count, host thread count
+// and recovery path. That is the property the soak tests pin
+// (tests/mac_test.cpp, tests/robustness_test.cpp) and the CI farm-smoke
+// and fault-smoke steps validate.
 #pragma once
 
 #include <string>
@@ -24,6 +62,18 @@
 #include "mac/cell.h"
 
 namespace tsim::mac {
+
+/// What the supervisor does with a shard that crashed, stalled past the
+/// timeout, or returned unusable output (see the header comment).
+enum class FarmPolicy : u8 {
+  kFailFast = 0,  // kill everything and throw
+  kRetry,         // re-fork up to max_shard_attempts, then inline fallback
+  kDegrade,       // record the failure, leave the cells zero-filled
+};
+
+const char* farm_policy_name(FarmPolicy p);
+/// Parses "fail_fast" / "retry" / "degrade"; throws SimError otherwise.
+FarmPolicy parse_farm_policy(const std::string& name);
 
 struct FarmConfig {
   u32 cells = 4;
@@ -39,22 +89,52 @@ struct FarmConfig {
   ran::ClusterPoolConfig pool;
   double clock_hz = 1e9;
 
+  // ---- supervisor knobs ----
+  FarmPolicy policy = FarmPolicy::kRetry;
+  u32 max_shard_attempts = 2;   // forked attempts per shard before fallback
+  double shard_timeout_s = 0.0; // wall-clock bound per worker; 0 = none
+  /// DUT-level fault plan, forwarded to every cell (re-seeded per cell).
+  sim::FaultConfig fault;
+  /// Host-level worker faults, handled by the worker harness only.
+  sim::HostFaultConfig host_fault;
+  /// Test hook: pad every JSON row with this many filler bytes (an ignored
+  /// "pad" column) to drive per-shard report volume past the pipe buffer.
+  u32 pad_row_bytes = 0;
+
   void validate() const;
   /// The per-cell config of cell `cell` (shared parameters + cell identity).
   CellConfig cell_config(u32 cell) const;
 };
 
+/// One failed shard attempt, as observed by the supervisor.
+struct ShardFailure {
+  u32 shard = 0;
+  u32 attempt = 0;          // 1-based attempt number that failed
+  std::string reason;       // "status 9", "timeout", "malformed JSON", ...
+  std::vector<u32> cells;   // cells the shard owned
+  bool recovered = false;   // true once a later attempt/fallback delivered
+};
+
 struct FarmResult {
   std::vector<CellReport> cells;  // indexed by cell id
+
+  /// Structured failure report: one entry per failed shard attempt, in
+  /// observation order. Empty on a clean run. Under kRetry every entry is
+  /// recovered; under kDegrade unrecovered entries mark zero-filled cells.
+  std::vector<ShardFailure> failures;
+
+  /// Cells with no report (kDegrade only; sorted). Empty otherwise.
+  std::vector<u32> missing_cells() const;
 
   /// Element-wise sum of every cell's integer counters (timing fields take
   /// the max/percentile-of-worst semantics noted per field).
   CellReport total() const;
 };
 
-/// Runs every cell of the farm. shards == 1 runs inline on this process;
-/// shards > 1 forks one worker per shard and gathers reports over pipes.
-/// Throws SimError if a worker fails.
+/// Runs every cell of the farm under the supervisor described in the
+/// header comment. shards == 1 with no host faults runs inline on this
+/// process; otherwise one worker per shard is forked and supervised.
+/// Throws SimError when the farm cannot produce a result under the policy.
 FarmResult run_farm(const FarmConfig& cfg);
 
 /// Runs one cell inline (the worker path; also handy for tests).
@@ -65,7 +145,8 @@ CellReport run_cell(const FarmConfig& cfg, u32 cell);
 std::vector<std::string> cell_report_header();
 std::vector<std::string> cell_report_row(const CellReport& rep);
 /// Rebuilds a report from a parsed JSON row. Throws SimError on a missing
-/// or malformed field.
+/// or malformed field; unknown keys are ignored (forward compatibility and
+/// the pad_row_bytes hook).
 CellReport cell_report_from_row(
     const std::vector<std::pair<std::string, std::string>>& row);
 

@@ -28,6 +28,12 @@ struct HarqConfig {
   u32 num_processes = 8;  // concurrent stop-and-wait processes per UE
   u32 max_attempts = 4;   // transmissions per block (incl. the first), then drop
   bool enabled = true;    // false = single-shot: every CRC failure drops (A/B)
+  /// Slots an in-flight transmission waits for its CRC indication before the
+  /// attempt times out and resolves as a NACK (expire_overdue). 0 = wait
+  /// forever - the right setting when feedback cannot be lost; any lost or
+  /// over-delayed FAPI indication (sim/fault.h) would otherwise wedge the
+  /// process in in_flight for the rest of the run.
+  u32 feedback_timeout_slots = 0;
 
   /// Transmissions a block may use: max_attempts, or 1 with HARQ disabled.
   u32 attempt_budget() const { return enabled ? max_attempts : 1; }
@@ -46,6 +52,7 @@ struct HarqStats {
   u64 acks = 0;           // blocks delivered (CRC pass)
   u64 drops = 0;          // blocks abandoned after the attempt budget
   u64 stalls = 0;         // slots where new data found no free process
+  u64 timeouts = 0;       // in-flight attempts resolved as NACK by timeout
   u64 offered_bits = 0;   // bits of every new transport block
   u64 delivered_bits = 0; // bits of ACKed blocks
   u64 dropped_bits = 0;   // bits of dropped blocks
@@ -87,8 +94,9 @@ class HarqEntity {
   /// Starts a new transport block of `bits` on the lowest-id free process and
   /// marks its first transmission in flight. Returns the process id, or
   /// nullopt (and counts a stall) when every process is busy - the
-  /// all-processes-busy stall of a UE whose feedback is all NACKs.
-  std::optional<u32> start_new_data(u64 bits) {
+  /// all-processes-busy stall of a UE whose feedback is all NACKs. `tti`
+  /// stamps the transmission slot (feedback timeout + stale-feedback guard).
+  std::optional<u32> start_new_data(u64 bits, u64 tti = 0) {
     for (u32 p = 0; p < processes_.size(); ++p) {
       Process& proc = processes_[p];
       if (proc.active) continue;
@@ -96,6 +104,7 @@ class HarqEntity {
       proc.in_flight = true;
       proc.attempts = 1;
       proc.bits = bits;
+      proc.sent_tti = tti;
       stats_.new_tx += 1;
       stats_.offered_bits += bits;
       note_occupancy();
@@ -107,12 +116,13 @@ class HarqEntity {
 
   /// Marks process `p`'s pending retransmission in flight (transmission
   /// number attempts+1). Only valid for a process pending_retx() returned.
-  u32 grant_retx(u32 p) {
+  u32 grant_retx(u32 p, u64 tti = 0) {
     Process& proc = process(p);
     check(proc.active && !proc.in_flight && proc.attempts > 0,
           "HarqEntity: grant_retx on a process with no pending retransmission");
     proc.attempts += 1;
     proc.in_flight = true;
+    proc.sent_tti = tti;
     stats_.retx += 1;
     return proc.attempts;
   }
@@ -141,10 +151,35 @@ class HarqEntity {
     // Block stays resident awaiting a retransmission grant.
   }
 
+  /// Resolves every in-flight attempt whose CRC indication is overdue at
+  /// `now_tti` as a NACK (lost or over-delayed FAPI feedback, sim/fault.h):
+  /// the process follows the normal NACK path - retransmission if budget is
+  /// left, drop otherwise - so lost feedback degrades throughput instead of
+  /// wedging the process forever. No-op with feedback_timeout_slots == 0.
+  /// Returns the number of attempts timed out.
+  u32 expire_overdue(u64 now_tti) {
+    if (cfg_.feedback_timeout_slots == 0) return 0;
+    u32 expired = 0;
+    for (u32 p = 0; p < processes_.size(); ++p) {
+      const Process& proc = processes_[p];
+      if (!proc.active || !proc.in_flight) continue;
+      if (now_tti < proc.sent_tti + cfg_.feedback_timeout_slots) continue;
+      stats_.timeouts += 1;
+      on_feedback(p, /*crc_pass=*/false);
+      ++expired;
+    }
+    return expired;
+  }
+
   /// Transmission number (1-based) the next grant of process `p` would use;
   /// process must be active. Drives the Chase effective-SNR boost.
   u32 attempts(u32 p) const { return process(p).attempts; }
   bool active(u32 p) const { return process(p).active; }
+  /// True while process `p` awaits CRC feedback for a transmission.
+  bool in_flight(u32 p) const { return process(p).in_flight; }
+  /// TTI of process `p`'s most recent transmission (stale-feedback guard:
+  /// a delayed indication must only resolve the attempt it belongs to).
+  u64 sent_tti(u32 p) const { return process(p).sent_tti; }
 
   /// Soft-buffer occupancy right now: one block-sized buffer per process
   /// holding a transport block (Chase combining accumulates in place).
@@ -179,6 +214,7 @@ class HarqEntity {
     bool in_flight = false;  // transmitted this slot, awaiting CRC
     u32 attempts = 0;        // transmissions so far
     u64 bits = 0;
+    u64 sent_tti = 0;        // TTI of the latest transmission
   };
 
   Process& process(u32 p) {

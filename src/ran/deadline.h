@@ -61,6 +61,8 @@ struct DeadlineReport {
   u64 reloads = 0;          // program switches across all clusters
   u64 reload_cycles = 0;    // modeled DMA cycles of those switches
   u64 busy_cycles = 0;      // total cluster busy cycles (reloads included)
+  bool degraded = false;    // slot ran around dead clusters / failed batches
+  u32 dead_clusters = 0;    // clusters dead this TTI (fault plan)
   bool met() const { return timing.meets_deadline(); }
   double reload_fraction() const {
     return busy_cycles == 0 ? 0.0
@@ -77,6 +79,8 @@ inline DeadlineReport deadline_report(const SlotResult& result,
   rep.reloads = result.total_reloads;
   rep.reload_cycles = result.total_reload_cycles;
   for (const u64 busy : result.cluster_busy_cycles) rep.busy_cycles += busy;
+  rep.degraded = result.degraded;
+  rep.dead_clusters = static_cast<u32>(result.dead_clusters.size());
   return rep;
 }
 
@@ -95,6 +99,13 @@ struct AggregateReport {
   u64 p99_cycles = 0;      // nearest-rank 99th-percentile slot critical path
   u64 total_bits = 0;      // payload bits over all slots
   u64 total_errors = 0;    // hard-decision bit errors over all slots
+  // Fault-injection outcome over the run (all zero with faults off).
+  u64 degraded_slots = 0;  // slots that ran degraded (dead cluster / failed batch)
+  u64 failed_batches = 0;  // batch runs that did not complete
+  u64 hart_faults = 0;     // injected ISS hart faults that fired
+  u64 ecc_corrected = 0;   // SECDED single-bit L1 upsets scrubbed
+  u64 ecc_detected = 0;    // double-bit L1 upsets detected (corrupting)
+  u64 ecc_silent = 0;      // ECC-off L1 upsets (silent corruption)
   double clock_hz = 1e9;
   double tti_seconds = 5e-4;
 
@@ -137,6 +148,12 @@ inline AggregateReport aggregate_report(const std::vector<SlotResult>& results,
     agg.reload_cycles += r.total_reload_cycles;
     agg.total_bits += r.bits;
     agg.total_errors += r.errors;
+    if (r.degraded) ++agg.degraded_slots;
+    agg.failed_batches += r.failed_batches;
+    agg.hart_faults += r.hart_faults;
+    agg.ecc_corrected += r.ecc_corrected;
+    agg.ecc_detected += r.ecc_detected;
+    agg.ecc_silent += r.ecc_silent;
     if (static_cast<double>(r.slot_cycles) / clock_hz > agg.tti_seconds)
       ++agg.misses;
   }

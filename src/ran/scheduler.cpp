@@ -27,6 +27,13 @@ void ClusterPoolConfig::validate() const {
   check(threads_per_cluster >= 1, "ClusterPoolConfig: threads_per_cluster >= 1");
   check(problems_per_core >= 1, "ClusterPoolConfig: problems_per_core >= 1");
   cluster.validate();
+  fault.validate();
+  if (fault.enabled && fault.cluster_fail_tti != sim::FaultConfig::kNever) {
+    check(fault.cluster_fail_id < num_clusters,
+          "ClusterPoolConfig: fault.cluster_fail_id out of range");
+    check(num_clusters >= 2,
+          "ClusterPoolConfig: cluster failure needs a survivor cluster");
+  }
 }
 
 SlotScheduler::SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> groups)
@@ -152,15 +159,24 @@ void SlotScheduler::calibrate_geometry_costs() {
 
 std::vector<std::vector<u32>> SlotScheduler::assign_batches(
     const std::vector<BatchTask>& tasks, const SlotWorkload& slot,
-    std::vector<BatchTrace>& trace) const {
+    std::vector<BatchTrace>& trace, const std::vector<u8>& alive) const {
   std::vector<std::vector<u32>> queues(cfg_.num_clusters);
   const auto assign = [&](u32 task_index, u32 c) {
     trace[task_index].cluster = c;
     queues[c].push_back(task_index);
   };
 
+  // Survivor set: dead clusters (fault plan, see run_slot) take no work;
+  // their share spills to the survivors through the same policy logic.
+  std::vector<u32> alive_ids;
+  alive_ids.reserve(cfg_.num_clusters);
+  for (u32 c = 0; c < cfg_.num_clusters; ++c)
+    if (alive[c] != 0) alive_ids.push_back(c);
+  const u32 n_alive = static_cast<u32>(alive_ids.size());
+  check(n_alive >= 1, "assign_batches: no alive cluster to assign to");
+
   if (cfg_.policy == AssignPolicy::kRoundRobin) {
-    for (u32 i = 0; i < tasks.size(); ++i) assign(i, i % cfg_.num_clusters);
+    for (u32 i = 0; i < tasks.size(); ++i) assign(i, alive_ids[i % n_alive]);
     return queues;
   }
 
@@ -220,7 +236,7 @@ std::vector<std::vector<u32>> SlotScheduler::assign_batches(
     // Even per-symbol share: a cluster is filled up to the target before the
     // rest of a group spills to the next one, so the per-symbol critical
     // path stays within one batch of the balanced optimum.
-    const u64 target = (total + cfg_.num_clusters - 1) / cfg_.num_clusters;
+    const u64 target = (total + n_alive - 1) / n_alive;
     std::vector<u64> load(cfg_.num_clusters, 0);
     std::vector<std::vector<Run>> runs(cfg_.num_clusters);
 
@@ -241,8 +257,7 @@ std::vector<std::vector<u32>> SlotScheduler::assign_batches(
       // the fewest clusters per geometry.
       const u64 span = (grp.cost + target - 1) / std::max<u64>(1, target);
       const u32 n_chunks = static_cast<u32>(std::max<u64>(
-          1, std::min<u64>(span,
-                           std::min<u64>(cfg_.num_clusters, grp.members.size()))));
+          1, std::min<u64>(span, std::min<u64>(n_alive, grp.members.size()))));
       size_t next = 0;
       for (u32 k = 0; k < n_chunks; ++k) {
         const size_t take =
@@ -262,9 +277,10 @@ std::vector<std::vector<u32>> SlotScheduler::assign_batches(
           if (load[c] >= target) return 2;
           return incoming[c] == geo ? 0 : 1;
         };
-        u32 best = 0;
-        u32 best_tier = tier(0);
-        for (u32 c = 1; c < cfg_.num_clusters; ++c) {
+        u32 best = alive_ids[0];
+        u32 best_tier = tier(best);
+        for (u32 ci = 1; ci < n_alive; ++ci) {
+          const u32 c = alive_ids[ci];
           const u32 t = tier(c);
           if (t < best_tier || (t == best_tier && load[c] < load[best])) {
             best = c;
@@ -342,27 +358,64 @@ void SlotScheduler::run_batch(Cluster& cluster, const BatchTask& task,
   }
 
   machine.reset_harts();
-  const iss::RunResult run = (cfg_.threads_per_cluster > 1)
+
+  // ---- deterministic fault hooks (sim/fault.h) ----
+  // Keyed by (fault seed, site, tti, batch_index): the same faults land at
+  // the same sites no matter which host thread services the cluster. When
+  // the config carries no batch faults this whole block is one cold branch.
+  sim::EccCounts ecc;
+  if (cfg_.fault.any_batch_faults()) {
+    machine.clear_hart_faults();
+    const u32 num_harts = lay.num_cores;
+    const sim::HartFaultDraw trap = sim::draw_hart_fault(
+        cfg_.fault, slot.tti, batch_index, num_harts, /*hang=*/false);
+    if (trap.fire) machine.inject_hart_fault(trap.hart, trap.at_instret, false);
+    const sim::HartFaultDraw hang = sim::draw_hart_fault(
+        cfg_.fault, slot.tti, batch_index, num_harts, /*hang=*/true);
+    if (hang.fire) machine.inject_hart_fault(hang.hart, hang.at_instret, true);
+    ecc = sim::apply_l1_faults(machine.memory(),
+                               tera::AddrMap(cfg_.cluster).l1_words(),
+                               cfg_.fault, slot.tti, batch_index);
+  }
+
+  // Armed hart faults are applied by the serial run() oracle only.
+  const bool forced_serial = machine.hart_faults_armed();
+  const iss::RunResult run = (cfg_.threads_per_cluster > 1 && !forced_serial)
                                  ? machine.run_threads(cfg_.threads_per_cluster)
                                  : machine.run();
-  check(run.exited && !run.deadlock, "SlotScheduler: batch run did not complete");
+  const bool completed = run.exited && !run.deadlock;
+  if (!completed) {
+    // Graceful degradation only under an explicit fault plan: a stuck or
+    // trapped hart keeps peers from the exit barrier, the run reports a
+    // deadlock, and the batch's payload bits all count as errors - the CRC
+    // fails and the HARQ layer absorbs the loss. Anything else still throws.
+    check(cfg_.fault.enabled, "SlotScheduler: batch run did not complete");
+  }
+  const u32 hart_faults = machine.hart_faults_applied();
+  if (forced_serial) machine.clear_hart_faults();
   const u64 cycles = machine.estimated_cycles();
 
-  // Read back detections and count errors against the transmitted bits.
+  // Read back detections and count errors against the transmitted bits. A
+  // failed run has undefined result memory: skip the readback and charge
+  // every bit of the batch as an error (detected_bits stay zeroed).
   const phy::QamModulator& qam = mods_[alloc.group];
   const u32 bits_per_problem = lay.ntx * qam.bits_per_symbol();
   std::vector<u8>& det = result.detected_bits[task.allocation];
   u64 errors = 0;
-  for (u32 i = 0; i < task.count; ++i) {
-    const auto xhat = sim::read_xhat(machine.memory(), lay,
-                                     i / lay.problems_per_core,
-                                     i % lay.problems_per_core);
-    const auto rx_bits = qam.demap_sequence(xhat);
-    const size_t base = static_cast<size_t>(task.offset + i) * bits_per_problem;
-    for (u32 b = 0; b < bits_per_problem; ++b) {
-      det[base + b] = rx_bits[b];
-      errors += (rx_bits[b] != alloc.batch.tx_bits[base + b]) ? 1 : 0;
+  if (completed) {
+    for (u32 i = 0; i < task.count; ++i) {
+      const auto xhat = sim::read_xhat(machine.memory(), lay,
+                                       i / lay.problems_per_core,
+                                       i % lay.problems_per_core);
+      const auto rx_bits = qam.demap_sequence(xhat);
+      const size_t base = static_cast<size_t>(task.offset + i) * bits_per_problem;
+      for (u32 b = 0; b < bits_per_problem; ++b) {
+        det[base + b] = rx_bits[b];
+        errors += (rx_bits[b] != alloc.batch.tx_bits[base + b]) ? 1 : 0;
+      }
     }
+  } else {
+    errors = static_cast<u64>(task.count) * bits_per_problem;
   }
 
   // trace.cluster was assigned when the schedule was built; errors are folded
@@ -376,6 +429,11 @@ void SlotScheduler::run_batch(Cluster& cluster, const BatchTask& task,
   trace.reload_cycles = reload_cycles;
   trace.cycles = cycles;
   trace.instructions = run.instructions;
+  trace.hart_faults = hart_faults;
+  trace.ecc_corrected = static_cast<u32>(ecc.corrected);
+  trace.ecc_detected = static_cast<u32>(ecc.detected);
+  trace.ecc_silent = static_cast<u32>(ecc.silent);
+  trace.failed = !completed;
   batch_errors_scratch_[batch_index] = errors;
 }
 
@@ -416,13 +474,29 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
     }
   }
 
+  // ---- cluster fault plan: which clusters are alive this TTI ----
+  // A dead cluster (FaultConfig::cluster_fail_tti) takes no work; its share
+  // is reassigned to the survivors by the same (policy-aware) assignment
+  // logic, and the slot is flagged degraded so the deadline accounting can
+  // carry the impact.
+  std::vector<u8> alive(cfg_.num_clusters, u8{1});
+  for (u32 c = 0; c < cfg_.num_clusters; ++c) {
+    if (cfg_.fault.cluster_dead(slot.tti, c)) {
+      alive[c] = 0;
+      result.dead_clusters.push_back(c);
+      result.degraded = true;
+    }
+  }
+  check(result.dead_clusters.size() < cfg_.num_clusters,
+        "run_slot: all clusters dead - nothing can run this slot");
+
   // Serial up-front batch->cluster assignment (round-robin or locality; see
   // the header comment): fills trace[i].cluster and each cluster's ordered
   // queue, fixing residency transitions before any worker runs.
   result.trace.resize(tasks.size());
   batch_errors_scratch_.assign(tasks.size(), 0);
   const std::vector<std::vector<u32>> queue =
-      assign_batches(tasks, slot, result.trace);
+      assign_batches(tasks, slot, result.trace, alive);
 
   // ---- work-stealing pool: idle threads claim any cluster with work ----
   const u32 n_workers =
@@ -538,6 +612,14 @@ SlotResult SlotScheduler::run_slot(const SlotWorkload& slot) {
     result.total_reloads += t.reloads;
     result.total_reload_cycles += t.reload_cycles;
     result.total_instructions += t.instructions;
+    result.hart_faults += t.hart_faults;
+    result.ecc_corrected += t.ecc_corrected;
+    result.ecc_detected += t.ecc_detected;
+    result.ecc_silent += t.ecc_silent;
+    if (t.failed) {
+      result.failed_batches += 1;
+      result.degraded = true;
+    }
     symbol_cycles[t.cluster][slot.allocations[t.allocation].symbol] += busy_cycles;
   }
   result.symbol_cycles.assign(symbols, 0);

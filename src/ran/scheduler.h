@@ -57,6 +57,7 @@
 #include "phy/qam.h"
 #include "ran/traffic.h"
 #include "rvasm/program.h"
+#include "sim/fault.h"
 #include "tera/dma.h"
 
 namespace tsim::ran {
@@ -90,6 +91,9 @@ struct ClusterPoolConfig {
   u32 problems_per_core = 4;
   u32 batch_cores = 0;         // 0 = as many cores as fit in L1
   AssignPolicy policy = AssignPolicy::kLocality;
+  /// Deterministic fault plan (sim/fault.h). Disabled by default: every
+  /// fault hook below then costs one cold branch per batch run.
+  sim::FaultConfig fault;
 
   void validate() const;
 };
@@ -105,6 +109,12 @@ struct BatchTrace {
   u64 reload_cycles = 0;  // modeled DMA cycles of that switch
   u64 cycles = 0;         // estimated DUT cycles of the detection run
   u64 instructions = 0;   // DUT instructions retired by the detection run
+  // Fault-injection outcome of the batch run (all zero on clean runs).
+  u32 hart_faults = 0;    // injected ISS faults that actually fired
+  u32 ecc_corrected = 0;  // SECDED single-bit L1 upsets scrubbed
+  u32 ecc_detected = 0;   // double-bit L1 upsets detected (word corrupted)
+  u32 ecc_silent = 0;     // ECC-off L1 upsets (silent corruption)
+  bool failed = false;    // run did not complete; batch bits count as errors
 };
 
 /// Everything the scheduler measured and detected for one TTI.
@@ -137,6 +147,18 @@ struct SlotResult {
   /// symbol work it can exceed every cluster's busy total.
   u64 slot_cycles = 0;
   std::vector<BatchTrace> trace;
+
+  // ---- graceful degradation (deterministic fault injection; sim/fault.h) ----
+  /// True when the slot ran around trouble: a dead cluster's batches were
+  /// reassigned to survivors, or a batch run failed and its bits were
+  /// counted as errors for the CRC/HARQ layer to absorb.
+  bool degraded = false;
+  std::vector<u32> dead_clusters;  // clusters dead this TTI (fault plan)
+  u64 failed_batches = 0;          // batch runs that did not complete
+  u64 hart_faults = 0;             // injected ISS faults applied, all batches
+  u64 ecc_corrected = 0;           // SECDED single-bit upsets scrubbed
+  u64 ecc_detected = 0;            // double-bit upsets detected (corrupting)
+  u64 ecc_silent = 0;              // ECC-off upsets (silent corruption)
 
   double ber() const {
     return bits == 0 ? 0.0 : static_cast<double>(errors) / static_cast<double>(bits);
@@ -198,10 +220,12 @@ class SlotScheduler {
   /// batch cycle cost (and warm cluster 0's resident-program cache).
   void calibrate_geometry_costs();
   /// Serial up-front batch->cluster assignment: fills trace[i].cluster and
-  /// returns each cluster's ordered queue of batch indices.
+  /// returns each cluster's ordered queue of batch indices. Only clusters
+  /// with alive[c] != 0 receive work (degradation around dead clusters).
   std::vector<std::vector<u32>> assign_batches(const std::vector<BatchTask>& tasks,
                                                const SlotWorkload& slot,
-                                               std::vector<BatchTrace>& trace) const;
+                                               std::vector<BatchTrace>& trace,
+                                               const std::vector<u8>& alive) const;
   void run_batch(Cluster& cluster, const BatchTask& task, const SlotWorkload& slot,
                  SlotResult& result, u32 batch_index);
 

@@ -1,8 +1,10 @@
 // MAC subsystem tests: HARQ entity edge cases (max-retransmission drop,
-// soft-buffer release, all-processes-busy stall), burst-model sanity, the
-// closed-loop cell (determinism, HARQ vs single-shot residual BLER), the
-// farm's shard/thread bit-invariance contract, and the JSON row wire format
-// the shard gather rides on.
+// soft-buffer release, all-processes-busy stall, feedback timeouts),
+// burst-model sanity, the closed-loop cell (determinism, HARQ vs single-shot
+// residual BLER), the farm's shard/thread bit-invariance contract, the
+// supervising runner's failure policies (crash/stall/garble x
+// retry/degrade/fail-fast), and the JSON row wire format the shard gather
+// rides on.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -104,6 +106,42 @@ TEST(HarqEntityTest, SoftBufferPeakTracksConcurrentBlocks) {
   h.on_feedback(1, true);
   EXPECT_EQ(h.soft_buffer_bits(), 0u);
   EXPECT_EQ(h.stats().soft_buffer_peak_bits, 300u);  // peak is monotone
+}
+
+TEST(HarqEntityTest, FeedbackTimeoutResolvesAsNackForRetx) {
+  HarqConfig cfg{2, 4, true};
+  cfg.feedback_timeout_slots = 3;
+  HarqEntity h(cfg);
+  h.start_new_data(100, /*tti=*/5);
+  EXPECT_EQ(h.expire_overdue(7), 0u);  // indication still within the window
+  EXPECT_EQ(h.expire_overdue(8), 1u);  // 5 + 3: attempt resolves as NACK
+  EXPECT_EQ(h.stats().timeouts, 1u);
+  EXPECT_TRUE(h.active(0));            // block stays resident for retx
+  EXPECT_FALSE(h.in_flight(0));
+  ASSERT_TRUE(h.pending_retx().has_value());
+  EXPECT_EQ(h.grant_retx(0, 9), 2u);
+  EXPECT_EQ(h.sent_tti(0), 9u);        // retx restarts the timeout window
+}
+
+TEST(HarqEntityTest, FeedbackTimeoutSpendsTheAttemptBudget) {
+  HarqConfig cfg{1, 2, true};
+  cfg.feedback_timeout_slots = 2;
+  HarqEntity h(cfg);
+  h.start_new_data(64, 0);
+  EXPECT_EQ(h.expire_overdue(2), 1u);  // attempt 1 timed out
+  h.grant_retx(0, 3);
+  EXPECT_EQ(h.expire_overdue(5), 1u);  // attempt 2 timed out: budget spent
+  EXPECT_FALSE(h.active(0));           // block dropped, soft buffer released
+  EXPECT_EQ(h.stats().drops, 1u);
+  EXPECT_EQ(h.stats().timeouts, 2u);
+  EXPECT_EQ(h.soft_buffer_bits(), 0u);
+}
+
+TEST(HarqEntityTest, ZeroTimeoutWaitsForever) {
+  HarqEntity h(HarqConfig{1, 2, true});
+  h.start_new_data(64, 0);
+  EXPECT_EQ(h.expire_overdue(1000), 0u);
+  EXPECT_TRUE(h.in_flight(0));
 }
 
 // ----------------------------------------------------------- BurstConfig ---
@@ -261,6 +299,171 @@ TEST(FarmTest, TotalSumsCounters) {
   EXPECT_EQ(t.misses, misses);
   EXPECT_EQ(t.worst_cycles, worst);
   EXPECT_EQ(t.ues, cfg.cells * cfg.ues_per_cell);
+}
+
+TEST(FarmTest, TotalSemanticsOnHandBuiltReports) {
+  // Pin which fields sum and which take the worst cell: cells run on
+  // independent hardware, so timing percentiles are max'd while every
+  // counter - including soft-buffer peaks (farm-wide memory provisioning)
+  // and the fault/timeout counters - sums.
+  CellReport a, b;
+  a.cell = 0;
+  a.ttis = 24;
+  a.p50_cycles = 10;
+  a.p99_cycles = 20;
+  a.worst_cycles = 30;
+  a.harq.soft_buffer_peak_bits = 1000;
+  a.harq.timeouts = 3;
+  a.hart_faults = 2;
+  a.ecc_corrected = 1;
+  a.ecc_detected = 3;
+  a.ecc_silent = 1;
+  a.dropped_ind = 2;
+  a.degraded_slots = 4;
+  b.cell = 1;
+  b.ttis = 16;
+  b.p50_cycles = 15;
+  b.p99_cycles = 18;
+  b.worst_cycles = 25;
+  b.harq.soft_buffer_peak_bits = 500;
+  b.harq.timeouts = 4;
+  b.hart_faults = 5;
+  b.ecc_corrected = 2;
+  b.ecc_silent = 1;
+  b.dropped_ind = 1;
+  b.delayed_ind = 2;
+  b.degraded_slots = 1;
+  FarmResult r;
+  r.cells = {a, b};
+  const CellReport t = r.total();
+  EXPECT_EQ(t.ttis, 24u);          // max: cells ran concurrently
+  EXPECT_EQ(t.p50_cycles, 15u);    // max over per-cell percentiles
+  EXPECT_EQ(t.p99_cycles, 20u);
+  EXPECT_EQ(t.worst_cycles, 30u);
+  EXPECT_EQ(t.harq.soft_buffer_peak_bits, 1500u);  // sum
+  EXPECT_EQ(t.harq.timeouts, 7u);
+  EXPECT_EQ(t.hart_faults, 7u);
+  EXPECT_EQ(t.ecc_corrected, 3u);
+  EXPECT_EQ(t.ecc_detected, 3u);
+  EXPECT_EQ(t.ecc_silent, 2u);
+  EXPECT_EQ(t.dropped_ind, 3u);
+  EXPECT_EQ(t.delayed_ind, 2u);
+  EXPECT_EQ(t.degraded_slots, 5u);
+}
+
+// ------------------------------------------------------ supervisor/faults ---
+
+TEST(FarmSupervisorTest, CrashedShardIsRetriedToTheCleanResult) {
+  FarmConfig cfg = tiny_farm();
+  const FarmResult want = run_farm(cfg);
+
+  cfg.shards = 2;
+  cfg.policy = FarmPolicy::kRetry;
+  cfg.host_fault.crash_shard = 0;
+  const FarmResult got = run_farm(cfg);
+  for (u32 c = 0; c < cfg.cells; ++c)
+    EXPECT_TRUE(got.cells[c] == want.cells[c]) << "cell " << c;
+  ASSERT_EQ(got.failures.size(), 1u);
+  EXPECT_EQ(got.failures[0].shard, 0u);
+  EXPECT_EQ(got.failures[0].attempt, 1u);
+  EXPECT_TRUE(got.failures[0].recovered);
+  EXPECT_TRUE(got.missing_cells().empty());
+}
+
+TEST(FarmSupervisorTest, ExhaustedRetriesFallBackToInlineExecution) {
+  FarmConfig cfg = tiny_farm();
+  const FarmResult want = run_farm(cfg);
+
+  cfg.shards = 2;
+  cfg.policy = FarmPolicy::kRetry;
+  cfg.max_shard_attempts = 2;
+  cfg.host_fault.crash_shard = 1;
+  cfg.host_fault.fault_attempts = 99;  // every forked attempt crashes
+  const FarmResult got = run_farm(cfg);
+  for (u32 c = 0; c < cfg.cells; ++c)
+    EXPECT_TRUE(got.cells[c] == want.cells[c]) << "cell " << c;
+  ASSERT_EQ(got.failures.size(), 2u);  // both forked attempts failed
+  EXPECT_TRUE(got.failures[0].recovered);  // ...but the inline fallback ran
+  EXPECT_TRUE(got.failures[1].recovered);
+  EXPECT_TRUE(got.missing_cells().empty());
+}
+
+TEST(FarmSupervisorTest, StalledShardIsKilledByTheTimeoutAndRetried) {
+  FarmConfig cfg = tiny_farm();
+  cfg.cells = 2;
+  cfg.ttis = 8;
+  const FarmResult want = run_farm(cfg);
+
+  cfg.shards = 2;
+  cfg.policy = FarmPolicy::kRetry;
+  cfg.host_fault.stall_shard = 1;
+  cfg.shard_timeout_s = 4.0;
+  const FarmResult got = run_farm(cfg);
+  for (u32 c = 0; c < cfg.cells; ++c)
+    EXPECT_TRUE(got.cells[c] == want.cells[c]) << "cell " << c;
+  ASSERT_EQ(got.failures.size(), 1u);
+  EXPECT_NE(got.failures[0].reason.find("timeout"), std::string::npos)
+      << got.failures[0].reason;
+  EXPECT_TRUE(got.failures[0].recovered);
+}
+
+TEST(FarmSupervisorTest, GarbledShardDegradesToZeroFilledCells) {
+  FarmConfig cfg = tiny_farm();
+  const FarmResult want = run_farm(cfg);
+
+  cfg.shards = 2;
+  cfg.policy = FarmPolicy::kDegrade;
+  cfg.host_fault.garble_shard = 1;  // owns cells 1 and 3 (round-robin)
+  const FarmResult got = run_farm(cfg);
+  ASSERT_FALSE(got.failures.empty());
+  EXPECT_FALSE(got.failures[0].recovered);
+  EXPECT_NE(got.failures[0].reason.find("JSON"), std::string::npos)
+      << got.failures[0].reason;
+  EXPECT_EQ(got.missing_cells(), (std::vector<u32>{1, 3}));
+  // Survivor cells are untouched; lost cells are zero-filled with identity.
+  EXPECT_TRUE(got.cells[0] == want.cells[0]);
+  EXPECT_TRUE(got.cells[2] == want.cells[2]);
+  EXPECT_EQ(got.cells[1].cell, 1u);
+  EXPECT_EQ(got.cells[1].pdus, 0u);
+  EXPECT_EQ(got.cells[3].slots, 0u);
+}
+
+TEST(FarmSupervisorTest, FailFastThrowsAndReapsEverything) {
+  FarmConfig cfg = tiny_farm();
+  cfg.shards = 2;
+  cfg.policy = FarmPolicy::kFailFast;
+  cfg.host_fault.crash_shard = 0;
+  EXPECT_THROW(run_farm(cfg), SimError);
+}
+
+TEST(FarmSupervisorTest, ReportsLargerThanThePipeBufferAreDrained) {
+  // Pad every row until each shard streams well past 64 KiB (the Linux pipe
+  // buffer): the concurrent poll() drain must gather all of it without
+  // deadlock, and padding must not change any parsed report.
+  FarmConfig cfg = tiny_farm();
+  cfg.shards = 2;
+  const FarmResult want = run_farm(cfg);
+  cfg.pad_row_bytes = 48 * 1024;  // 2 cells/shard -> ~96 KiB per shard
+  const FarmResult got = run_farm(cfg);
+  for (u32 c = 0; c < cfg.cells; ++c)
+    EXPECT_TRUE(got.cells[c] == want.cells[c]) << "cell " << c;
+  EXPECT_TRUE(got.failures.empty());
+}
+
+TEST(FarmSupervisorTest, PolicyNamesRoundTrip) {
+  EXPECT_EQ(parse_farm_policy("retry"), FarmPolicy::kRetry);
+  EXPECT_EQ(parse_farm_policy("degrade"), FarmPolicy::kDegrade);
+  EXPECT_EQ(parse_farm_policy("fail_fast"), FarmPolicy::kFailFast);
+  EXPECT_STREQ(farm_policy_name(FarmPolicy::kRetry), "retry");
+  EXPECT_THROW(parse_farm_policy("bogus"), SimError);
+}
+
+TEST(FarmSupervisorTest, StallInjectionWithoutTimeoutIsRejected) {
+  FarmConfig cfg = tiny_farm();
+  cfg.shards = 2;
+  cfg.host_fault.stall_shard = 0;
+  cfg.shard_timeout_s = 0.0;  // would hang forever
+  EXPECT_THROW(run_farm(cfg), SimError);
 }
 
 // ------------------------------------------------------- row wire format ---

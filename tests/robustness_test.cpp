@@ -1,11 +1,14 @@
 // Robustness and determinism sweeps: engine reproducibility, numerically
-// hard inputs, and a parameterized accuracy matrix over (size, precision).
+// hard inputs, a parameterized accuracy matrix over (size, precision), and
+// the fault-injection determinism contracts (a faulted cell is bit-exactly
+// reproducible; a crash-recovered farm equals a fault-free one).
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "iss/machine.h"
 #include "kernels/mmse_program.h"
+#include "mac/farm.h"
 #include "phy/mmse.h"
 #include "sim/cosim.h"
 #include "uarch/cluster_sim.h"
@@ -122,6 +125,65 @@ TEST(Robustness, HighNoiseShrinksDutEstimateLikeGolden) {
   ASSERT_TRUE(machine.run().exited);
   const auto xhat = sim::read_xhat(machine.memory(), lay, 0, 0);
   for (u32 i = 0; i < 4; ++i) EXPECT_LT(std::abs(xhat[i]), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection determinism contracts (sim/fault.h, mac/farm.h).
+// ---------------------------------------------------------------------------
+
+mac::FarmConfig small_faulted_farm() {
+  mac::FarmConfig cfg;
+  cfg.cells = 2;
+  cfg.ttis = 12;
+  cfg.ues_per_cell = 8;
+  cfg.carrier.bandwidth_hz = 0.5e6;  // 16 subcarriers
+  cfg.carrier.symbols_per_slot = 2;
+  cfg.seed = 0xB0B5;
+  return cfg;
+}
+
+TEST(Robustness, FaultedCellIsBitExactlyReproducible) {
+  // Every DUT-level fault class armed at once: the faulted closed loop must
+  // still be a pure function of (seed, cell id) - rerunning it reproduces
+  // every counter, including the fault counters themselves.
+  mac::FarmConfig cfg = small_faulted_farm();
+  cfg.fault.enabled = true;
+  cfg.fault.hart_trap_rate = 0.3;
+  cfg.fault.hart_hang_rate = 0.2;
+  cfg.fault.l1_flip_rate = 0.5;
+  cfg.fault.drop_indication_rate = 0.2;
+  cfg.fault.delay_indication_rate = 0.2;
+  cfg.harq.feedback_timeout_slots = 4;
+  const mac::CellReport a = mac::run_cell(cfg, 0);
+  const mac::CellReport b = mac::run_cell(cfg, 0);
+  EXPECT_TRUE(a == b);
+  // The fault plan actually fired somewhere observable.
+  EXPECT_GT(a.hart_faults + a.ecc_corrected + a.ecc_detected + a.dropped_ind +
+                a.delayed_ind,
+            0u);
+}
+
+TEST(Robustness, CrashRecoveredFarmEqualsTheCleanRun) {
+  // Crash shard 1's worker on its first attempt; under kRetry the recovered
+  // result must match a fault-free farm cell-for-cell.
+  mac::FarmConfig clean = small_faulted_farm();
+  const mac::FarmResult want = mac::run_farm(clean);
+
+  mac::FarmConfig faulted = clean;
+  faulted.shards = 2;
+  faulted.policy = mac::FarmPolicy::kRetry;
+  faulted.host_fault.crash_shard = 1;
+  const mac::FarmResult got = mac::run_farm(faulted);
+
+  ASSERT_EQ(got.cells.size(), want.cells.size());
+  for (size_t c = 0; c < want.cells.size(); ++c) {
+    EXPECT_TRUE(got.cells[c] == want.cells[c]) << "cell " << c;
+  }
+  ASSERT_FALSE(got.failures.empty());
+  EXPECT_EQ(got.failures[0].shard, 1u);
+  EXPECT_TRUE(got.failures[0].recovered);
+  EXPECT_TRUE(got.missing_cells().empty());
+  EXPECT_TRUE(want.failures.empty());
 }
 
 // ---------------------------------------------------------------------------
