@@ -23,6 +23,14 @@
 // step diffs the JSON), --fault-seed S, --hart-trap-rate/--hart-hang-rate R,
 // --l1-flip-rate R, --no-ecc, --cluster-fail TTI [--cluster-fail-cluster C],
 // --drop-ind/--delay-ind R, --delay-slots N, --harq-timeout SLOTS.
+//
+// Checkpoint / resume / bisect (mac/farm.h snapshot ladder):
+// --checkpoint-every N --checkpoint-dir DIR write atomic per-cell snapshots
+// every N TTIs; --resume restarts an interrupted soak from the newest valid
+// snapshots (byte-identical to an uninterrupted run - CI's kill-and-resume
+// step pins it with cmp); --bisect miss|degraded|bler=X [--bisect-cell C]
+// binary-searches the snapshots for the first TTI where the predicate holds
+// and replays only the final window with per-TTI tracing.
 // Unknown flags exit 2.
 #include <cctype>
 #include <cstdio>
@@ -57,6 +65,12 @@ struct Options {
   sim::HostFaultConfig host_fault;
   sim::FaultConfig fault;
   u32 harq_timeout_slots = 0;
+  // Checkpoint / resume / bisect.
+  u32 checkpoint_every = 0;
+  std::string checkpoint_dir;
+  bool resume = false;
+  std::string bisect;  // predicate spec; empty = normal soak
+  u32 bisect_cell = 0;
 };
 
 u32 parse_positive_u32(const char* flag, const char* text) {
@@ -124,6 +138,13 @@ void print_usage(std::FILE* f, const char* prog) {
   std::fprintf(f, "  --delay-ind R       P(SlotIndication delayed | TTI)\n");
   std::fprintf(f, "  --delay-slots N     delivery delay of a delayed indication\n");
   std::fprintf(f, "  --harq-timeout N    HARQ feedback timeout in slots (0 = off)\n");
+  std::fprintf(f, "checkpoint / resume / bisect:\n");
+  std::fprintf(f, "  --checkpoint-every N  snapshot every cell every N TTIs\n");
+  std::fprintf(f, "  --checkpoint-dir DIR  where the per-cell snapshots live\n");
+  std::fprintf(f, "  --resume              resume from the newest valid snapshots\n");
+  std::fprintf(f, "  --bisect PRED   find the first TTI where PRED holds\n");
+  std::fprintf(f, "                  (miss | degraded | bler=X); exit 1 if never\n");
+  std::fprintf(f, "  --bisect-cell C cell to bisect (default 0)\n");
   std::fprintf(f, "  --help         this message\n");
 }
 
@@ -211,6 +232,18 @@ Options parse_args(int argc, char** argv) {
           parse_positive_u32("--delay-slots", next("--delay-slots"));
     } else if (std::strcmp(arg, "--harq-timeout") == 0) {
       opt.harq_timeout_slots = parse_u32("--harq-timeout", next("--harq-timeout"));
+    } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+      opt.checkpoint_every =
+          parse_positive_u32("--checkpoint-every", next("--checkpoint-every"));
+    } else if (std::strcmp(arg, "--checkpoint-dir") == 0) {
+      opt.checkpoint_dir = next("--checkpoint-dir");
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      opt.resume = true;
+    } else if (std::strcmp(arg, "--bisect") == 0) {
+      opt.bisect = next("--bisect");
+      mac::parse_bisect_predicate(opt.bisect);  // fail fast on a bad spec
+    } else if (std::strcmp(arg, "--bisect-cell") == 0) {
+      opt.bisect_cell = parse_u32("--bisect-cell", next("--bisect-cell"));
     } else if (std::strcmp(arg, "--json") == 0) {
       // Optional operand, as in dse_driver: bare --json writes into ".".
       opt.json_dir = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i] : ".";
@@ -258,12 +291,40 @@ mac::FarmConfig farm_config(const Options& opt) {
   cfg.host_fault = opt.host_fault;
   cfg.fault = opt.fault;
   cfg.harq.feedback_timeout_slots = opt.harq_timeout_slots;
+  cfg.checkpoint_every = opt.checkpoint_every;
+  cfg.checkpoint_dir = opt.checkpoint_dir;
+  cfg.resume = opt.resume;
   return cfg;
+}
+
+/// --bisect mode: O(log snapshots) restores + one replayed window instead of
+/// a full re-run. Exit 0 when the predicate fires, 1 when it never does.
+int run_bisect(const Options& opt, const mac::FarmConfig& cfg) {
+  const mac::BisectPredicate pred = mac::parse_bisect_predicate(opt.bisect);
+  std::printf("bisecting cell %u for first %s (snapshots in %s)\n",
+              opt.bisect_cell, pred.describe().c_str(),
+              cfg.checkpoint_dir.c_str());
+  const mac::BisectResult res = mac::bisect_cell(cfg, opt.bisect_cell, pred);
+  std::printf("probed %llu snapshot(s), replayed %llu TTI(s) from boundary "
+              "%lld\n",
+              static_cast<unsigned long long>(res.snapshots_loaded),
+              static_cast<unsigned long long>(res.ttis_replayed),
+              static_cast<long long>(res.window_start));
+  for (const std::string& line : res.window_trace)
+    std::printf("  %s\n", line.c_str());
+  if (res.first_bad_tti < 0) {
+    std::printf("predicate never fires in %u TTI(s)\n", cfg.ttis);
+    return 1;
+  }
+  std::printf("first %s at TTI %lld\n", pred.describe().c_str(),
+              static_cast<long long>(res.first_bad_tti));
+  return 0;
 }
 
 int run(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
   const mac::FarmConfig cfg = farm_config(opt);
+  if (!opt.bisect.empty()) return run_bisect(opt, cfg);
 
   std::printf("farm_driver | %u cell(s) x %u UE(s) x %u TTI(s), %u shard(s), "
               "seed 0x%llx\n",
@@ -342,9 +403,17 @@ int run(int argc, char** argv) {
   if (!result.failures.empty()) {
     std::printf("supervisor: %zu failed shard attempt(s) under policy %s\n",
                 result.failures.size(), mac::farm_policy_name(cfg.policy));
-    for (const mac::ShardFailure& f : result.failures)
+    for (const mac::ShardFailure& f : result.failures) {
       std::printf("  shard %u attempt %u: %s%s\n", f.shard, f.attempt,
                   f.reason.c_str(), f.recovered ? " (recovered)" : " (LOST)");
+      for (size_t i = 0; i < f.resume_ttis.size(); ++i) {
+        if (f.resume_ttis[i] < 0)
+          std::printf("    cell %u: recovery restarted clean\n", f.cells[i]);
+        else
+          std::printf("    cell %u: recovery resumed from snapshot TTI %lld\n",
+                      f.cells[i], static_cast<long long>(f.resume_ttis[i]));
+      }
+    }
     const std::vector<u32> missing = result.missing_cells();
     if (!missing.empty()) {
       std::printf("  %zu cell(s) degraded to zero-filled reports\n",

@@ -1,5 +1,6 @@
 #include "mac/cell.h"
 
+#include <bit>
 #include <cmath>
 
 #include "common/error.h"
@@ -336,6 +337,204 @@ void Cell::step(u64 tti) {
     for (Ue& ue : ues_) ue.harq.expire_overdue(tti);
   }
   ++ttis_run_;
+}
+
+namespace {
+constexpr u32 kCellTag = 0x314C4543;  // "CEL1"
+
+void save_slot_result(sim::SnapshotWriter& w, const ran::SlotResult& s) {
+  // Stored results are the slim copies (run_slot strips detected_bits and
+  // trace before archiving), so those two fields are not serialized.
+  check(s.detected_bits.empty() && s.trace.empty(),
+        "Cell snapshot: stored SlotResult is not slim");
+  w.write_u64(s.tti);
+  w.write_u64(s.problems);
+  w.write_u64(s.bits);
+  w.write_u64(s.errors);
+  w.write_vec_u64(s.allocation_errors);
+  w.write_vec_u64(s.cluster_busy_cycles);
+  w.write_vec_u32(s.cluster_batches);
+  w.write_vec_u32(s.cluster_reloads);
+  w.write_vec_u64(s.cluster_reload_cycles);
+  w.write_u64(s.total_reloads);
+  w.write_u64(s.total_reload_cycles);
+  w.write_u64(s.total_instructions);
+  w.write_vec_u64(s.symbol_cycles);
+  w.write_u64(s.slot_cycles);
+  w.write_bool(s.degraded);
+  w.write_vec_u32(s.dead_clusters);
+  w.write_u64(s.failed_batches);
+  w.write_u64(s.hart_faults);
+  w.write_u64(s.ecc_corrected);
+  w.write_u64(s.ecc_detected);
+  w.write_u64(s.ecc_silent);
+}
+
+ran::SlotResult load_slot_result(sim::SnapshotReader& r) {
+  ran::SlotResult s;
+  s.tti = r.read_u64();
+  s.problems = r.read_u64();
+  s.bits = r.read_u64();
+  s.errors = r.read_u64();
+  s.allocation_errors = r.read_vec_u64();
+  s.cluster_busy_cycles = r.read_vec_u64();
+  s.cluster_batches = r.read_vec_u32();
+  s.cluster_reloads = r.read_vec_u32();
+  s.cluster_reload_cycles = r.read_vec_u64();
+  s.total_reloads = r.read_u64();
+  s.total_reload_cycles = r.read_u64();
+  s.total_instructions = r.read_u64();
+  s.symbol_cycles = r.read_vec_u64();
+  s.slot_cycles = r.read_u64();
+  s.degraded = r.read_bool();
+  s.dead_clusters = r.read_vec_u32();
+  s.failed_batches = r.read_u64();
+  s.hart_faults = r.read_u64();
+  s.ecc_corrected = r.read_u64();
+  s.ecc_detected = r.read_u64();
+  s.ecc_silent = r.read_u64();
+  return s;
+}
+}  // namespace
+
+u64 Cell::config_fingerprint() const {
+  u64 h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](u64 v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto mixd = [&mix](double d) { mix(std::bit_cast<u64>(d)); };
+  mix(cfg_.cell);
+  mix(cfg_.farm_seed);
+  mix(cfg_.num_ues);
+  mix(cfg_.sc_per_pdu);
+  mix(cfg_.carrier.num_subcarriers());
+  mix(cfg_.carrier.symbols_per_slot);
+  mixd(cfg_.clock_hz);
+  mix(cfg_.groups.size());
+  for (const ran::UeGroup& g : cfg_.groups) {
+    mix(g.ntx);
+    mix(g.nrx);
+    mix(g.qam_order);
+    mixd(g.snr_db);
+    mix(static_cast<u64>(g.channel));
+    mixd(g.weight);
+  }
+  mix(cfg_.harq.num_processes);
+  mix(cfg_.harq.max_attempts);
+  mix(cfg_.harq.enabled ? 1 : 0);
+  mix(cfg_.harq.feedback_timeout_slots);
+  mix(cfg_.burst.enabled ? 1 : 0);
+  mixd(cfg_.burst.duty);
+  mixd(cfg_.burst.mean_on_slots);
+  mixd(cfg_.burst.arrival_prob);
+  mixd(cfg_.burst.diurnal_period_ttis);
+  mixd(cfg_.burst.diurnal_depth);
+  mix(cfg_.pool.num_clusters);
+  mix(static_cast<u64>(cfg_.pool.prec));
+  mix(cfg_.pool.problems_per_core);
+  mix(cfg_.pool.batch_cores);
+  mix(static_cast<u64>(cfg_.pool.policy));
+  mix(cfg_.fault.enabled ? 1 : 0);
+  mix(cfg_.fault.seed);
+  mixd(cfg_.fault.hart_trap_rate);
+  mixd(cfg_.fault.hart_hang_rate);
+  mixd(cfg_.fault.l1_flip_rate);
+  mixd(cfg_.fault.l1_double_bit_fraction);
+  mix(cfg_.fault.ecc ? 1 : 0);
+  mix(cfg_.fault.cluster_fail_tti);
+  mix(cfg_.fault.cluster_fail_id);
+  mixd(cfg_.fault.drop_indication_rate);
+  mixd(cfg_.fault.delay_indication_rate);
+  mix(cfg_.fault.delay_slots);
+  return h;
+}
+
+void Cell::save_state(sim::SnapshotWriter& w) const {
+  w.tag(kCellTag);
+  w.write_u64(config_fingerprint());
+  w.write_u32(ttis_run_);
+  w.write_u64(crc_fail_);
+  w.write_u64(dropped_ind_);
+  w.write_u64(delayed_ind_);
+
+  w.write_u64(ues_.size());
+  for (const Ue& ue : ues_) {
+    w.write_u32(ue.group);
+    w.write_bool(ue.on);
+    ue.harq.save_state(w);
+  }
+
+  w.write_u64(delayed_.size());
+  for (const DelayedInd& d : delayed_) {
+    w.write_u64(d.due_tti);
+    w.write_u32(d.ind.cell);
+    w.write_u64(d.ind.tti);
+    w.write_u64(d.ind.slot_cycles);
+    w.write_bool(d.ind.deadline_met);
+    w.write_u64(d.ind.crcs.size());
+    for (const CrcResult& c : d.ind.crcs) {
+      w.write_u32(c.ue);
+      w.write_u32(c.harq_process);
+      w.write_bool(c.crc_pass);
+      w.write_u64(c.bit_errors);
+      w.write_u64(c.bits);
+    }
+  }
+
+  w.write_u64(results_.size());
+  for (const ran::SlotResult& s : results_) save_slot_result(w, s);
+
+  scheduler_.save_state(w);
+}
+
+void Cell::restore_state(sim::SnapshotReader& r) {
+  r.expect_tag(kCellTag, "Cell");
+  if (r.read_u64() != config_fingerprint())
+    r.fail("snapshot was captured under a different cell configuration");
+  ttis_run_ = r.read_u32();
+  crc_fail_ = r.read_u64();
+  dropped_ind_ = r.read_u64();
+  delayed_ind_ = r.read_u64();
+
+  if (r.read_u64() != ues_.size()) r.fail("UE population size mismatch");
+  for (Ue& ue : ues_) {
+    const u32 group = r.read_u32();
+    if (group != ue.group) r.fail("UE group assignment mismatch");
+    ue.on = r.read_bool();
+    ue.harq.restore_state(r);
+  }
+
+  const u64 ndelayed = r.read_u64();
+  delayed_.clear();
+  for (u64 i = 0; i < ndelayed; ++i) {
+    DelayedInd d;
+    d.due_tti = r.read_u64();
+    d.ind.cell = r.read_u32();
+    d.ind.tti = r.read_u64();
+    d.ind.slot_cycles = r.read_u64();
+    d.ind.deadline_met = r.read_bool();
+    const u64 ncrcs = r.read_u64();
+    d.ind.crcs.reserve(ncrcs);
+    for (u64 k = 0; k < ncrcs; ++k) {
+      CrcResult c;
+      c.ue = r.read_u32();
+      c.harq_process = r.read_u32();
+      c.crc_pass = r.read_bool();
+      c.bit_errors = r.read_u64();
+      c.bits = r.read_u64();
+      if (c.ue >= ues_.size()) r.fail("delayed indication targets unknown UE");
+      d.ind.crcs.push_back(c);
+    }
+    delayed_.push_back(std::move(d));
+  }
+
+  const u64 nresults = r.read_u64();
+  results_.clear();
+  results_.reserve(nresults);
+  for (u64 i = 0; i < nresults; ++i) results_.push_back(load_slot_result(r));
+
+  scheduler_.restore_state(r);
 }
 
 CellReport Cell::report() const {

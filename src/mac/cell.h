@@ -151,6 +151,29 @@ class Cell {
   /// Slim per-slot results (detected bits stripped) for AggregateReport.
   const std::vector<ran::SlotResult>& slot_results() const { return results_; }
   const CellConfig& config() const { return cfg_; }
+  /// TTIs stepped so far == the TTI the next step() call should receive.
+  u32 ttis_run() const { return ttis_run_; }
+
+  // ---- checkpoint/restore (sim/snapshot.h) ----
+  /// Identity of the configuration a snapshot belongs to (FNV-1a over every
+  /// parameter that shapes the trajectory). restore_state refuses a payload
+  /// captured under a different fingerprint, so a snapshot from another
+  /// seed/carrier/fault plan fails loudly instead of restoring wrong.
+  u64 config_fingerprint() const;
+  /// Serializes the cell's complete closed-loop state at a TTI boundary:
+  /// UE populations (burst state + HARQ processes/soft-buffer bookkeeping,
+  /// in-flight attempts and their feedback timers included), fault-delayed
+  /// indications, the per-slot result history the report percentiles read,
+  /// the cumulative counters, and the scheduler (cluster machines +
+  /// program residency). Traffic/arrival/payload RNG streams are keyed by
+  /// identity (seed, tti, ue, ...) and carry no position - restore
+  /// re-derives them exactly, so nothing RNG-shaped is serialized.
+  void save_state(sim::SnapshotWriter& w) const;
+  /// Restores into a freshly constructed Cell of the same configuration.
+  /// Stepping the restored cell from ttis_run() onward is bit-identical to
+  /// the uninterrupted run (tests/snapshot_test.cpp pins this byte-for-
+  /// byte). Throws sim::SnapshotError on any mismatch or corruption.
+  void restore_state(sim::SnapshotReader& r);
 
  private:
   struct Ue {

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 
 #include "common/error.h"
 #include "sim/report.h"
+#include "sim/snapshot.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define TSIM_FARM_HAS_FORK 1
@@ -51,6 +54,10 @@ void FarmConfig::validate() const {
   check(host_fault.stall_shard == sim::HostFaultConfig::kNone ||
             shard_timeout_s > 0.0,
         "FarmConfig: stall injection needs shard_timeout_s > 0");
+  check(checkpoint_every == 0 || !checkpoint_dir.empty(),
+        "FarmConfig: checkpoint_every needs a checkpoint_dir");
+  check(!resume || !checkpoint_dir.empty(),
+        "FarmConfig: resume needs a checkpoint_dir");
   // Everything else is validated per cell when the Cell is built.
   cell_config(0).validate();
 }
@@ -122,10 +129,277 @@ CellReport FarmResult::total() const {
   return t;
 }
 
+// ---- per-cell snapshot files ----
+
+namespace {
+
+/// Payload discriminator of a farm per-cell snapshot file ("CELL").
+constexpr u32 kCellSnapshotKind = 0x4C4C4543;
+
+/// Climbs the snapshot ladder for cell `cell`: newest valid snapshot first,
+/// older ones on corruption, clean construction when none loads. Sets
+/// *resumed_from to the snapshot TTI (-1 = clean start).
+std::unique_ptr<Cell> make_resumed_cell(const FarmConfig& cfg, u32 cell,
+                                        i64* resumed_from) {
+  *resumed_from = -1;
+  auto c = std::make_unique<Cell>(cfg.cell_config(cell));
+  if (cfg.checkpoint_dir.empty()) return c;
+  const std::vector<u64> ttis = list_cell_snapshots(cfg.checkpoint_dir, cell);
+  for (size_t i = ttis.size(); i-- > 0;) {
+    if (ttis[i] > cfg.ttis) continue;  // beyond this run's horizon
+    try {
+      load_cell_snapshot(*c,
+                         cell_snapshot_path(cfg.checkpoint_dir, cell, ttis[i]));
+      *resumed_from = static_cast<i64>(ttis[i]);
+      return c;
+    } catch (const sim::SnapshotError&) {
+      // A failed restore may have partially mutated the cell: rebuild it
+      // fresh before trying the next-older rung.
+      c = std::make_unique<Cell>(cfg.cell_config(cell));
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+std::string cell_snapshot_path(const std::string& dir, u32 cell, u64 tti) {
+  return dir + "/" +
+         sim::strf("cell%04u_tti%08llu.snap", cell,
+                   static_cast<unsigned long long>(tti));
+}
+
+void save_cell_snapshot(const Cell& cell, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // write reports real failures
+  sim::SnapshotWriter w;
+  w.write_u32(cell.config().cell);
+  w.write_u64(cell.ttis_run());
+  cell.save_state(w);
+  sim::write_snapshot_file(
+      cell_snapshot_path(dir, cell.config().cell, cell.ttis_run()),
+      kCellSnapshotKind, w.payload());
+}
+
+u64 load_cell_snapshot(Cell& cell, const std::string& path) {
+  sim::SnapshotReader r(sim::read_snapshot_file(path, kCellSnapshotKind), path);
+  const u32 id = r.read_u32();
+  if (id != cell.config().cell) r.fail("snapshot belongs to a different cell");
+  const u64 tti = r.read_u64();
+  cell.restore_state(r);
+  r.expect_end();
+  if (tti != cell.ttis_run())
+    r.fail("snapshot TTI header disagrees with the restored state");
+  return tti;
+}
+
+std::vector<u64> list_cell_snapshots(const std::string& dir, u32 cell) {
+  std::vector<u64> ttis;
+  const std::string prefix = sim::strf("cell%04u_tti", cell);
+  const std::string suffix = ".snap";
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    char* parse_end = nullptr;
+    const unsigned long long tti = std::strtoull(digits.c_str(), &parse_end, 10);
+    if (parse_end != digits.c_str() && *parse_end == '\0')
+      ttis.push_back(static_cast<u64>(tti));
+  }
+  std::sort(ttis.begin(), ttis.end());
+  return ttis;
+}
+
+CellReport run_cell(const FarmConfig& cfg, u32 cell, bool allow_resume,
+                    i64* resumed_from) {
+  std::unique_ptr<Cell> c;
+  i64 from = -1;
+  if (allow_resume && !cfg.checkpoint_dir.empty())
+    c = make_resumed_cell(cfg, cell, &from);
+  else
+    c = std::make_unique<Cell>(cfg.cell_config(cell));
+  if (resumed_from != nullptr) *resumed_from = from;
+  const bool ckpt = cfg.checkpoint_every > 0 && !cfg.checkpoint_dir.empty();
+  for (u32 t = static_cast<u32>(c->ttis_run()); t < cfg.ttis; ++t) {
+    c->step(t);
+    // Snapshot at interval boundaries; the final TTI is never snapshotted
+    // (a finished run has nothing left to resume).
+    if (ckpt && (t + 1) % cfg.checkpoint_every == 0 && t + 1 < cfg.ttis)
+      save_cell_snapshot(*c, cfg.checkpoint_dir);
+  }
+  return c->report();
+}
+
 CellReport run_cell(const FarmConfig& cfg, u32 cell) {
-  Cell c(cfg.cell_config(cell));
-  for (u32 t = 0; t < cfg.ttis; ++t) c.step(t);
-  return c.report();
+  return run_cell(cfg, cell, cfg.resume, nullptr);
+}
+
+// ---- failure bisection ----
+
+std::string BisectPredicate::describe() const {
+  switch (kind) {
+    case Kind::kDeadlineMiss: return "deadline miss";
+    case Kind::kDegradedSlot: return "degraded slot";
+    case Kind::kResidualBler:
+      return sim::strf("residual BLER >= %.4g", threshold);
+  }
+  return "?";
+}
+
+BisectPredicate parse_bisect_predicate(const std::string& spec) {
+  BisectPredicate p;
+  if (spec == "miss") {
+    p.kind = BisectPredicate::Kind::kDeadlineMiss;
+    return p;
+  }
+  if (spec == "degraded") {
+    p.kind = BisectPredicate::Kind::kDegradedSlot;
+    return p;
+  }
+  if (spec.rfind("bler=", 0) == 0) {
+    const char* num = spec.c_str() + 5;
+    char* end = nullptr;
+    const double v = std::strtod(num, &end);
+    check(end != num && *end == '\0' && v >= 0.0 && v <= 1.0,
+          "bisect predicate: BLER threshold must be a number in [0, 1] in '" +
+              spec + "'");
+    p.kind = BisectPredicate::Kind::kResidualBler;
+    p.threshold = v;
+    return p;
+  }
+  throw SimError("unknown bisect predicate '" + spec +
+                 "' (expected miss, degraded or bler=X)");
+}
+
+namespace {
+
+/// Whether one already-run slot satisfies a per-slot predicate.
+bool slot_is_bad(const BisectPredicate& p, const Cell& c,
+                 const ran::SlotResult& r) {
+  switch (p.kind) {
+    case BisectPredicate::Kind::kDeadlineMiss:
+      return !ran::slot_timing(r, c.config().carrier, c.config().clock_hz)
+                  .meets_deadline();
+    case BisectPredicate::Kind::kDegradedSlot:
+      return r.degraded;
+    case BisectPredicate::Kind::kResidualBler:
+      return c.report().residual_bler() >= p.threshold;
+  }
+  return false;
+}
+
+/// Whether the predicate has fired anywhere in the cell's history so far -
+/// evaluable from snapshot-held state alone (no re-simulation). For BLER the
+/// check is the cumulative ratio at this boundary.
+bool bad_by_boundary(const BisectPredicate& p, const Cell& c) {
+  if (p.kind == BisectPredicate::Kind::kResidualBler)
+    return c.report().residual_bler() >= p.threshold;
+  for (const ran::SlotResult& r : c.slot_results())
+    if (slot_is_bad(p, c, r)) return true;
+  return false;
+}
+
+std::string bisect_trace_line(const Cell& c, u64 tti) {
+  const ran::SlotResult& r = c.slot_results().back();
+  const ran::SlotTiming t =
+      ran::slot_timing(r, c.config().carrier, c.config().clock_hz);
+  return sim::strf(
+      "tti %llu: slot_cycles=%llu latency_us=%.1f deadline_us=%.1f miss=%d "
+      "degraded=%d failed_batches=%llu hart_faults=%llu bler=%.4g",
+      static_cast<unsigned long long>(tti),
+      static_cast<unsigned long long>(r.slot_cycles),
+      t.latency_seconds() * 1e6, t.tti_seconds * 1e6,
+      t.meets_deadline() ? 0 : 1, r.degraded ? 1 : 0,
+      static_cast<unsigned long long>(r.failed_batches),
+      static_cast<unsigned long long>(r.hart_faults),
+      c.report().residual_bler());
+}
+
+}  // namespace
+
+BisectResult bisect_cell(const FarmConfig& cfg, u32 cell,
+                         const BisectPredicate& pred) {
+  cfg.validate();
+  check(cell < cfg.cells, "bisect_cell: cell id out of range");
+  check(!cfg.checkpoint_dir.empty(), "bisect_cell: needs a checkpoint_dir");
+
+  const auto usable_snapshots = [&] {
+    std::vector<u64> ttis = list_cell_snapshots(cfg.checkpoint_dir, cell);
+    std::erase_if(ttis, [&](u64 t) { return t == 0 || t >= cfg.ttis; });
+    return ttis;
+  };
+  std::vector<u64> snaps = usable_snapshots();
+  if (snaps.empty() && cfg.checkpoint_every > 0) {
+    // No snapshots on disk yet: one full run populates them (this is the
+    // only full-length simulation bisection ever pays).
+    run_cell(cfg, cell, /*allow_resume=*/false, nullptr);
+    snaps = usable_snapshots();
+  }
+
+  BisectResult res;
+  // Boundary list the binary search probes: TTI 0 (clean construction) plus
+  // every snapshot. bad_by_boundary is evaluated on restored state only.
+  std::vector<u64> bounds;
+  bounds.push_back(0);
+  bounds.insert(bounds.end(), snaps.begin(), snaps.end());
+
+  const auto cell_at = [&](u64 boundary) {
+    auto c = std::make_unique<Cell>(cfg.cell_config(cell));
+    if (boundary > 0) {
+      load_cell_snapshot(
+          *c, cell_snapshot_path(cfg.checkpoint_dir, cell, boundary));
+      ++res.snapshots_loaded;
+    }
+    return c;
+  };
+
+  // Binary search for the first bad boundary. `bad` == bounds.size() means
+  // no probed boundary is bad (the failure, if any, is past the last
+  // snapshot). The predicate is treated as monotone once it fires - exact
+  // for miss/degraded (cumulative-any), conventional for the BLER ratio.
+  size_t good = 0;
+  size_t bad = bounds.size();
+  if (bad_by_boundary(pred, *cell_at(bounds[0]))) bad = 0;
+  while (bad - good > 1 && bad != 0) {
+    const size_t mid = good + (bad - good) / 2;
+    if (bad_by_boundary(pred, *cell_at(bounds[mid])))
+      bad = mid;
+    else
+      good = mid;
+  }
+  if (bad == 0) {
+    // Degenerate: the predicate holds on an empty history (bler=0).
+    res.first_bad_tti = 0;
+    res.window_start = 0;
+    return res;
+  }
+
+  // Replay ONLY the final window, tracing per TTI until the predicate first
+  // fires. The window is bounded by one checkpoint interval (or the tail of
+  // the run when no boundary was bad).
+  const u64 start = bounds[good];
+  const u64 stop = bad < bounds.size() ? bounds[bad] : cfg.ttis;
+  auto c = cell_at(start);
+  res.window_start = static_cast<i64>(start);
+  for (u64 t = start; t < stop; ++t) {
+    c->step(t);
+    ++res.ttis_replayed;
+    res.window_trace.push_back(bisect_trace_line(*c, t));
+    const bool fired = pred.kind == BisectPredicate::Kind::kResidualBler
+                           ? c->report().residual_bler() >= pred.threshold
+                           : slot_is_bad(pred, *c, c->slot_results().back());
+    if (fired) {
+      res.first_bad_tti = static_cast<i64>(t);
+      break;
+    }
+  }
+  return res;
 }
 
 std::vector<std::string> cell_report_header() {
@@ -265,6 +539,29 @@ int poll_eintr(struct pollfd* fds, nfds_t n, int timeout_ms) {
   }
 }
 
+/// Parent-side preview of the ladder rung cell `cell`'s next recovery will
+/// resume from: the newest snapshot whose container decodes (CRC, kind,
+/// cell id, TTI within the horizon); -1 = clean start. The worker's own
+/// ladder additionally survives semantic corruption that slips past the
+/// CRC by falling further - the preview can only be newer, never wrong
+/// about existence.
+i64 newest_snapshot_tti(const FarmConfig& cfg, u32 cell) {
+  const std::vector<u64> ttis = list_cell_snapshots(cfg.checkpoint_dir, cell);
+  for (size_t i = ttis.size(); i-- > 0;) {
+    if (ttis[i] > cfg.ttis) continue;
+    const std::string path =
+        cell_snapshot_path(cfg.checkpoint_dir, cell, ttis[i]);
+    try {
+      sim::SnapshotReader r(sim::read_snapshot_file(path, kCellSnapshotKind),
+                            path);
+      if (r.read_u32() == cell) return static_cast<i64>(ttis[i]);
+    } catch (const sim::SnapshotError&) {
+    } catch (const SimError&) {  // unreadable file
+    }
+  }
+  return -1;
+}
+
 /// The wire text of a shard's rows, rendered to a string for the crash and
 /// garble harnesses (which write a deliberately truncated prefix). Values
 /// here are decimal integers and 'x' padding, so no escaping is needed.
@@ -306,8 +603,12 @@ std::string render_json_rows(const std::vector<std::string>& header,
   if (cfg.pad_row_bytes > 0) header.push_back("pad");
   std::vector<std::vector<std::string>> rows;
   try {
+    // Retried attempts always climb the snapshot ladder (that is the point
+    // of checkpointing); first attempts only when cfg.resume asks for it.
+    const bool allow_resume =
+        cfg.resume || (attempt > 1 && !cfg.checkpoint_dir.empty());
     for (u32 c = shard; c < cfg.cells; c += shards) {
-      rows.push_back(cell_report_row(run_cell(cfg, c)));
+      rows.push_back(cell_report_row(run_cell(cfg, c, allow_resume, nullptr)));
       if (cfg.pad_row_bytes > 0)
         rows.back().push_back(std::string(cfg.pad_row_bytes, 'x'));
     }
@@ -523,13 +824,25 @@ FarmResult run_farm(const FarmConfig& cfg) {
                                    s, sh[s].attempt, reason.c_str()));
         case FarmPolicy::kRetry:
           if (sh[s].attempt < cfg.max_shard_attempts) {
+            // Record which ladder rung the re-forked attempt will resume
+            // each cell from (-1 = clean), then re-launch.
+            if (!cfg.checkpoint_dir.empty())
+              for (const u32 c : owned_cells(s))
+                result.failures.back().resume_ttis.push_back(
+                    newest_snapshot_tti(cfg, c));
             launch(s, sh[s].attempt + 1);
           } else {
-            // Out of forked attempts: run the shard's cells inline. Cells
-            // are deterministic in (seed, cell id) alone, so the fallback
-            // reports are byte-identical to a clean worker's.
+            // Out of forked attempts: run the shard's cells inline,
+            // resuming each from its newest valid snapshot (bounded
+            // re-work). Cells are deterministic in (seed, cell id) alone
+            // and restored continuations are bit-identical, so the
+            // fallback reports are byte-identical to a clean worker's.
             for (const u32 c : owned_cells(s)) {
-              result.cells[c] = run_cell(cfg, c);
+              i64 from = -1;
+              result.cells[c] =
+                  run_cell(cfg, c, !cfg.checkpoint_dir.empty(), &from);
+              if (!cfg.checkpoint_dir.empty())
+                result.failures.back().resume_ttis.push_back(from);
               filled[c] = 1;
             }
             for (const size_t fi : failure_idx[s])

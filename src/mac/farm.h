@@ -39,6 +39,31 @@
 //    FarmResult::failures with the shard, attempt, reason and cell list,
 //    so callers can tell a clean run from a recovered one.
 //
+// Checkpoint-aware retry ladder
+// -----------------------------
+// With FarmConfig::checkpoint_every/checkpoint_dir set, workers write an
+// atomic per-cell snapshot (sim/snapshot.h; temp file + fsync + rename)
+// every checkpoint_every TTIs, and every RECOVERY resumes from snapshots
+// instead of TTI 0. The ladder, per cell, newest first:
+//
+//   newest snapshot -> next-older snapshot -> ... -> clean start at TTI 0
+//
+// A rung is skipped when its file is truncated, bit-flipped, from a
+// different configuration, or unreadable (all surfaced as SnapshotError by
+// the loader, never a silent wrong restore). Both recovery paths climb the
+// ladder: a kRetry re-fork (attempt > 1 workers resume) and the inline
+// fallback in the supervisor. ShardFailure::resume_ttis records the
+// snapshot TTI each owned cell's next recovery resumed from (-1 = clean),
+// so FarmResult::failures tells bounded re-work from full re-execution.
+// Because a restored cell's continuation is bit-identical to the
+// uninterrupted run (the snapshot contract, tests/snapshot_test.cpp), the
+// recovered FarmResult stays BYTE-IDENTICAL to a fault-free run - the same
+// identity PR 8 pinned for full re-execution, now with bounded re-work.
+// FarmConfig::resume extends the ladder to first attempts: a re-launched
+// soak picks up every cell from its newest valid snapshot (the CI
+// kill-and-resume smoke step SIGKILLs a soak mid-run and pins cmp-equality
+// of the resumed JSON against an uninterrupted run).
+//
 // Fault injection: FarmConfig::fault (sim/fault.h) forwards a deterministic
 // DUT-level fault plan to every cell; FarmConfig::host_fault crashes,
 // stalls or garbles a chosen shard's worker process to exercise the
@@ -101,6 +126,18 @@ struct FarmConfig {
   /// "pad" column) to drive per-shard report volume past the pipe buffer.
   u32 pad_row_bytes = 0;
 
+  // ---- checkpoint / resume (see "Checkpoint-aware retry ladder" above) ----
+  /// Write an atomic per-cell snapshot every this many TTIs (0 = off).
+  /// Requires checkpoint_dir. No snapshot is written at the final TTI.
+  u32 checkpoint_every = 0;
+  /// Directory the snapshots live in (created on first write). Setting it
+  /// without checkpoint_every arms resume-from-existing-snapshots only.
+  std::string checkpoint_dir;
+  /// Resume FIRST attempts from the newest valid snapshot in checkpoint_dir
+  /// (recoveries always resume when a checkpoint_dir is set). Requires
+  /// checkpoint_dir.
+  bool resume = false;
+
   void validate() const;
   /// The per-cell config of cell `cell` (shared parameters + cell identity).
   CellConfig cell_config(u32 cell) const;
@@ -113,6 +150,10 @@ struct ShardFailure {
   std::string reason;       // "status 9", "timeout", "malformed JSON", ...
   std::vector<u32> cells;   // cells the shard owned
   bool recovered = false;   // true once a later attempt/fallback delivered
+  /// Snapshot TTI each owned cell's recovery resumed from, parallel to
+  /// `cells` (-1 = clean start at TTI 0). Empty when no recovery was
+  /// attempted (kFailFast/kDegrade) or no checkpoint_dir is set.
+  std::vector<i64> resume_ttis;
 };
 
 struct FarmResult {
@@ -137,8 +178,71 @@ struct FarmResult {
 /// Throws SimError when the farm cannot produce a result under the policy.
 FarmResult run_farm(const FarmConfig& cfg);
 
-/// Runs one cell inline (the worker path; also handy for tests).
+/// Runs one cell inline (the worker path; also handy for tests), honoring
+/// cfg.checkpoint_every/checkpoint_dir and resuming per cfg.resume.
 CellReport run_cell(const FarmConfig& cfg, u32 cell);
+/// Worker/recovery variant: when `allow_resume`, climbs the snapshot ladder
+/// (newest valid -> older -> clean) before stepping, and reports the TTI it
+/// resumed from in *resumed_from (-1 = clean) when non-null.
+CellReport run_cell(const FarmConfig& cfg, u32 cell, bool allow_resume,
+                    i64* resumed_from);
+
+// ---- per-cell snapshot files (sim/snapshot.h container) ----
+
+/// Path of cell `cell`'s snapshot at TTI boundary `tti` under `dir`
+/// ("<dir>/cellNNNN_ttiNNNNNNNN.snap"; zero-padded so lexicographic order
+/// is numeric order).
+std::string cell_snapshot_path(const std::string& dir, u32 cell, u64 tti);
+/// Atomically writes `cell`'s state at its current TTI boundary. Creates
+/// `dir` if missing.
+void save_cell_snapshot(const Cell& cell, const std::string& dir);
+/// Restores `cell` (freshly constructed, same config) from `path` and
+/// returns the TTI boundary the snapshot was captured at. Throws
+/// sim::SnapshotError on corruption, truncation, or a config mismatch.
+u64 load_cell_snapshot(Cell& cell, const std::string& path);
+/// Snapshot TTIs present on disk for `cell` under `dir`, ascending.
+/// Presence only - validity is checked at load time.
+std::vector<u64> list_cell_snapshots(const std::string& dir, u32 cell);
+
+// ---- failure bisection ----
+
+/// The failing-slot predicate --bisect searches for.
+struct BisectPredicate {
+  enum class Kind : u8 {
+    kDeadlineMiss = 0,  // a slot over the TTI deadline
+    kDegradedSlot,      // a slot run degraded (dead cluster / failed batch)
+    kResidualBler,      // cumulative residual BLER >= threshold
+  };
+  Kind kind = Kind::kDeadlineMiss;
+  double threshold = 0.0;  // kResidualBler only
+
+  std::string describe() const;
+};
+
+/// Parses "miss" / "degraded" / "bler=X"; throws SimError otherwise.
+BisectPredicate parse_bisect_predicate(const std::string& spec);
+
+struct BisectResult {
+  /// First TTI at which the predicate holds, -1 when it never fires.
+  i64 first_bad_tti = -1;
+  u64 snapshots_loaded = 0;  // snapshot restores the binary search consumed
+  u64 ttis_replayed = 0;     // TTIs re-simulated (final window only)
+  i64 window_start = -1;     // TTI boundary the final replay started from
+  /// Per-TTI trace lines of the replayed window (cycles, deadline margin,
+  /// degradation, cumulative BLER), ending at the offending TTI.
+  std::vector<std::string> window_trace;
+};
+
+/// Binary-searches cell `cell`'s snapshots under cfg.checkpoint_dir for the
+/// first TTI where `pred` holds, then replays ONLY the final window (at most
+/// checkpoint_every TTIs) with per-TTI tracing: O(log snapshots) restores
+/// plus one window of re-simulation instead of a full re-run. When the
+/// directory holds no snapshots for the cell and cfg.checkpoint_every > 0,
+/// the cell is first run once to populate them. The predicate is evaluated
+/// on snapshot-held cumulative state (per-slot result history, HARQ
+/// counters), so probing a boundary costs one restore, not a re-simulation.
+BisectResult bisect_cell(const FarmConfig& cfg, u32 cell,
+                         const BisectPredicate& pred);
 
 /// The JSON row schema of one CellReport (shared by the pipe wire format
 /// and the farm driver's trajectory output): integer fields only.

@@ -21,6 +21,7 @@
 
 #include "common/error.h"
 #include "common/types.h"
+#include "sim/snapshot.h"
 
 namespace tsim::mac {
 
@@ -207,6 +208,53 @@ class HarqEntity {
 
   const HarqStats& stats() const { return stats_; }
   const HarqConfig& config() const { return cfg_; }
+
+  // ---- checkpoint/restore (sim/snapshot.h) ----
+  /// Serializes every process slot (including in-flight attempts and their
+  /// sent TTIs, so feedback timeouts resume exactly) plus the lifetime
+  /// stats. The config is NOT serialized - restore_state requires an entity
+  /// constructed with the same HarqConfig.
+  void save_state(sim::SnapshotWriter& w) const {
+    w.write_u64(processes_.size());
+    for (const Process& p : processes_) {
+      w.write_bool(p.active);
+      w.write_bool(p.in_flight);
+      w.write_u32(p.attempts);
+      w.write_u64(p.bits);
+      w.write_u64(p.sent_tti);
+    }
+    w.write_u64(stats_.new_tx);
+    w.write_u64(stats_.retx);
+    w.write_u64(stats_.acks);
+    w.write_u64(stats_.drops);
+    w.write_u64(stats_.stalls);
+    w.write_u64(stats_.timeouts);
+    w.write_u64(stats_.offered_bits);
+    w.write_u64(stats_.delivered_bits);
+    w.write_u64(stats_.dropped_bits);
+    w.write_u64(stats_.soft_buffer_peak_bits);
+  }
+  void restore_state(sim::SnapshotReader& r) {
+    if (r.read_u64() != processes_.size())
+      r.fail("HARQ process count does not match this configuration");
+    for (Process& p : processes_) {
+      p.active = r.read_bool();
+      p.in_flight = r.read_bool();
+      p.attempts = r.read_u32();
+      p.bits = r.read_u64();
+      p.sent_tti = r.read_u64();
+    }
+    stats_.new_tx = r.read_u64();
+    stats_.retx = r.read_u64();
+    stats_.acks = r.read_u64();
+    stats_.drops = r.read_u64();
+    stats_.stalls = r.read_u64();
+    stats_.timeouts = r.read_u64();
+    stats_.offered_bits = r.read_u64();
+    stats_.delivered_bits = r.read_u64();
+    stats_.dropped_bits = r.read_u64();
+    stats_.soft_buffer_peak_bits = r.read_u64();
+  }
 
  private:
   struct Process {

@@ -124,6 +124,47 @@ u64 SlotScheduler::batch_cycles_for_group(u32 g) const {
   return geometries_[group_geometry_[g]].batch_cycles;
 }
 
+namespace {
+constexpr u32 kSchedulerTag = 0x31484353;  // "SCH1"
+}
+
+void SlotScheduler::save_state(sim::SnapshotWriter& w) const {
+  w.tag(kSchedulerTag);
+  w.write_u64(geometries_.size());
+  w.write_u64(clusters_.size());
+  for (const Cluster& c : clusters_) {
+    w.write_i64(c.loaded_geometry);
+    w.write_u64(c.geometry_handles.size());
+    for (const i64 h : c.geometry_handles) w.write_i64(h);
+    c.machine->save_state(w);
+  }
+}
+
+void SlotScheduler::restore_state(sim::SnapshotReader& r) {
+  r.expect_tag(kSchedulerTag, "SlotScheduler");
+  if (r.read_u64() != geometries_.size())
+    r.fail("scheduler snapshot geometry count does not match this config");
+  if (r.read_u64() != clusters_.size())
+    r.fail("scheduler snapshot cluster count does not match this config");
+  for (Cluster& c : clusters_) {
+    const i64 loaded = r.read_i64();
+    if (loaded < -1 || loaded >= static_cast<i64>(geometries_.size()))
+      r.fail("loaded_geometry out of range");
+    const u64 nh = r.read_u64();
+    if (nh != geometries_.size()) r.fail("geometry handle table size mismatch");
+    std::vector<i64> handles(nh);
+    for (i64& h : handles) h = r.read_i64();
+    c.machine->restore_state(r);
+    for (const i64 h : handles) {
+      if (h < -1 ||
+          h >= static_cast<i64>(c.machine->num_resident_programs()))
+        r.fail("geometry handle out of range after machine restore");
+    }
+    c.loaded_geometry = loaded;
+    c.geometry_handles = std::move(handles);
+  }
+}
+
 void SlotScheduler::calibrate_geometry_costs() {
   // One deterministic single-threaded batch per geometry on cluster 0: the
   // measured duration is the locality policy's load estimate. A batch's cost

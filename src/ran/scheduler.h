@@ -183,6 +183,19 @@ class SlotScheduler {
   /// would produce.
   static constexpr u64 kUncalibratedBatchCost = u64{1} << 20;
 
+  // ---- checkpoint/restore (sim/snapshot.h) ----
+  /// Serializes the scheduler's cross-slot state: each cluster's machine
+  /// (full iss::Machine state, resident programs included) plus its
+  /// program-residency bookkeeping (loaded_geometry / geometry_handles),
+  /// which the locality policy's assignment and the reload accounting read.
+  /// Geometry contexts and calibration are NOT serialized - both are
+  /// deterministic functions of the construction-time config.
+  void save_state(sim::SnapshotWriter& w) const;
+  /// Restores into a scheduler constructed with the same config and groups
+  /// (cluster/geometry counts are checked). Throws sim::SnapshotError on a
+  /// mismatch or corrupt payload.
+  void restore_state(sim::SnapshotReader& r);
+
   /// Calibrated single-batch cycle cost of group `g`'s geometry (measured
   /// once at construction; the locality policy's load estimate). The
   /// locality policy skips the calibration warm-up runs in the degenerate

@@ -1,0 +1,156 @@
+#include "sim/snapshot.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define TSIM_SNAPSHOT_HAS_FSYNC 1
+#endif
+
+namespace tsim::sim {
+
+namespace {
+
+/// The 24-byte on-disk header (see snapshot.h). Serialized field-by-field,
+/// not by struct copy, so padding can never leak host memory into files.
+struct Header {
+  u32 magic = kSnapshotMagic;
+  u32 version = kSnapshotVersion;
+  u32 kind = 0;
+  u32 payload_crc = 0;
+  u64 payload_size = 0;
+};
+constexpr size_t kHeaderBytes = 24;
+
+std::array<char, kHeaderBytes> encode_header(const Header& h) {
+  std::array<char, kHeaderBytes> out{};
+  std::memcpy(out.data() + 0, &h.magic, 4);
+  std::memcpy(out.data() + 4, &h.version, 4);
+  std::memcpy(out.data() + 8, &h.kind, 4);
+  std::memcpy(out.data() + 12, &h.payload_crc, 4);
+  std::memcpy(out.data() + 16, &h.payload_size, 8);
+  return out;
+}
+
+Header decode_header(const char* data) {
+  Header h;
+  std::memcpy(&h.magic, data + 0, 4);
+  std::memcpy(&h.version, data + 4, 4);
+  std::memcpy(&h.kind, data + 8, 4);
+  std::memcpy(&h.payload_crc, data + 12, 4);
+  std::memcpy(&h.payload_size, data + 16, 8);
+  return h;
+}
+
+const std::array<u32, 256>& crc_table() {
+  static const std::array<u32, 256> table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// RAII stdio handle so error paths cannot leak the FILE*.
+struct File {
+  FILE* f = nullptr;
+  explicit File(FILE* fp) : f(fp) {}
+  ~File() {
+    if (f != nullptr) std::fclose(f);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+};
+
+[[noreturn]] void fail_io(const std::string& path, const char* what) {
+  throw SimError(path + ": " + what + " (" + std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+u32 crc32(const void* data, size_t len, u32 seed) {
+  const auto& table = crc_table();
+  const u8* p = static_cast<const u8*>(data);
+  u32 crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void write_snapshot_file(const std::string& path, u32 kind,
+                         const std::string& payload) {
+  Header h;
+  h.kind = kind;
+  h.payload_crc = crc32(payload.data(), payload.size());
+  h.payload_size = payload.size();
+  const auto header = encode_header(h);
+
+  const std::string tmp = path + ".tmp";
+  {
+    File file(std::fopen(tmp.c_str(), "wb"));
+    if (file.f == nullptr) fail_io(tmp, "cannot create snapshot temp file");
+    if (std::fwrite(header.data(), 1, header.size(), file.f) != header.size() ||
+        (!payload.empty() &&
+         std::fwrite(payload.data(), 1, payload.size(), file.f) !=
+             payload.size()))
+      fail_io(tmp, "short write");
+    if (std::fflush(file.f) != 0) fail_io(tmp, "flush failed");
+#ifdef TSIM_SNAPSHOT_HAS_FSYNC
+    // Durability before visibility: the rename below must never publish a
+    // file whose bytes are still in the page cache of a crashed host.
+    if (fsync(fileno(file.f)) != 0) fail_io(tmp, "fsync failed");
+#endif
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    fail_io(path, "rename into place failed");
+}
+
+std::string read_snapshot_file(const std::string& path, u32 kind) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file.f == nullptr)
+    throw SimError(path + ": cannot open snapshot (" + std::strerror(errno) +
+                   ")");
+
+  std::array<char, kHeaderBytes> raw{};
+  const size_t got = std::fread(raw.data(), 1, raw.size(), file.f);
+  if (got != raw.size())
+    throw SnapshotError(path, got, "truncated snapshot header");
+  const Header h = decode_header(raw.data());
+  if (h.magic != kSnapshotMagic)
+    throw SnapshotError(path, 0, "bad magic (not a snapshot file)");
+  if (h.version != kSnapshotVersion)
+    throw SnapshotError(path, 4,
+                        "unsupported snapshot version " +
+                            std::to_string(h.version) + " (expected " +
+                            std::to_string(kSnapshotVersion) + ")");
+  if (h.kind != kind)
+    throw SnapshotError(path, 8,
+                        "wrong snapshot kind " + std::to_string(h.kind) +
+                            " (expected " + std::to_string(kind) + ")");
+
+  std::string payload(h.payload_size, '\0');
+  const size_t read =
+      h.payload_size == 0
+          ? 0
+          : std::fread(payload.data(), 1, payload.size(), file.f);
+  if (read != payload.size())
+    throw SnapshotError(path, kHeaderBytes + read, "truncated payload");
+  // Trailing garbage means the file is not what the header promised.
+  char extra;
+  if (std::fread(&extra, 1, 1, file.f) != 0)
+    throw SnapshotError(path, kHeaderBytes + payload.size(),
+                        "trailing bytes after payload");
+  const u32 crc = crc32(payload.data(), payload.size());
+  if (crc != h.payload_crc)
+    throw SnapshotError(path, kHeaderBytes, "payload CRC mismatch");
+  return payload;
+}
+
+}  // namespace tsim::sim

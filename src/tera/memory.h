@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "rv/mem_iface.h"
+#include "sim/snapshot.h"
 #include "tera/addr_map.h"
 
 namespace tsim::tera {
@@ -72,6 +73,15 @@ class ClusterMemory final : public rv::MemIface {
 
   /// Zeroes L1 and the console; L2 is preserved.
   void reset_l1();
+
+  // ---- checkpoint/restore (sim/snapshot.h) ----
+  /// Serializes the complete memory contents (L1 + L2 + MMIO backing words
+  /// and the console). Call between runs only - no hart may be executing.
+  void save_state(sim::SnapshotWriter& w) const;
+  /// Restores contents captured by save_state into a memory of the same
+  /// configuration (identical region sizes); throws sim::SnapshotError on a
+  /// size mismatch or corrupt payload. MMIO handlers are untouched.
+  void restore_state(sim::SnapshotReader& r);
 
   // ---- MMIO observers ----
   /// Invoked on a store to the exit register (argument: exit code).

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 
 #include "iss/machine.h"
 #include "kernels/mmse_program.h"
@@ -184,6 +186,41 @@ TEST(Robustness, CrashRecoveredFarmEqualsTheCleanRun) {
   EXPECT_TRUE(got.failures[0].recovered);
   EXPECT_TRUE(got.missing_cells().empty());
   EXPECT_TRUE(want.failures.empty());
+}
+
+TEST(Robustness, GarbledShardRecoveryResumesFromCheckpoints) {
+  // A garbling worker exits cleanly but emits truncated JSON; with
+  // checkpointing armed the retry must climb the snapshot ladder (bounded
+  // re-work, recorded in resume_ttis) and still equal the clean run.
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "tsim_robust_ckpt_XXXXXX")
+                        .string();
+  ASSERT_NE(::mkdtemp(dir.data()), nullptr);
+
+  mac::FarmConfig clean = small_faulted_farm();
+  const mac::FarmResult want = mac::run_farm(clean);
+
+  mac::FarmConfig faulted = clean;
+  faulted.shards = 2;
+  faulted.policy = mac::FarmPolicy::kRetry;
+  faulted.host_fault.garble_shard = 0;
+  faulted.checkpoint_every = 4;
+  faulted.checkpoint_dir = dir;
+  const mac::FarmResult got = mac::run_farm(faulted);
+
+  ASSERT_EQ(got.cells.size(), want.cells.size());
+  for (size_t c = 0; c < want.cells.size(); ++c)
+    EXPECT_TRUE(got.cells[c] == want.cells[c]) << "cell " << c;
+  ASSERT_FALSE(got.failures.empty());
+  EXPECT_EQ(got.failures[0].shard, 0u);
+  EXPECT_TRUE(got.failures[0].recovered);
+  // The garbled worker finished simulating (and checkpointing) before its
+  // truncated write, so the retry resumed from a snapshot, not TTI 0.
+  ASSERT_EQ(got.failures[0].resume_ttis.size(), got.failures[0].cells.size());
+  for (const i64 t : got.failures[0].resume_ttis) EXPECT_GT(t, 0);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 // ---------------------------------------------------------------------------
