@@ -42,6 +42,10 @@ struct DriverOptions {
   u32 host_threads = 1;
   double clock_ghz = 1.0;
   u64 seed = 0xD5E;
+  // Warm-started construction: sibling points reuse translated programs and
+  // locality calibration (metrics bit-identical to a cold sweep, only wall
+  // time moves), so it defaults on; --cold-start is the reference mode.
+  bool warm_start = true;
   std::vector<dse::Objective> objectives = dse::default_objectives();
 };
 
@@ -83,6 +87,10 @@ void print_usage(std::FILE* f, const char* prog) {
   std::fprintf(f, "  --threads N          host evaluation threads\n");
   std::fprintf(f, "  --clock GHZ          modelled cluster clock\n");
   std::fprintf(f, "  --seed S             traffic seed\n");
+  std::fprintf(f, "  --warm-start / --cold-start\n");
+  std::fprintf(f, "                       reuse warmed scheduler state across\n");
+  std::fprintf(f, "                       sibling points (default on; metrics\n");
+  std::fprintf(f, "                       are bit-identical to a cold sweep)\n");
   std::fprintf(f, "  --objectives A,B,..  Pareto objectives\n");
   std::fprintf(f, "  --help               this message\n");
 }
@@ -117,6 +125,10 @@ DriverOptions parse_args(int argc, char** argv) {
       opt.clock_ghz = parse_positive_double("--clock", next("--clock"));
     } else if (std::strcmp(arg, "--seed") == 0) {
       opt.seed = parse_u64("--seed", next("--seed"));
+    } else if (std::strcmp(arg, "--warm-start") == 0) {
+      opt.warm_start = true;
+    } else if (std::strcmp(arg, "--cold-start") == 0) {
+      opt.warm_start = false;
     } else if (std::strcmp(arg, "--objectives") == 0) {
       opt.objectives = dse::parse_objectives(next("--objectives"));
     } else {
@@ -199,6 +211,7 @@ int run(int argc, char** argv) {
   cfg.ttis = opt.ttis;
   cfg.clock_hz = opt.clock_ghz * 1e9;
   cfg.host_threads = opt.host_threads;
+  cfg.warm_start = opt.warm_start;
 
   std::printf("dse_driver | %s sweep: %zu points over (clusters x cores x "
               "precision x problems/core x policy)\n",
@@ -230,8 +243,9 @@ int run(int argc, char** argv) {
   std::printf("\nPareto front (%zu of %zu evaluated points):\n", front.size(),
               result.points.size());
   dse::front_table(result, front).print();
-  std::printf("\nswept %zu points (%zu skipped) in %.1f s wall clock\n",
-              result.points.size(), result.skipped.size(), wall.seconds());
+  std::printf("\nswept %zu points (%zu skipped) in %.1f s wall clock (%s)\n",
+              result.points.size(), result.skipped.size(), wall.seconds(),
+              cfg.warm_start ? "warm-started" : "cold-started");
 
   if (!opt.csv_dir.empty()) table.write_csv(opt.csv_dir + "/dse_pareto.csv");
   if (!opt.json_dir.empty()) {

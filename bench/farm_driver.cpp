@@ -39,6 +39,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "dse/space.h"
 #include "mac/farm.h"
 
 using namespace tsim;
@@ -56,6 +57,13 @@ struct Options {
   bool full = false;
   bool no_harq = false;
   bool burst = false;
+  // Event-driven fast-forward (quiescent-TTI skip + batch shrink). Reports
+  // are bit-identical either way - CI's fastforward-smoke pins that with cmp
+  // - so the faster path is the default.
+  bool fastforward = true;
+  u32 problems_per_core = 0;  // 0 = pool default
+  u32 batch_cores = 0;        // 0 = pool default (as many as fit in L1)
+  u32 cluster_cores = 0;      // 0 = the 16-core tiny cluster
   std::string json_dir;
   std::string csv_dir;
   // Supervisor + fault-injection knobs (defaults = clean run).
@@ -117,6 +125,13 @@ void print_usage(std::FILE* f, const char* prog) {
   std::fprintf(f, "  --full         paper-scale carrier (50 MHz x 14 symbols)\n");
   std::fprintf(f, "  --no-harq      single-shot baseline (every CRC fail drops)\n");
   std::fprintf(f, "  --burst        on/off arrival bursts + diurnal modulation\n");
+  std::fprintf(f, "  --fastforward / --no-fastforward\n");
+  std::fprintf(f, "                 event-driven idle skip (default on; reports\n");
+  std::fprintf(f, "                 are bit-identical to the cycle-by-cycle run)\n");
+  std::fprintf(f, "  --ppc N        problems per core (default: pool default)\n");
+  std::fprintf(f, "  --batch-cores N  cores per batch (default: L1-fit maximum)\n");
+  std::fprintf(f, "  --cluster-cores N  cores per emulated cluster (multiple of\n");
+  std::fprintf(f, "                 8; default: 16-core tiny cluster)\n");
   std::fprintf(f, "  --json [DIR]   write DIR/farm_soak.json (default DIR: .)\n");
   std::fprintf(f, "  --csv DIR      write DIR/farm_soak.csv\n");
   std::fprintf(f, "supervisor / fault injection:\n");
@@ -179,6 +194,18 @@ Options parse_args(int argc, char** argv) {
       opt.no_harq = true;
     } else if (std::strcmp(arg, "--burst") == 0) {
       opt.burst = true;
+    } else if (std::strcmp(arg, "--fastforward") == 0) {
+      opt.fastforward = true;
+    } else if (std::strcmp(arg, "--no-fastforward") == 0) {
+      opt.fastforward = false;
+    } else if (std::strcmp(arg, "--ppc") == 0) {
+      opt.problems_per_core = parse_positive_u32("--ppc", next("--ppc"));
+    } else if (std::strcmp(arg, "--batch-cores") == 0) {
+      opt.batch_cores =
+          parse_positive_u32("--batch-cores", next("--batch-cores"));
+    } else if (std::strcmp(arg, "--cluster-cores") == 0) {
+      opt.cluster_cores =
+          parse_positive_u32("--cluster-cores", next("--cluster-cores"));
     } else if (std::strcmp(arg, "--policy") == 0) {
       opt.policy = mac::parse_farm_policy(next("--policy"));
     } else if (std::strcmp(arg, "--attempts") == 0) {
@@ -285,6 +312,11 @@ mac::FarmConfig farm_config(const Options& opt) {
     cfg.burst.diurnal_depth = 0.5;
   }
   cfg.pool.host_threads = opt.host_threads;
+  cfg.pool.fast_forward = opt.fastforward;
+  if (opt.problems_per_core > 0) cfg.pool.problems_per_core = opt.problems_per_core;
+  if (opt.batch_cores > 0) cfg.pool.batch_cores = opt.batch_cores;
+  if (opt.cluster_cores > 0)
+    cfg.pool.cluster = dse::cluster_for_cores(opt.cluster_cores);
   cfg.policy = opt.policy;
   cfg.max_shard_attempts = opt.attempts;
   cfg.shard_timeout_s = opt.shard_timeout_s;
@@ -336,6 +368,8 @@ int run(int argc, char** argv) {
               cfg.harq.enabled ? "on" : "OFF",
               cfg.harq.num_processes, cfg.harq.max_attempts,
               cfg.burst.enabled ? "bursty" : "full-buffer");
+  if (!cfg.pool.fast_forward)
+    std::printf("fast-forward OFF: cycle-by-cycle reference run\n");
 
   const bench::Stopwatch wall;
   const mac::FarmResult result = mac::run_farm(cfg);
@@ -386,6 +420,24 @@ int run(int argc, char** argv) {
   std::printf("host: %u cell-TTIs in %.2f s wall clock (%.0f TTI/s)\n",
               cfg.cells * cfg.ttis, wall_s,
               wall_s > 0 ? cfg.cells * cfg.ttis / wall_s : 0.0);
+
+  // Host-side fast-forward activity (in-process runs only; reports and JSON
+  // stay byte-identical either way - this line is diagnostics).
+  if (cfg.pool.fast_forward && result.ff.ttis > 0) {
+    const mac::FarmResult::FfActivity& ff = result.ff;
+    std::printf("fast-forward: %llu/%llu quiescent TTI(s) skipped, "
+                "%llu/%llu batch(es) shrunk (%.0f%% of core-runs parked)\n",
+                static_cast<unsigned long long>(ff.idle_ttis),
+                static_cast<unsigned long long>(ff.ttis),
+                static_cast<unsigned long long>(ff.shrunk_batches),
+                static_cast<unsigned long long>(ff.full_batches +
+                                                ff.shrunk_batches),
+                ff.cores_full > 0
+                    ? 100.0 *
+                          static_cast<double>(ff.cores_full - ff.cores_run) /
+                          static_cast<double>(ff.cores_full)
+                    : 0.0);
+  }
 
   if (cfg.fault.enabled) {
     std::printf("faults: %llu degraded slot(s), %llu hart fault(s), "

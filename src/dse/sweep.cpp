@@ -1,6 +1,7 @@
 #include "dse/sweep.h"
 
 #include <chrono>
+#include <map>
 #include <memory>
 
 #include "phy/mmse.h"
@@ -54,6 +55,12 @@ SweepResult run_sweep(const DesignSpace& space, const SweepConfig& cfg) {
       golden_errors += golden_slot_errors(slots.back(), cfg.traffic.groups);
   }
 
+  // Warm-start cache: first sibling per warm_key pays for program builds,
+  // translation and (under the locality policy) calibration; the rest adopt
+  // that state. An uncalibrated entry is upgraded in place the first time a
+  // calibrated sibling (locality policy, multi-cluster) is evaluated.
+  std::map<u64, ran::SlotScheduler::WarmState> warm_cache;
+
   for (const DesignPoint& point : points) {
     ran::ClusterPoolConfig pool;
     pool.num_clusters = point.clusters;
@@ -75,7 +82,24 @@ SweepResult run_sweep(const DesignSpace& space, const SweepConfig& cfg) {
     std::unique_ptr<ran::SlotScheduler> sched;
     try {
       pool.cluster = cluster_for_cores(point.cores_per_cluster);
-      sched = std::make_unique<ran::SlotScheduler>(pool, cfg.traffic.groups);
+      const ran::SlotScheduler::WarmState* warm = nullptr;
+      u64 key = 0;
+      if (cfg.warm_start) {
+        key = ran::SlotScheduler::warm_key(pool, cfg.traffic.groups);
+        const auto it = warm_cache.find(key);
+        if (it != warm_cache.end()) warm = &it->second;
+      }
+      sched = std::make_unique<ran::SlotScheduler>(pool, cfg.traffic.groups,
+                                                   warm);
+      if (cfg.warm_start) {
+        const auto it = warm_cache.find(key);
+        if (it == warm_cache.end()) {
+          warm_cache.emplace(key, sched->export_warm_state());
+        } else if (!it->second.calibrated) {
+          ran::SlotScheduler::WarmState ws = sched->export_warm_state();
+          if (ws.calibrated) it->second = std::move(ws);
+        }
+      }
     } catch (const SimError& e) {
       result.skipped.push_back(SkippedPoint{point, e.what()});
       continue;

@@ -29,6 +29,14 @@ struct SweepConfig {
   u32 host_threads = 1;         // scheduler pool threads (host-side only)
   u32 threads_per_cluster = 1;  // Machine::run_threads shards within a batch
   bool golden_ber = true;       // also run the double-precision reference
+  /// Reuse warmed-up scheduler state across sibling points. Points sharing a
+  /// SlotScheduler::warm_key (cluster shape, latencies, precision,
+  /// problems/core, UE-group geometry) hand the first sibling's translated
+  /// kernel programs and locality calibration to the rest instead of
+  /// rebuilding and re-measuring them per point. Construction-only shortcut:
+  /// every PointMetrics field except wall_seconds stays bit-identical to a
+  /// cold sweep (pinned by fastforward_test).
+  bool warm_start = false;
 };
 
 /// Everything measured for one feasible design point. Counters aggregate

@@ -33,6 +33,19 @@ struct MmseLayout {
   u32 problems_per_core = 1;  // >1 = batched Monte-Carlo mode (paper Fig. 6)
   u32 num_cores = 1;          // cores running MMSE problems
 
+  /// Execution-shortcut override: when nonzero, only the first active_cores
+  /// harts run problems (the rest park in crt0) and the exit barrier counts
+  /// active_cores arrivals. Every addressing constant - scratch region base,
+  /// strides, the L1 fit - still derives from num_cores, so the generated
+  /// program is word-for-word identical to the full layout's except for the
+  /// two small immediates (park threshold, barrier count). That textual
+  /// identity is what keeps the modeled per-hart timing of the active harts
+  /// (including the barrier waker's critical-path tail) bit-equal to the
+  /// full run; see SlotScheduler's fast-forward notes. Must be 0 or in
+  /// [2, num_cores]: with a single active hart the barrier waker and the
+  /// exit hart coincide and the waker's modeled tail changes.
+  u32 active_cores = 0;
+
   tera::TeraPoolConfig cluster;
 
   // ---- input block, per problem ----
@@ -112,6 +125,9 @@ struct MmseLayout {
     check(ntx % 2 == 0 && nrx % 2 == 0,
           "MmseLayout: SIMD variants require even antenna counts");
     check(total_l1_bytes() <= cluster.l1_bytes(), "MmseLayout: data overflows L1");
+    check(active_cores == 0 ||
+              (active_cores >= 2 && active_cores <= num_cores),
+          "MmseLayout: active_cores must be 0 (all) or in [2, num_cores]");
   }
 
   /// Largest number of single-problem cores that fits in L1.

@@ -299,9 +299,13 @@ void emit_bsolve(Asm& a, MacEmitter& s, const MmseLayout& lay) {
 /// Per-hart startup, parking of inactive harts, and the fork-join epilogue
 /// (barrier, then hart 0 signals exit).
 void emit_crt0(Asm& a, const MmseLayout& lay) {
+  // Park threshold: harts at or above the ACTIVE count never leave crt0.
+  // Addressing below still uses num_cores-derived constants so the program
+  // text matches the full layout's (see MmseLayout::active_cores).
+  const u32 active = lay.active_cores != 0 ? lay.active_cores : lay.num_cores;
   a.label("_start");
   a.csrr(Reg::t0, rv::kCsrMhartid);
-  a.li(Reg::t1, static_cast<i32>(lay.num_cores));
+  a.li(Reg::t1, static_cast<i32>(active));
   a.bltu(Reg::t0, Reg::t1, "crt_run");
   a.label("crt_park");
   a.wfi();
@@ -324,11 +328,12 @@ void emit_crt0(Asm& a, const MmseLayout& lay) {
 
 /// amoadd-counter barrier with wfi sleep and wake-register broadcast.
 void emit_barrier(Asm& a, const MmseLayout& lay) {
+  const u32 active = lay.active_cores != 0 ? lay.active_cores : lay.num_cores;
   a.label("barrier");
   a.li(Reg::t0, static_cast<i32>(MmseLayout::kBarrierAddr));
   a.li(Reg::t1, 1);
   a.amo(Op::kAmoaddW, Reg::t2, Reg::t1, Reg::t0);
-  a.li(Reg::t3, static_cast<i32>(lay.num_cores - 1));
+  a.li(Reg::t3, static_cast<i32>(active - 1));
   a.beq(Reg::t2, Reg::t3, "barrier_last");
   a.wfi();
   a.ret();

@@ -154,6 +154,16 @@ class Cell {
   /// TTIs stepped so far == the TTI the next step() call should receive.
   u32 ttis_run() const { return ttis_run_; }
 
+  // ---- fast-forward observability (pool.fast_forward) ----
+  /// Quiescent TTIs skipped wholesale by step()'s fast path (always 0 with
+  /// fast_forward off). Purely observational: the archived per-slot state of
+  /// a skipped TTI is bit-identical to the cycle-by-cycle path.
+  u64 ff_idle_ttis() const { return ff_idle_ttis_; }
+  /// Batch shrink statistics from the cell's scheduler.
+  ran::SlotScheduler::FastForwardStats ff_batch_stats() const {
+    return scheduler_.fast_forward_stats();
+  }
+
   // ---- checkpoint/restore (sim/snapshot.h) ----
   /// Identity of the configuration a snapshot belongs to (FNV-1a over every
   /// parameter that shapes the trajectory). restore_state refuses a payload
@@ -186,7 +196,16 @@ class Cell {
   /// Payload bits of one PDU of UE `ue` (sc_per_pdu problems x ntx layers x
   /// bits/symbol of the UE's constellation).
   u64 pdu_bits(u32 ue) const;
+  /// Advances every UE's on/off Markov chain to `tti`. Guarded so the
+  /// transition applies exactly once per TTI (the fast-forward quiescence
+  /// probe and build_request may both ask for the same TTI): the chain draw
+  /// is keyed by (seed, tti, ue) but the state update is not idempotent.
   void update_burst_states(u64 tti);
+  /// True when this TTI provably builds an empty request with zero side
+  /// effects: every UE off (after this TTI's burst transitions), no pending
+  /// retransmission, nothing in flight awaiting feedback, no fault-delayed
+  /// indication queued and no indication faults configured.
+  bool quiescent() const;
 
   CellConfig cfg_;
   u64 seed_ = 0;  // cell_seed(), cached
@@ -209,6 +228,11 @@ class Cell {
   u64 dropped_ind_ = 0;
   u64 delayed_ind_ = 0;
   u32 ttis_run_ = 0;
+  /// Last TTI whose burst transitions were applied (update_burst_states
+  /// guard). Not serialized: snapshots land on TTI boundaries, so the
+  /// restored default never matches the next TTI stepped.
+  u64 last_burst_tti_ = ~0ull;
+  u64 ff_idle_ttis_ = 0;  // quiescent TTIs short-circuited by step()
 };
 
 }  // namespace tsim::mac

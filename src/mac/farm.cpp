@@ -217,7 +217,7 @@ std::vector<u64> list_cell_snapshots(const std::string& dir, u32 cell) {
 }
 
 CellReport run_cell(const FarmConfig& cfg, u32 cell, bool allow_resume,
-                    i64* resumed_from) {
+                    i64* resumed_from, FarmResult::FfActivity* ff) {
   std::unique_ptr<Cell> c;
   i64 from = -1;
   if (allow_resume && !cfg.checkpoint_dir.empty())
@@ -232,6 +232,15 @@ CellReport run_cell(const FarmConfig& cfg, u32 cell, bool allow_resume,
     // (a finished run has nothing left to resume).
     if (ckpt && (t + 1) % cfg.checkpoint_every == 0 && t + 1 < cfg.ttis)
       save_cell_snapshot(*c, cfg.checkpoint_dir);
+  }
+  if (ff != nullptr) {
+    const ran::SlotScheduler::FastForwardStats s = c->ff_batch_stats();
+    ff->idle_ttis += c->ff_idle_ttis();
+    ff->ttis += c->ttis_run();
+    ff->full_batches += s.full_batches;
+    ff->shrunk_batches += s.shrunk_batches;
+    ff->cores_full += s.cores_full;
+    ff->cores_run += s.cores_run;
   }
   return c->report();
 }
@@ -506,7 +515,8 @@ namespace {
 FarmResult run_farm_inline(const FarmConfig& cfg) {
   FarmResult result;
   result.cells.reserve(cfg.cells);
-  for (u32 c = 0; c < cfg.cells; ++c) result.cells.push_back(run_cell(cfg, c));
+  for (u32 c = 0; c < cfg.cells; ++c)
+    result.cells.push_back(run_cell(cfg, c, cfg.resume, nullptr, &result.ff));
   return result;
 }
 

@@ -159,6 +159,21 @@ struct ShardFailure {
 struct FarmResult {
   std::vector<CellReport> cells;  // indexed by cell id
 
+  /// Host-side fast-forward activity: how much work the event-driven
+  /// fast-forward skipped. Diagnostics only - never part of CellReport or
+  /// any JSON surface (the bit-exactness contract compares those). Only
+  /// populated by in-process runs (shards <= 1); sharded runs report zeros,
+  /// since worker processes hand back CellReports alone.
+  struct FfActivity {
+    u64 idle_ttis = 0;       // quiescent TTIs skipped wholesale
+    u64 ttis = 0;            // cell-TTIs run in-process
+    u64 full_batches = 0;    // batches executed at full layout width
+    u64 shrunk_batches = 0;  // batches executed on a shrunk variant
+    u64 cores_full = 0;      // core-runs a full-width run would execute
+    u64 cores_run = 0;       // core-runs actually executed
+  };
+  FfActivity ff;
+
   /// Structured failure report: one entry per failed shard attempt, in
   /// observation order. Empty on a clean run. Under kRetry every entry is
   /// recovered; under kDegrade unrecovered entries mark zero-filled cells.
@@ -183,9 +198,11 @@ FarmResult run_farm(const FarmConfig& cfg);
 CellReport run_cell(const FarmConfig& cfg, u32 cell);
 /// Worker/recovery variant: when `allow_resume`, climbs the snapshot ladder
 /// (newest valid -> older -> clean) before stepping, and reports the TTI it
-/// resumed from in *resumed_from (-1 = clean) when non-null.
+/// resumed from in *resumed_from (-1 = clean) when non-null. When `ff` is
+/// non-null, the cell's host-side fast-forward activity is accumulated into
+/// it (the counters are additive across cells).
 CellReport run_cell(const FarmConfig& cfg, u32 cell, bool allow_resume,
-                    i64* resumed_from);
+                    i64* resumed_from, FarmResult::FfActivity* ff = nullptr);
 
 // ---- per-cell snapshot files (sim/snapshot.h container) ----
 

@@ -37,6 +37,10 @@ void ClusterPoolConfig::validate() const {
 }
 
 SlotScheduler::SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> groups)
+    : SlotScheduler(cfg, std::move(groups), nullptr) {}
+
+SlotScheduler::SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> groups,
+                             const WarmState* warm)
     : cfg_(cfg), groups_(std::move(groups)) {
   cfg_.validate();
   check(!groups_.empty(), "SlotScheduler: need at least one UE group");
@@ -46,6 +50,13 @@ SlotScheduler::SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> 
   for (const auto& g : groups_) {
     mods_.emplace_back(g.qam_order);
     group_geometry_.push_back(geometry_for(g.ntx, g.nrx));
+  }
+
+  if (warm != nullptr) {
+    check(warm->key == warm_key(cfg_, groups_),
+          "SlotScheduler: warm state from an incompatible shaping config");
+    check(warm->programs.size() == geometries_.size(),
+          "SlotScheduler: warm state geometry count mismatch");
   }
 
   // All geometries share one hart count so a cluster can switch geometry by
@@ -60,10 +71,14 @@ SlotScheduler::SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> 
     common_cores =
         std::min(common_cores, std::max(1u, fit / cfg_.problems_per_core));
   }
-  for (auto& geo : geometries_) {
+  for (u32 g = 0; g < geometries_.size(); ++g) {
+    GeometryContext& geo = geometries_[g];
     geo.layout.num_cores = common_cores;
     geo.layout.validate();
-    geo.program = kern::build_mmse_program(geo.layout);
+    // A warm sibling already assembled the identical program (it is a pure
+    // function of the layout, which the warm_key pins).
+    geo.program = warm != nullptr ? warm->programs[g]
+                                  : kern::build_mmse_program(geo.layout);
     geo.reload_cycles = program_reload_cycles(geo.program.size_bytes());
   }
 
@@ -91,11 +106,89 @@ SlotScheduler::SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> 
   // for any realistic cost magnitude.
   if (cfg_.policy == AssignPolicy::kLocality) {
     if (cfg_.num_clusters > 1 && geometries_.size() > 1) {
-      calibrate_geometry_costs();
+      if (warm != nullptr && warm->calibrated) {
+        adopt_warm_calibration(*warm);
+      } else {
+        calibrate_geometry_costs();
+      }
+      calibrated_ = true;
     } else {
       for (auto& geo : geometries_) geo.batch_cycles = kUncalibratedBatchCost;
     }
   }
+}
+
+u64 SlotScheduler::warm_key(const ClusterPoolConfig& cfg,
+                            const std::vector<UeGroup>& groups) {
+  u64 h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](u64 v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const tera::TeraPoolConfig& c = cfg.cluster;
+  mix(c.cores_per_tile);
+  mix(c.tiles_per_subgroup);
+  mix(c.subgroups_per_group);
+  mix(c.groups);
+  mix(c.tile_l1_bytes);
+  mix(c.banks_per_tile);
+  mix(c.icache_bytes);
+  mix(c.icache_line_bytes);
+  mix(c.l2_bytes);
+  mix(c.lat_local_tile);
+  mix(c.lat_same_subgroup);
+  mix(c.lat_same_group);
+  mix(c.lat_remote_group);
+  mix(c.lat_l2);
+  mix(static_cast<u64>(cfg.prec));
+  mix(cfg.problems_per_core);
+  mix(cfg.batch_cores);
+  mix(groups.size());
+  for (const UeGroup& g : groups) {
+    mix(g.ntx);
+    mix(g.nrx);
+  }
+  return h;
+}
+
+SlotScheduler::WarmState SlotScheduler::export_warm_state() const {
+  WarmState w;
+  w.key = warm_key(cfg_, groups_);
+  w.programs.reserve(geometries_.size());
+  for (const GeometryContext& geo : geometries_) w.programs.push_back(geo.program);
+  w.calibrated = calibrated_;
+  if (calibrated_) {
+    w.batch_cycles.reserve(geometries_.size());
+    for (const GeometryContext& geo : geometries_)
+      w.batch_cycles.push_back(geo.batch_cycles);
+  }
+  return w;
+}
+
+void SlotScheduler::adopt_warm_calibration(const WarmState& warm) {
+  check(warm.batch_cycles.size() == geometries_.size(),
+        "SlotScheduler: warm calibration geometry count mismatch");
+  // Adopt the sibling's measured costs and replicate calibration's residency
+  // side effects - cluster 0 ends with every geometry resident and the last
+  // one loaded - without the measurement runs. The costs are a deterministic
+  // pure function of the shaping config, so placement decisions and reload
+  // accounting match a cold-calibrated scheduler exactly.
+  Cluster& c0 = clusters_[0];
+  for (u32 g = 0; g < geometries_.size(); ++g) {
+    geometries_[g].batch_cycles = warm.batch_cycles[g];
+    c0.geometry_handles[g] =
+        static_cast<i64>(c0.machine->load_program(geometries_[g].program));
+    c0.loaded_geometry = static_cast<i64>(g);
+  }
+}
+
+SlotScheduler::FastForwardStats SlotScheduler::fast_forward_stats() const {
+  FastForwardStats s;
+  s.full_batches = ff_full_batches_.load(std::memory_order_relaxed);
+  s.shrunk_batches = ff_shrunk_batches_.load(std::memory_order_relaxed);
+  s.cores_full = ff_cores_full_.load(std::memory_order_relaxed);
+  s.cores_run = ff_cores_run_.load(std::memory_order_relaxed);
+  return s;
 }
 
 u32 SlotScheduler::geometry_for(u32 ntx, u32 nrx) {
@@ -136,6 +229,12 @@ void SlotScheduler::save_state(sim::SnapshotWriter& w) const {
     w.write_i64(c.loaded_geometry);
     w.write_u64(c.geometry_handles.size());
     for (const i64 h : c.geometry_handles) w.write_i64(h);
+    w.write_u64(c.variants.size());
+    for (const Cluster::Variant& v : c.variants) {
+      w.write_u32(v.geometry);
+      w.write_u32(v.cores);
+      w.write_i64(v.handle);
+    }
     c.machine->save_state(w);
   }
 }
@@ -154,14 +253,29 @@ void SlotScheduler::restore_state(sim::SnapshotReader& r) {
     if (nh != geometries_.size()) r.fail("geometry handle table size mismatch");
     std::vector<i64> handles(nh);
     for (i64& h : handles) h = r.read_i64();
+    const u64 nv = r.read_u64();
+    std::vector<Cluster::Variant> variants(nv);
+    for (Cluster::Variant& v : variants) {
+      v.geometry = r.read_u32();
+      v.cores = r.read_u32();
+      v.handle = r.read_i64();
+      if (v.geometry >= geometries_.size())
+        r.fail("variant geometry out of range");
+    }
     c.machine->restore_state(r);
     for (const i64 h : handles) {
       if (h < -1 ||
           h >= static_cast<i64>(c.machine->num_resident_programs()))
         r.fail("geometry handle out of range after machine restore");
     }
+    for (const Cluster::Variant& v : variants) {
+      if (v.handle < -1 ||
+          v.handle >= static_cast<i64>(c.machine->num_resident_programs()))
+        r.fail("variant handle out of range after machine restore");
+    }
     c.loaded_geometry = loaded;
     c.geometry_handles = std::move(handles);
+    c.variants = std::move(variants);
   }
 }
 
@@ -364,6 +478,24 @@ std::vector<std::vector<u32>> SlotScheduler::assign_batches(
   return queues;
 }
 
+i64& SlotScheduler::variant_handle(Cluster& cluster, u32 g, u32 cores) const {
+  for (Cluster::Variant& v : cluster.variants) {
+    if (v.geometry == g && v.cores == cores) return v.handle;
+  }
+  cluster.variants.push_back(Cluster::Variant{g, cores, -1});
+  return cluster.variants.back().handle;
+}
+
+rvasm::Program SlotScheduler::build_variant_program(u32 g, u32 cores) const {
+  // The variant keeps the full layout (so every addressing constant, and
+  // with it the program text and per-hart timing, is unchanged) and only
+  // parks the cores beyond `cores` via the active_cores override.
+  kern::MmseLayout lay = geometries_[g].layout;
+  lay.active_cores = cores;
+  lay.validate();
+  return kern::build_mmse_program(lay);
+}
+
 void SlotScheduler::run_batch(Cluster& cluster, const BatchTask& task,
                               const SlotWorkload& slot, SlotResult& result,
                               u32 batch_index) {
@@ -373,26 +505,58 @@ void SlotScheduler::run_batch(Cluster& cluster, const BatchTask& task,
   const Allocation& alloc = slot.allocations[task.allocation];
   const u32 capacity = lay.num_cores * lay.problems_per_core;
 
-  // Geometry switch: activate the resident program (an image restore - no
-  // retranslation; translation happens only on the first visit of a
-  // geometry to this cluster) and charge the modeled DMA reload cost.
+  // Geometry switch: charge the modeled DMA reload cost. The accounting is
+  // keyed on geometry alone - the fast-forward variant swaps below are
+  // host-side execution shortcuts of the same modeled program and never
+  // count as reloads.
   u32 reloads = 0;
   u64 reload_cycles = 0;
   if (cluster.loaded_geometry != static_cast<i64>(task.geometry)) {
-    i64& handle = cluster.geometry_handles[task.geometry];
-    if (handle >= 0) {
-      machine.select_program(static_cast<iss::Machine::ProgramHandle>(handle));
-    } else {
-      handle = static_cast<i64>(machine.load_program(geo.program));
-    }
     cluster.loaded_geometry = static_cast<i64>(task.geometry);
     reloads = 1;
     reload_cycles = geo.reload_cycles;
   }
 
-  // Stage the batch; unused tail slots repeat real problems so every core
-  // computes well-defined data (results of padded slots are never read).
-  for (u32 i = 0; i < capacity; ++i) {
+  // Fast-forward shrink: a partially filled batch runs a program variant
+  // that parks the all-padding cores in crt0 instead of computing results
+  // nobody reads. The active count is quantized to a power of two with a
+  // floor of kMinFastForwardCores, which keeps the modeled cycle accounting
+  // provably invariant (see the header note); the decision is a pure
+  // function of task.count, hence deterministic everywhere. Disabled under
+  // a fault plan: fault draws are parameterized by the full hart count.
+  u32 run_cores = lay.num_cores;
+  if (cfg_.fast_forward && !cfg_.fault.enabled && task.count < capacity) {
+    const u32 need =
+        (task.count + lay.problems_per_core - 1) / lay.problems_per_core;
+    u32 cores = kMinFastForwardCores;
+    while (cores < need) cores <<= 1;
+    run_cores = std::min(cores, lay.num_cores);
+  }
+  const bool shrunk = run_cores < lay.num_cores;
+  (shrunk ? ff_shrunk_batches_ : ff_full_batches_)
+      .fetch_add(1, std::memory_order_relaxed);
+  ff_cores_full_.fetch_add(lay.num_cores, std::memory_order_relaxed);
+  ff_cores_run_.fetch_add(run_cores, std::memory_order_relaxed);
+
+  // Activate the resident program for (geometry, run_cores): an image
+  // restore - no retranslation; translation happens only on the first visit
+  // of the pair to this cluster.
+  i64& handle = shrunk ? variant_handle(cluster, task.geometry, run_cores)
+                       : cluster.geometry_handles[task.geometry];
+  if (handle < 0) {
+    handle = static_cast<i64>(machine.load_program(
+        shrunk ? build_variant_program(task.geometry, run_cores) : geo.program));
+  } else if (machine.active_program() !=
+             static_cast<iss::Machine::ProgramHandle>(handle)) {
+    machine.select_program(static_cast<iss::Machine::ProgramHandle>(handle));
+  }
+
+  // Stage the batch; unused tail slots repeat real problems so every active
+  // core computes well-defined data (results of padded slots are never
+  // read). Problem addresses are independent of the layout's core count, so
+  // the staged prefix is identical for the full and shrunk variants.
+  const u32 staged = run_cores * lay.problems_per_core;
+  for (u32 i = 0; i < staged; ++i) {
     const u32 p = task.offset + (i < task.count ? i : i % task.count);
     sim::stage_problem(machine.memory(), lay, i / lay.problems_per_core,
                        i % lay.problems_per_core, alloc.batch.problems[p]);

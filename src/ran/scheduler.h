@@ -46,8 +46,41 @@
 // free: each iss::Machine keeps every geometry's program resident
 // (translation cache + image, see machine.h), so a switch is an image
 // restore, not a retranslation.
+//
+// Fast-forward (ClusterPoolConfig::fast_forward)
+// ----------------------------------------------
+// A partially filled batch normally pads its unused problem slots with
+// duplicates and runs the FULL layout width - every core retires the whole
+// kernel even when its results are never read. With fast_forward enabled,
+// run_batch instead executes a shrunk program variant that parks the
+// all-padding cores in wfi from crt0 (the same parking path shrunk
+// batch_cores configs use), quantized to a power-of-two core count with a
+// floor of kMinFastForwardCores. The variant is built with the FULL
+// layout's addressing constants and only overrides the park threshold and
+// barrier count (MmseLayout::active_cores), so its program text is
+// word-for-word the full program's apart from those two equal-length
+// immediates - a num_cores-derived constant crossing an li-expansion
+// boundary can therefore never skew the variant's timing. The kernel
+// streams are data-independent (compile-time-bounded loops, static-latency
+// FP/memory timing), so every active core reaches the fork-join barrier at
+// the same modeled cycle regardless of the core count, the last active
+// arrival replays the full run's waker tail exactly, and parked harts
+// resume below it; the machine's estimated_cycles - and with it every
+// report field - is invariant under the shrink. Only host work changes: the variant swap is
+// an image restore charged to NO reload accounting (reloads stay keyed on
+// geometry transitions - the modeled DUT always runs the full-width
+// program), and BatchTrace::instructions reports the instructions the host
+// actually retired, which IS smaller under the shrink. That counter feeds
+// no report or JSON surface (CellReport/AggregateReport are cycle- and
+// count-based); the bit-exactness contract - fast-forwarded runs produce
+// byte-identical reports to cycle-by-cycle runs - is pinned by
+// tests/fastforward_test.cpp and the CI fastforward-smoke step. The shrink
+// decision is a pure function of task.count, so it is deterministic across
+// shards, host threads, and policies; it is disabled under a fault plan
+// (fault draws are parameterized by the full hart count).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -91,6 +124,12 @@ struct ClusterPoolConfig {
   u32 problems_per_core = 4;
   u32 batch_cores = 0;         // 0 = as many cores as fit in L1
   AssignPolicy policy = AssignPolicy::kLocality;
+  /// Event-driven fast-forward: partially filled batches run a shrunk
+  /// program variant that parks the all-padding cores instead of computing
+  /// results nobody reads (see the header note). Bit-exact: every report
+  /// field is byte-identical to the cycle-by-cycle run. Off by default;
+  /// ignored while a fault plan is enabled.
+  bool fast_forward = false;
   /// Deterministic fault plan (sim/fault.h). Disabled by default: every
   /// fault hook below then costs one cold branch per batch run.
   sim::FaultConfig fault;
@@ -167,7 +206,37 @@ struct SlotResult {
 
 class SlotScheduler {
  public:
+  /// Construction-time warm state exported by a sibling scheduler with the
+  /// same machine/program-shaping config (warm_key): the built per-geometry
+  /// programs and, when the sibling calibrated, the measured batch costs.
+  /// Reusing it skips program assembly and the calibration warm-up runs -
+  /// both deterministic pure functions of the shaping config - so a
+  /// warm-constructed scheduler is bit-identical to a cold one
+  /// (tests/fastforward_test.cpp pins this point-for-point).
+  struct WarmState {
+    u64 key = 0;                           // warm_key() of the source config
+    std::vector<rvasm::Program> programs;  // per geometry, discovery order
+    bool calibrated = false;               // batch_cycles hold measured costs
+    std::vector<u64> batch_cycles;         // per geometry, when calibrated
+  };
+
+  /// Identity of the machine/program-shaping subset of (cfg, groups): the
+  /// cluster geometry and latency map, precision, problems_per_core,
+  /// batch_cores, and the UE-group geometry sequence. num_clusters, host
+  /// threading, the policy, fast_forward and the fault plan are excluded -
+  /// they shape neither the programs nor the calibration measurements, so
+  /// warm state fans out across those axes (e.g. neighboring DSE points).
+  static u64 warm_key(const ClusterPoolConfig& cfg,
+                      const std::vector<UeGroup>& groups);
+
   SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> groups);
+  /// Warm-started construction: `warm` must be null or carry the matching
+  /// warm_key (checked). See WarmState.
+  SlotScheduler(const ClusterPoolConfig& cfg, std::vector<UeGroup> groups,
+                const WarmState* warm);
+
+  /// Exports this scheduler's warm state for sibling constructions.
+  WarmState export_warm_state() const;
 
   /// Processes one slot's workload on the cluster pool and returns detections
   /// plus deterministic per-cluster/per-symbol cycle accounting.
@@ -196,6 +265,31 @@ class SlotScheduler {
   /// mismatch or corrupt payload.
   void restore_state(sim::SnapshotReader& r);
 
+  /// Smallest core count a fast-forward shrunk variant runs: keeps every
+  /// post-barrier hart class populated (hart 0's exit path, the sleepers,
+  /// the last arrival's waker tail - see the header note) with margin, so
+  /// the cycle accounting is provably invariant under the shrink.
+  /// MmseLayout::active_cores additionally requires >= 2.
+  static constexpr u32 kMinFastForwardCores = 4;
+
+  /// Host-side fast-forward execution statistics, accumulated over every
+  /// run_slot since construction. Never part of SlotResult or any report -
+  /// purely observability for drivers and benches.
+  struct FastForwardStats {
+    u64 full_batches = 0;    // batches run at full layout width
+    u64 shrunk_batches = 0;  // batches run on a shrunk variant
+    u64 cores_full = 0;      // cores a full-width run would have used
+    u64 cores_run = 0;       // cores actually executed
+    /// Fraction of core-runs the shrink parked (0 with fast-forward off).
+    double park_fraction() const {
+      return cores_full == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(cores_run) /
+                             static_cast<double>(cores_full);
+    }
+  };
+  FastForwardStats fast_forward_stats() const;
+
   /// Calibrated single-batch cycle cost of group `g`'s geometry (measured
   /// once at construction; the locality policy's load estimate). The
   /// locality policy skips the calibration warm-up runs in the degenerate
@@ -220,6 +314,16 @@ class SlotScheduler {
     /// geometry index -> resident-program handle on this machine (-1 until
     /// the geometry first runs here and gets translated).
     std::vector<i64> geometry_handles;
+    /// Fast-forward shrunk-variant residency on this machine: one entry per
+    /// (geometry, active core count) pair that has run here. Variants are
+    /// host-side execution shortcuts - they never appear in the reload or
+    /// residency accounting above.
+    struct Variant {
+      u32 geometry = 0;
+      u32 cores = 0;
+      i64 handle = -1;
+    };
+    std::vector<Variant> variants;
   };
   struct BatchTask {
     u32 allocation = 0;
@@ -229,6 +333,16 @@ class SlotScheduler {
   };
 
   u32 geometry_for(u32 ntx, u32 nrx);  // builds layout+program on first use
+  /// Resident-program handle slot for geometry `g`'s shrunk variant at
+  /// `cores` active cores on `cluster` (created on first use, handle -1).
+  /// The caller holds the cluster's busy flag, so no locking is needed.
+  i64& variant_handle(Cluster& cluster, u32 g, u32 cores) const;
+  /// Builds the shrunk program variant of geometry `g` with `cores` active
+  /// cores (all higher hartids park in crt0).
+  rvasm::Program build_variant_program(u32 g, u32 cores) const;
+  /// Adopts a sibling's calibrated costs and replicates calibration's
+  /// cluster-0 residency side effects without the measurement runs.
+  void adopt_warm_calibration(const WarmState& warm);
   /// Runs one deterministic batch per geometry on cluster 0 to measure its
   /// batch cycle cost (and warm cluster 0's resident-program cache).
   void calibrate_geometry_costs();
@@ -249,6 +363,12 @@ class SlotScheduler {
   std::vector<GeometryContext> geometries_;
   std::vector<Cluster> clusters_;
   std::vector<u64> batch_errors_scratch_;  // per-batch error counts, one run_slot
+  bool calibrated_ = false;                // real measured costs (not placeholder)
+  // Fast-forward observability (host-side only; workers run concurrently).
+  std::atomic<u64> ff_full_batches_{0};
+  std::atomic<u64> ff_shrunk_batches_{0};
+  std::atomic<u64> ff_cores_full_{0};
+  std::atomic<u64> ff_cores_run_{0};
 };
 
 }  // namespace tsim::ran
